@@ -1,0 +1,42 @@
+"""Equation (1): the InfiniBand MPI connection limit.
+
+Paper: "a pure MPI code run on 4 nodes of Columbia can have no more than
+1524 MPI processes", and beyond 2048 CPUs "hybrid communication [is
+required] to scale to larger problem sizes" — at 4016 CPUs over 8 boxes
+the available rank budget dictates ~4 OpenMP threads per process.
+"""
+
+from conftest import run_once, save_result
+
+from repro.machine import (
+    infiniband_feasible,
+    max_mpi_processes_infiniband,
+    min_omp_threads_for_infiniband,
+)
+from repro.perf.report import format_comparison
+
+
+def test_eq1_connection_limits(benchmark):
+    def sweep():
+        return {n: max_mpi_processes_infiniband(n) for n in range(1, 21)}
+
+    limits = run_once(benchmark, sweep)
+    lines = ["== eq. (1): InfiniBand MPI process limits =="]
+    lines.append(format_comparison("limit for 4 boxes", 1524, limits[4]))
+    lines.append(
+        format_comparison(
+            "threads needed at 4016 CPUs / 8 boxes", 4,
+            min_omp_threads_for_infiniband(4016, 8),
+        )
+    )
+    lines += [f"  boxes={n:>2}: max pure-MPI ranks {v}" for n, v in limits.items()]
+    save_result("eq1", "\n".join(lines))
+
+    assert limits[4] == 1524
+    assert infiniband_feasible(1524, 4)
+    assert not infiniband_feasible(1525, 4)
+    # hybrid requirement beyond 2048 CPUs
+    assert min_omp_threads_for_infiniband(2008, 4) == 2
+    assert min_omp_threads_for_infiniband(4016, 8) >= 3
+    # the limit is monotone-ish and finite machine-wide
+    assert all(0 < v < 10240 for v in limits.values())

@@ -1,0 +1,39 @@
+"""Figure 14(b): NSU3D speedup and TFLOP/s, 128-2008 CPUs, NUMAlink.
+
+Paper values: superlinear speedups at 2008 CPUs (2395 single grid, 2250
+four-level, 2044 six-level); 3.4 / 3.1 / 2.95 / 2.8 TFLOP/s for
+single/4/5/6-level; 31.3 s per 6-level W-cycle at 128 CPUs and 1.95 s at
+2008 ("the flow solution can be obtained in under 30 minutes").
+"""
+
+import pytest
+from conftest import run_once, save_result
+
+from repro.core import figure_14b
+
+
+@pytest.fixture(scope="module")
+def fig(benchmark=None):
+    return figure_14b()
+
+
+def test_fig14b_scaling(benchmark):
+    result = run_once(benchmark, figure_14b)
+    save_result("fig14b", result.summary())
+
+    series = result.series
+    sp = {mg: s.speedup(128) for mg, s in series.items()}
+    tf = {mg: s.tflops() for mg, s in series.items()}
+
+    # superlinear speedups at 2008 CPUs, ordered single > 4 > 5 > 6 level
+    assert sp[1][-1] > 2008
+    assert sp[1][-1] > sp[4][-1] > sp[5][-1] > sp[6][-1]
+    # all multigrid variants still better than ideal
+    assert sp[6][-1] > 2008 * 0.95
+    # TFLOP/s in the vicinity of 3, ordered like the paper
+    assert 2.5 < tf[6][-1] < 3.5
+    assert tf[1][-1] > tf[4][-1] > tf[6][-1]
+    # the two timing anchors
+    t = series[6].seconds_per_cycle
+    assert t[0] == pytest.approx(31.3, rel=0.02)
+    assert t[-1] == pytest.approx(1.95, rel=0.05)

@@ -1,0 +1,39 @@
+"""Figures 16(a)/(b): NUMAlink vs InfiniBand, single grid vs 6-level MG.
+
+Paper: the single-grid case shows "only slight degradation in overall
+performance between the NUMAlink and the InfiniBand interconnects" (and
+superlinear speedup on both); for six-level multigrid "the degradation
+in performance due to the use of InfiniBand over NUMAlink is dramatic,
+particularly at the higher processor counts".  At 2008 CPUs InfiniBand
+admits at most 1524 pure-MPI ranks (eq. 1), so only the 2-thread hybrid
+configuration exists there.
+"""
+
+from conftest import run_once, save_result
+
+from repro.core import figure_16a, figure_16b
+
+
+def test_fig16a_single_grid(benchmark):
+    result = run_once(benchmark, figure_16a)
+    save_result("fig16a", result.summary())
+    numa = result.series["NUMAlink:1thr"].speedup(128)
+    ib2 = result.series["Infiniband:2thr"].speedup(128)
+    # both superlinear; fabrics nearly indistinguishable
+    assert numa[-1] > 2008
+    assert ib2[-1] > 2008 * 0.95
+    assert abs(ib2[-1] - numa[-1]) / numa[-1] < 0.10
+
+
+def test_fig16b_six_level_multigrid(benchmark):
+    result = run_once(benchmark, figure_16b)
+    save_result("fig16b", result.summary())
+    numa = result.series["NUMAlink:1thr"].speedup(128)
+    ib2 = result.series["Infiniband:2thr"].speedup(128)
+    ib1 = result.series["Infiniband:1thr"].speedup(128)
+    # dramatic InfiniBand degradation at high CPU counts
+    assert ib2[-1] < 0.85 * numa[-1]
+    # pure-MPI InfiniBand at 2008 exceeds eq. (1) and collapses to 10GigE
+    assert ib1[-1] < 0.5 * numa[-1]
+    # low CPU counts remain comparable
+    assert abs(ib2[1] - numa[1]) / numa[1] < 0.05

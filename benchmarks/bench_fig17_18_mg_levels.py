@@ -1,0 +1,28 @@
+"""Figures 17-18: fabric comparison for 2/3/4/5-level multigrid.
+
+Paper: "a gradual degradation of performance is observed as the number
+of multigrid levels is increased.  However, even the two level multigrid
+case shows substantial degradation between the NUMAlink and InfiniBand
+results."
+"""
+
+from conftest import run_once, save_result
+
+from repro.core import figures_17_18
+
+
+def test_fig17_18_level_sweep(benchmark):
+    results = run_once(benchmark, figures_17_18)
+    ratios = {}
+    for result in results:
+        save_result(result.figure_id, result.summary())
+        ib = result.series["Infiniband:1thr"].speedup(128)[-2]  # 1004 CPUs
+        numa_1004 = result.series["NUMAlink:1thr"].speedup(128)[-2]
+        mg = int(result.description.split("-level")[0].split()[-1])
+        ratios[mg] = ib / numa_1004
+    # gradual degradation: the IB/NUMAlink ratio falls with level count
+    levels = sorted(ratios)
+    for a, b in zip(levels, levels[1:]):
+        assert ratios[b] <= ratios[a] + 0.01, ratios
+    # even two-level multigrid shows degradation
+    assert ratios[levels[0]] < 1.0

@@ -1,0 +1,28 @@
+"""Figure 19: the 2nd (9M-pt) and 3rd (1M-pt) multigrid levels alone.
+
+Paper: "this coarser grid level does not scale as well as the finer 72
+million point grid.  However, both the NUMAlink and InfiniBand results
+degrade at similar rates, and deliver similar performance even on 2008
+CPUs" — the finding that exonerates intra-level coarse-grid exchanges
+and points at the inter-grid transfers.
+"""
+
+from conftest import run_once, save_result
+
+from repro.core import figure_19
+
+
+def test_fig19_coarse_levels_alone(benchmark):
+    result = run_once(benchmark, figure_19)
+    save_result("fig19", result.summary())
+    s9_numa = result.series["9M:NUMAlink"].speedup(128)
+    s9_ib = result.series["9M:Infiniband"].speedup(128)
+    s1_numa = result.series["1.:NUMAlink"].speedup(128)
+    s1_ib = result.series["1.:Infiniband"].speedup(128)
+
+    # coarse levels scale worse than the fine grid would
+    assert s9_numa[-1] < 2008
+    assert s1_numa[-1] < s9_numa[-1]
+    # but the fabrics stay close (the paper's central observation)
+    assert s9_ib[-1] / s9_numa[-1] > 0.75
+    assert s1_ib[-1] / s1_numa[-1] > 0.70

@@ -1,0 +1,33 @@
+"""Figure 20(b): Cart3D OpenMP vs MPI scalability on one 512-CPU box.
+
+Paper: "Performance with both programming libraries is very nearly
+ideal, however while the MPI shows no appreciable degradation over the
+full processor range, the OpenMP results display a slight break in the
+slope of the scalability curve near 128 CPUs" (coarse-mode pointer
+dereferencing beyond one double cabinet).  Combined with "somewhat
+better than 1.5 GFLOP/s" per CPU this gives ~0.75 TFLOP/s on 496 CPUs.
+"""
+
+from conftest import run_once, save_result
+
+from repro.core import figure_20b
+
+
+def test_fig20b_openmp_vs_mpi(benchmark):
+    result = run_once(benchmark, figure_20b)
+    save_result("fig20b", result.summary())
+    mpi = result.series["MPI"].speedup(32)
+    omp = result.series["OpenMP"].speedup(32)
+    cpus = result.series["MPI"].cpus
+
+    # both near-ideal
+    assert mpi[-1] > 0.9 * cpus[-1]
+    # identical below one cabinet (128 CPUs)...
+    for i, c in enumerate(cpus):
+        if c <= 128:
+            assert abs(omp[i] - mpi[i]) / mpi[i] < 0.01
+    # ...with the OpenMP slope break beyond it
+    assert omp[-1] < mpi[-1]
+    # ~0.75 TFLOP/s on ~500 CPUs
+    tf = result.series["MPI"].tflops()[-1]
+    assert 0.6 < tf < 0.95

@@ -1,0 +1,33 @@
+"""Figure 21: Cart3D 4-level multigrid vs single grid, NUMAlink.
+
+Paper: single-grid scalability "very nearly ideal, achieving parallel
+speedups of about 1900 on 2016 CPUs"; the four-level multigrid posts
+"around 1585", with roll-off appearing near 688 CPUs and not really
+degrading until above 1024; performance "slightly over 2.4 TFLOP/s" at
+2016 CPUs.
+"""
+
+from conftest import run_once, save_result
+
+from repro.core import figure_21
+
+
+def test_fig21_multigrid_vs_single(benchmark):
+    result = run_once(benchmark, figure_21)
+    save_result("fig21", result.summary())
+    mg = result.series["mg4"].speedup(32)
+    sg = result.series["single"].speedup(32)
+    cpus = result.series["mg4"].cpus
+
+    # single grid near-ideal, multigrid lower (coarse-grid communication)
+    assert sg[-1] > 0.85 * cpus[-1]
+    assert mg[-1] < sg[-1]
+    # paper's magnitudes within a reasonable band
+    assert 1500 < sg[-1] < 2100
+    assert 1150 < mg[-1] < 1750
+    # multigrid roll-off is modest through ~688 CPUs
+    i688 = cpus.index(688)
+    assert mg[i688] > 0.85 * 688
+    # ~2.4 TFLOP/s at 2016 CPUs
+    tf = result.series["mg4"].tflops()[-1]
+    assert 1.8 < tf < 2.8

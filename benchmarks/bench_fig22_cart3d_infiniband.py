@@ -1,0 +1,34 @@
+"""Figure 22: Cart3D multigrid on NUMAlink vs InfiniBand.
+
+Paper: results identical within one box (32-496 CPUs, no box-to-box
+communication); "the most striking example is the case at 508 CPUs which
+actually underperforms the single-box case with 496 CPUs"; cases on 4
+boxes (1024-2016) "show a further decrease with respect to those posted
+by the NUMAlink"; the InfiniBand curve stops at 1524 CPUs (eq. 1).
+"""
+
+from conftest import run_once, save_result
+
+from repro.core import figure_22
+
+
+def test_fig22_infiniband_dip(benchmark):
+    result = run_once(benchmark, figure_22)
+    save_result("fig22", result.summary())
+    numa = result.series["NUMAlink"].speedup(32)
+    ib = result.series["Infiniband"].speedup(32)
+    cpus = result.series["NUMAlink"].cpus
+
+    i496 = cpus.index(496)
+    i508 = cpus.index(508)
+    i1524 = cpus.index(1524)
+    # identical on one box
+    assert abs(ib[i496] - numa[i496]) / numa[i496] < 1e-9
+    # the striking 508-CPU two-box dip below the 496-CPU one-box case
+    assert ib[i508] < ib[i496]
+    # further decrease on four boxes
+    assert ib[i1524] < 0.9 * numa[i1524]
+    # eq. (1): the InfiniBand sweep cannot extend to 2016 pure-MPI ranks
+    from repro.machine import max_mpi_processes_infiniband
+
+    assert max_mpi_processes_infiniband(4) == 1524 < 2016

@@ -1,0 +1,70 @@
+"""Solver-kernel throughput (supporting data for the work models).
+
+Not a paper figure: measures our actual per-point/per-cell kernel costs
+— residual evaluation, implicit smoothing, RK cycles — so the calibrated
+FLOP counts in :mod:`repro.perf.workmodel` can be sanity-checked against
+what the real Python kernels do per unit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.mesh.cartesian import Sphere
+from repro.mesh.unstructured import build_dual, bump_channel, extract_lines
+from repro.solvers.cart3d import Cart3DSolver
+from repro.solvers.cart3d.residual import residual as cart3d_residual
+from repro.solvers.cart3d.rk import rk_smooth
+from repro.solvers.gas import freestream
+from repro.solvers.nsu3d import (
+    apply_wall_bc,
+    context_from_dual,
+    residual as nsu3d_residual,
+    smooth,
+)
+
+
+@pytest.fixture(scope="module")
+def nsu3d_setup():
+    mesh = bump_channel(ni=20, nj=8, nk=14, wall_spacing=2e-3, ratio=1.35)
+    dual = build_dual(mesh)
+    ctx = context_from_dual(dual, mu_lam=1e-5, lines=extract_lines(dual))
+    qinf = freestream(0.5, nvar=6, nu_lam=1e-5)
+    q = apply_wall_bc(ctx, np.tile(qinf, (ctx.npoints, 1)))
+    return ctx, q, qinf
+
+
+@pytest.fixture(scope="module")
+def cart3d_setup():
+    solver = Cart3DSolver(
+        Sphere(center=[0.5, 0.5, 0.5], radius=0.2),
+        dim=3, base_level=3, max_level=5, mg_levels=1, mach=0.5,
+    )
+    level = solver.levels[0]
+    q = np.tile(solver.qinf, (level.nflow, 1))
+    return level, q, solver.qinf
+
+
+def test_nsu3d_residual_throughput(benchmark, nsu3d_setup):
+    ctx, q, qinf = nsu3d_setup
+    benchmark(nsu3d_residual, ctx, q, qinf)
+
+
+def test_nsu3d_implicit_smoothing_throughput(benchmark, nsu3d_setup):
+    ctx, q, qinf = nsu3d_setup
+    benchmark.pedantic(
+        lambda: smooth(ctx, q, qinf, cfl=5.0, nsteps=1),
+        rounds=3, iterations=1,
+    )
+
+
+def test_cart3d_residual_throughput(benchmark, cart3d_setup):
+    level, q, qinf = cart3d_setup
+    benchmark(cart3d_residual, level, q, qinf)
+
+
+def test_cart3d_rk_cycle_throughput(benchmark, cart3d_setup):
+    level, q, qinf = cart3d_setup
+    benchmark.pedantic(
+        lambda: rk_smooth(level, q, qinf, cfl=2.0, nsteps=1),
+        rounds=3, iterations=1,
+    )

@@ -1,0 +1,27 @@
+"""Section VI textual anchors: solution times and projections.
+
+Paper: "On 2008 CPUs, a six level multigrid cycle requires 1.95 seconds
+of wall clock time, and thus the flow solution can be obtained in under
+30 minutes"; "a case employing 10^9 grid points can be expected to
+require 4 to 5 hours to converge on 2008 CPUs"; "a larger multigrid
+case (of the order of 10^9 grid points with 7 multigrid levels) would
+perform adequately on 4016 CPUs, delivering of the order of 5 to 6
+Tflops".
+"""
+
+from conftest import run_once, save_result
+
+from repro.core import text_anchors
+
+
+def test_section_vi_projections(benchmark):
+    result = run_once(benchmark, text_anchors)
+    save_result("text_anchors", result.summary())
+    values = {name: measured for name, _, measured in result.comparisons}
+
+    t72 = values["72M-pt solution (800 cycles) on 2008 CPUs [min]"]
+    assert 20 < t72 <= 32  # "under 30 minutes"
+    t1b = values["10^9-pt case on 2008 CPUs [h]"]
+    assert 3.0 < t1b < 8.0  # "4 to 5 hours" band
+    tflops = values["10^9-pt case on 4016 CPUs, IB+4 threads [TFLOP/s]"]
+    assert 3.5 < tflops < 7.0  # "5 to 6 Tflops" band

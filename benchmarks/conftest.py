@@ -1,0 +1,21 @@
+"""Shared benchmark plumbing.
+
+Every figure bench writes its paper-vs-measured summary to
+``benchmarks/results/<figure>.txt`` (collected into EXPERIMENTS.md) in
+addition to asserting the qualitative claims.  ``run_once`` wraps
+pytest-benchmark so expensive solves execute exactly once.
+"""
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def save_result(figure_id: str, text: str) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{figure_id}.txt").write_text(text + "\n")
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,38 @@
+"""Replay the paper's Columbia scalability study (figures 14b-22).
+
+Runs the calibrated performance model at the paper's scale — the
+72M-point NSU3D case and the 25M-cell Cart3D SSLV case on up to 2016
+CPUs over NUMAlink and InfiniBand — and prints each figure next to the
+values the paper quotes.
+
+Run:  python examples/columbia_scaling.py
+"""
+
+from repro.core import (
+    figure_14b,
+    figure_15,
+    figure_16a,
+    figure_16b,
+    figure_19,
+    figure_20b,
+    figure_21,
+    figure_22,
+    figures_17_18,
+    text_anchors,
+)
+
+
+def main():
+    for make in (
+        figure_14b, figure_15, figure_16a, figure_16b,
+        figure_19, figure_20b, figure_21, figure_22, text_anchors,
+    ):
+        print(make().summary())
+        print()
+    for result in figures_17_18():
+        print(result.summary())
+        print()
+
+
+if __name__ == "__main__":
+    main()

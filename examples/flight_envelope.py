@@ -1,0 +1,69 @@
+"""Fly the vehicle through its aero database (paper section I).
+
+Fills a small (Mach x alpha) database for the wing-body transport with
+the Cart3D-style solver, then couples it to the longitudinal-DOF
+integrator: the G&C-style 'fly-through' and static-stability assessment
+the paper motivates ("the vehicle can be 'flown' through the database by
+guidance and control system designers").
+
+Run:  python examples/flight_envelope.py
+"""
+
+import numpy as np
+
+from repro.core import (
+    AeroInterpolant,
+    FlightState,
+    VariableFidelityStudy,
+    fly_through,
+    is_statically_stable,
+)
+from repro.database import Axis, ParameterSpace, StudyDefinition
+from repro.mesh.cartesian import wing_body
+
+
+def main():
+    study = StudyDefinition(
+        config_space=ParameterSpace(axes=(Axis("elevator", (0.0,)),)),
+        wind_space=ParameterSpace(
+            axes=(
+                Axis("mach", (0.4, 0.5, 0.6)),
+                Axis("alpha", (0.0, 2.0, 4.0)),
+            )
+        ),
+    )
+    runner = VariableFidelityStudy(
+        geometry=wing_body(),
+        study=study,
+        dim=2,
+        base_level=4,
+        max_level=5,
+        mg_levels=2,
+        cycles=20,
+    )
+    print(f"filling {study.ncases} cases of the (Mach, alpha) envelope...")
+    db = runner.fill()
+    unconverged = len(db.unconverged())
+    print(f"database: {len(db)} cases ({unconverged} flagged unconverged)")
+
+    aero = AeroInterpolant(db, fixed={"elevator": 0.0})
+    print(f"cl at interpolated condition (M=0.45, a=1.0): "
+          f"{aero('cl', 0.45, 1.0):+.4f}")
+    print(f"statically stable at M=0.5? "
+          f"{is_statically_stable(aero, 0.5)}")
+
+    trajectory = fly_through(
+        aero, FlightState(u=0.5, theta_deg=2.0), steps=60, dt=0.05
+    )
+    machs = [s.mach for s in trajectory]
+    alphas = [s.alpha_deg for s in trajectory]
+    print("fly-through (60 steps):")
+    print(f"  Mach  {machs[0]:.3f} -> {machs[-1]:.3f} "
+          f"(range {min(machs):.3f}..{max(machs):.3f})")
+    print(f"  alpha {alphas[0]:+.2f} -> {alphas[-1]:+.2f} deg")
+    print(f"  downrange {trajectory[-1].x:.2f}, altitude change "
+          f"{trajectory[-1].z:+.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,202 @@
+"""Hybrid MPI/OpenMP communication strategies (paper section III, fig. 7).
+
+In NSU3D's hybrid mode each MPI process owns several partitions, one
+OpenMP thread per partition.  Intra-process partitions communicate by
+direct (shared-memory) copies.  For inter-process traffic the paper
+considers two programming models:
+
+* **Thread-parallel** (fig. 7a): every thread issues its own MPI calls,
+  addressing remote threads via the send/recv tag.  Previous experience
+  (reference [12]) showed this scales poorly because the MPI calls lock
+  and serialize at the thread level.
+* **Master-thread** (fig. 7b): threads pack per-remote-process buffers in
+  parallel; the master thread alone posts all receives, then all sends;
+  while messages are in transit, all threads perform the intra-process
+  OpenMP copies; the master then waits and the threads unpack in
+  parallel.  This yields fewer, larger messages, at the price of a
+  thread-sequential MPI phase — the cost visible in fig. 15 (efficiency
+  0.984 at 2 threads, 0.872 at 4 threads on NUMAlink).
+
+The paper uses the master-thread strategy exclusively; both are modelled
+here.  :func:`hybrid_efficiency` is the analytic form used by the
+performance model; :class:`HybridProcess` executes the actual data
+movement for the SimMPI-hosted solvers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .exchange import ExchangePlan
+
+#: Seconds per byte for thread-side buffer packing/unpacking (memcpy-rate
+#: calibration constant: ~2 GB/s effective touch rate).
+PACK_SECONDS_PER_BYTE = 1.0 / 2.0e9
+
+#: Serialization penalty multiplier when every thread issues locking MPI
+#: calls (the thread-parallel strategy of fig. 7a, reference [12]).
+THREAD_PARALLEL_LOCK_PENALTY = 2.5
+
+
+def master_thread_time(
+    mpi_time: float,
+    omp_copy_time: float,
+    pack_bytes: float,
+    nthreads: int,
+) -> float:
+    """Wall time of one master-thread hybrid exchange.
+
+    ``mpi_time`` is the (thread-sequential) time the master spends in MPI
+    sends/receives; ``omp_copy_time`` the intra-process ghost copies
+    executed by all threads while messages are in flight (the overlap the
+    paper engineered); ``pack_bytes`` the total buffer traffic packed and
+    unpacked thread-parallel.
+    """
+    if nthreads < 1:
+        raise ValueError("nthreads must be >= 1")
+    pack = pack_bytes * PACK_SECONDS_PER_BYTE / nthreads
+    unpack = pack
+    return pack + max(mpi_time, omp_copy_time) + unpack
+
+
+def thread_parallel_time(
+    mpi_time: float,
+    omp_copy_time: float,
+    pack_bytes: float,
+    nthreads: int,
+) -> float:
+    """Wall time of the thread-parallel strategy (fig. 7a).
+
+    Threads send concurrently but the MPI library locks, so the MPI phase
+    serializes with a penalty; there are ``nthreads`` times more, smaller
+    messages, so per-message latency is not amortized.
+    """
+    if nthreads < 1:
+        raise ValueError("nthreads must be >= 1")
+    pack = pack_bytes * PACK_SECONDS_PER_BYTE / nthreads
+    locked_mpi = mpi_time * (
+        1.0 + (THREAD_PARALLEL_LOCK_PENALTY - 1.0) * (nthreads > 1)
+    )
+    return pack + locked_mpi + omp_copy_time + pack
+
+
+def hybrid_efficiency(
+    nthreads: int,
+    comm_fraction: float,
+    overlap: float = 0.55,
+) -> float:
+    """Parallel efficiency of a hybrid run relative to pure MPI.
+
+    With ``T`` threads per process, a fraction ``comm_fraction`` of the
+    pure-MPI cycle is communication.  During the master-thread MPI phase
+    the other ``T - 1`` threads idle except for the overlapped OpenMP
+    copies; ``overlap`` is the fraction of MPI time hidden behind them.
+    The efficiency loss is the exposed serial fraction, Amdahl-style:
+
+        eff(T) = 1 / (1 + comm_fraction * (1 - overlap) * (T - 1))
+
+    Calibrated against fig. 15: with the NSU3D 72M-point case's measured
+    comm fraction at 128 CPUs this gives ~0.98 at T=2 and ~0.87 at T=4.
+    """
+    if nthreads < 1:
+        raise ValueError("nthreads must be >= 1")
+    if not 0.0 <= comm_fraction <= 1.0:
+        raise ValueError("comm_fraction must be in [0, 1]")
+    exposed = comm_fraction * (1.0 - overlap) * (nthreads - 1)
+    return 1.0 / (1.0 + exposed)
+
+
+@dataclass
+class HybridProcess:
+    """One MPI process owning several thread partitions (fig. 7b).
+
+    ``plans`` maps a *global partition id* to its :class:`ExchangePlan`
+    over global partition ids; ``proc_of`` maps global partition ids to
+    MPI process ranks.  Intra-process neighbors are served by direct
+    copies; inter-process traffic is aggregated into one buffer per
+    remote process, sent by the master (the calling thread).
+    """
+
+    rank: int
+    part_ids: tuple
+    plans: dict
+    proc_of: dict
+
+    def exchange_copy(self, comm, arrays: dict, tag: int = 0) -> None:
+        """Hybrid owner->ghost update of per-partition arrays.
+
+        ``arrays`` maps partition id -> local array (owned+ghost layout
+        of that partition's plan).
+        """
+        remote = self._remote_procs()
+        reqs = {q: comm.irecv(q, tag) for q in remote}
+        # master thread: pack one buffer per remote process and send.
+        # Pack order is canonical — sorted by (destination partition,
+        # source partition) — so the receiver can unpack positionally.
+        for q in remote:
+            pairs = sorted(
+                (nbr, pid)
+                for pid in self.part_ids
+                for nbr in self.plans[pid].neighbors
+                if self.proc_of[nbr] == q and nbr in self.plans[pid].owned_slots
+            )
+            chunks = [
+                np.ascontiguousarray(arrays[src][self.plans[src].owned_slots[dst]])
+                for dst, src in pairs
+            ]
+            buf = (
+                np.concatenate(chunks)
+                if chunks
+                else np.empty((0,), dtype=np.float64)
+            )
+            comm.isend(buf, q, tag)
+        # OpenMP phase, overlapped with MPI transit: intra-process copies
+        for pid in self.part_ids:
+            plan = self.plans[pid]
+            for nbr in plan.neighbors:
+                if self.proc_of[nbr] == self.rank and nbr in plan.ghost_slots:
+                    src_plan = self.plans[nbr]
+                    arrays[pid][plan.ghost_slots[nbr]] = arrays[nbr][
+                        src_plan.owned_slots[pid]
+                    ]
+        # master waits, threads unpack (same canonical order as the sender)
+        for q in remote:
+            buf = reqs[q].wait()
+            offset = 0
+            pairs = sorted(
+                (pid, nbr)
+                for pid in self.part_ids
+                for nbr in self.plans[pid].neighbors
+                if self.proc_of[nbr] == q and nbr in self.plans[pid].ghost_slots
+            )
+            for dst, src in pairs:
+                slots = self.plans[dst].ghost_slots[src]
+                n = len(slots)
+                arrays[dst][slots] = buf[offset : offset + n]
+                offset += n
+
+    def _remote_procs(self) -> list:
+        out = set()
+        for pid in self.part_ids:
+            for nbr in self.plans[pid].neighbors:
+                q = self.proc_of[nbr]
+                if q != self.rank:
+                    out.add(q)
+        return sorted(out)
+
+
+def partition_owners(nparts: int, nprocs: int) -> dict:
+    """Contiguous block assignment of partitions to MPI processes."""
+    if nprocs < 1 or nparts < nprocs:
+        raise ValueError("need at least one partition per process")
+    base, extra = divmod(nparts, nprocs)
+    owner = {}
+    pid = 0
+    for proc in range(nprocs):
+        count = base + (1 if proc < extra else 0)
+        for _ in range(count):
+            owner[pid] = proc
+            pid += 1
+    return owner

@@ -1,0 +1,453 @@
+"""SimMPI — an in-process message-passing runtime with virtual time.
+
+The paper's solvers are SPMD MPI programs.  We cannot run 2016 MPI ranks
+on real hardware here, so SimMPI provides the same programming model
+inside one Python process: :meth:`SimMPI.run` launches one thread per
+rank, each executing the user's rank function against a :class:`Comm`
+endpoint offering blocking/non-blocking point-to-point operations and the
+collectives the solvers need.
+
+Two things distinguish SimMPI from a toy queue wrapper:
+
+* **Virtual time.**  Every rank carries a clock.  Computation advances it
+  via :meth:`Comm.compute` (seconds, or FLOPs converted through the
+  machine model's cache-residency rate curve); messages advance the
+  receiver's clock by the fabric cost of the transfer (latency + size /
+  bandwidth, cross-box contention, irregular-pattern penalties), taking
+  the job's :class:`~repro.machine.placement.JobPlacement` into account.
+  Collectives synchronize clocks.  The ledger is what lets small SimMPI
+  runs calibrate the paper-scale performance model.
+
+* **Accounting.**  Per-rank message/byte/flop counters
+  (:class:`CommStats`) expose exactly the quantities the performance
+  model needs (messages per cycle, halo bytes, FLOPs).
+
+The runtime is deterministic for deterministic rank functions: reduction
+results are combined in rank order regardless of thread scheduling.
+"""
+
+from __future__ import annotations
+
+import pickle
+import queue
+import threading
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..machine.interconnect import NUMALINK4, FabricModel, message_time
+from ..machine.placement import JobPlacement
+
+_RECV_TIMEOUT = 120.0  # wall-clock seconds before declaring deadlock
+
+#: Fixed per-call software overhead charged for issuing an MPI operation
+#: (descriptor setup, matching).  Separate from fabric latency.
+MPI_CALL_OVERHEAD = 0.5e-6
+
+
+def _payload_bytes(obj) -> int:
+    """Estimated wire size of a message payload."""
+    if isinstance(obj, np.ndarray):
+        return obj.nbytes
+    if isinstance(obj, (bytes, bytearray)):
+        return len(obj)
+    if isinstance(obj, (int, float, np.floating, np.integer)):
+        return 8
+    try:
+        return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+    except Exception:
+        return 64
+
+
+def _copy_payload(obj):
+    """Messages must not alias sender memory (MPI copy semantics)."""
+    if isinstance(obj, np.ndarray):
+        return obj.copy()
+    return pickle.loads(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+@dataclass
+class CommStats:
+    """Per-rank traffic and work accounting."""
+
+    messages_sent: int = 0
+    bytes_sent: float = 0.0
+    messages_received: int = 0
+    bytes_received: float = 0.0
+    collectives: int = 0
+    flops: float = 0.0
+    compute_seconds: float = 0.0
+    comm_seconds: float = 0.0
+
+
+@dataclass
+class _Message:
+    src: int
+    payload: object
+    nbytes: int
+    send_clock: float
+    irregular: bool
+
+
+class Request:
+    """Handle for a non-blocking operation; ``wait()`` completes it."""
+
+    def __init__(self, complete):
+        self._complete = complete
+        self._done = False
+        self._result = None
+
+    def wait(self):
+        if not self._done:
+            self._result = self._complete()
+            self._done = True
+        return self._result
+
+    def test(self) -> bool:
+        """SimMPI requests complete eagerly; test() reports completion."""
+        return self._done
+
+
+class _CollectiveContext:
+    """Shared state for one communicator's collectives."""
+
+    def __init__(self, nranks: int):
+        self.nranks = nranks
+        self.slots: list = [None] * nranks
+        self.result = None
+        self.barrier = threading.Barrier(nranks)
+
+    def round(self, rank: int, value, combine):
+        """Deposit ``value``, combine once, return the shared result."""
+        self.slots[rank] = value
+        self.barrier.wait()
+        if rank == 0:
+            self.result = combine(list(self.slots))
+        self.barrier.wait()
+        out = self.result
+        self.barrier.wait()  # nobody may re-enter until all have read
+        return out
+
+
+class Comm:
+    """One rank's endpoint into a :class:`SimMPI` world."""
+
+    def __init__(self, world: "SimMPI", rank: int):
+        self._world = world
+        self.rank = rank
+        self.size = world.nranks
+        self.clock = 0.0
+        self.stats = CommStats()
+
+    # -- virtual time -------------------------------------------------------
+
+    def compute(
+        self,
+        seconds: float | None = None,
+        flops: float | None = None,
+        working_set_bytes: float = 0.0,
+        rate_cache: float = 2.0e9,
+        rate_mem: float = 0.8e9,
+    ) -> None:
+        """Advance this rank's clock by a computation.
+
+        Either pass wall ``seconds`` directly or pass ``flops`` (converted
+        through the CPU model's sustained-rate curve for the given working
+        set).
+        """
+        if seconds is None:
+            if flops is None:
+                raise ValueError("pass seconds or flops")
+            cpu = self._world.cpu
+            rate = cpu.sustained_flops(working_set_bytes, rate_cache, rate_mem)
+            seconds = flops / rate
+            self.stats.flops += flops
+        self.clock += seconds
+        self.stats.compute_seconds += seconds
+
+    # -- point to point -----------------------------------------------------
+
+    def send(self, payload, dest: int, tag: int = 0, irregular: bool = False):
+        """Blocking standard-mode send (buffered: never deadlocks)."""
+        self.isend(payload, dest, tag, irregular=irregular).wait()
+
+    def isend(self, payload, dest: int, tag: int = 0, irregular: bool = False):
+        if not 0 <= dest < self.size:
+            raise ValueError(f"bad destination rank {dest}")
+        nbytes = _payload_bytes(payload)
+        self.clock += MPI_CALL_OVERHEAD
+        self.stats.comm_seconds += MPI_CALL_OVERHEAD
+        msg = _Message(
+            src=self.rank,
+            payload=_copy_payload(payload),
+            nbytes=nbytes,
+            send_clock=self.clock,
+            irregular=irregular,
+        )
+        self._world._mailbox(dest, self.rank, tag).put(msg)
+        self.stats.messages_sent += 1
+        self.stats.bytes_sent += nbytes
+        return Request(lambda: None)
+
+    def recv(self, source: int, tag: int = 0):
+        """Blocking receive; returns the payload."""
+        return self.irecv(source, tag).wait()
+
+    def irecv(self, source: int, tag: int = 0):
+        if not 0 <= source < self.size:
+            raise ValueError(f"bad source rank {source}")
+        box = self._world._mailbox(self.rank, source, tag)
+
+        def complete():
+            try:
+                msg = box.get(timeout=_RECV_TIMEOUT)
+            except queue.Empty:
+                raise RuntimeError(
+                    f"rank {self.rank} deadlocked waiting for rank {source} "
+                    f"tag {tag}"
+                ) from None
+            transit = self._world.transfer_time(
+                msg.src, self.rank, msg.nbytes, irregular=msg.irregular
+            )
+            arrival = msg.send_clock + transit
+            before = self.clock
+            self.clock = max(self.clock, arrival) + MPI_CALL_OVERHEAD
+            self.stats.comm_seconds += self.clock - before
+            self.stats.messages_received += 1
+            self.stats.bytes_received += msg.nbytes
+            return msg.payload
+
+        return Request(complete)
+
+    def sendrecv(self, payload, dest: int, source: int, tag: int = 0):
+        req = self.isend(payload, dest, tag)
+        out = self.recv(source, tag)
+        req.wait()
+        return out
+
+    # -- collectives ----------------------------------------------------------
+
+    def _collective(self, value, combine, nbytes: float):
+        before = self.clock
+        ctx = self._world._collectives
+        result, sync = ctx.round(self.rank, (value, self.clock), _make_sync(combine))
+        cost = self._world.collective_time(nbytes)
+        self.clock = sync + cost
+        self.stats.collectives += 1
+        self.stats.comm_seconds += self.clock - before
+        return result
+
+    def barrier(self) -> None:
+        self._collective(None, lambda vals: None, nbytes=8)
+
+    def allreduce(self, value, op: str = "sum"):
+        """Reduce scalars or same-shape arrays across ranks; all get it."""
+
+        def combine(vals):
+            return _reduce(vals, op)
+
+        nbytes = _payload_bytes(value)
+        return _copy_result(self._collective(value, combine, nbytes))
+
+    def allgather(self, value) -> list:
+        return _copy_result(
+            self._collective(value, lambda vals: list(vals), _payload_bytes(value))
+        )
+
+    def bcast(self, value, root: int = 0):
+        result = self._collective(
+            value if self.rank == root else None,
+            lambda vals: vals[root],
+            _payload_bytes(value) if self.rank == root else 8,
+        )
+        return _copy_result(result)
+
+    def gather(self, value, root: int = 0):
+        everything = self.allgather(value)
+        return everything if self.rank == root else None
+
+    def reduce(self, value, op: str = "sum", root: int = 0):
+        result = self.allreduce(value, op)
+        return result if self.rank == root else None
+
+
+def _make_sync(combine):
+    """Wrap a payload combiner so it also returns the max clock."""
+
+    def wrapped(slots):
+        values = [v for v, _clk in slots]
+        clocks = [clk for _v, clk in slots]
+        return combine(values), max(clocks)
+
+    return wrapped
+
+
+def _reduce(vals, op: str):
+    if op == "sum":
+        out = vals[0]
+        if isinstance(out, np.ndarray):
+            out = out.copy()
+        for v in vals[1:]:
+            out = out + v
+        return out
+    if op == "max":
+        out = vals[0]
+        for v in vals[1:]:
+            out = np.maximum(out, v) if isinstance(out, np.ndarray) else max(out, v)
+        return out
+    if op == "min":
+        out = vals[0]
+        for v in vals[1:]:
+            out = np.minimum(out, v) if isinstance(out, np.ndarray) else min(out, v)
+        return out
+    raise ValueError(f"unknown reduction op {op!r}")
+
+
+def _copy_result(value):
+    """Collective results are shared across ranks; hand out copies of
+    arrays so one rank cannot mutate another's view."""
+    if isinstance(value, np.ndarray):
+        return value.copy()
+    if isinstance(value, list):
+        return [v.copy() if isinstance(v, np.ndarray) else v for v in value]
+    return value
+
+
+class SimMPI:
+    """A simulated MPI world of ``nranks`` processes.
+
+    Parameters
+    ----------
+    nranks:
+        Number of MPI ranks.
+    placement:
+        Optional :class:`JobPlacement` pinning ranks to Columbia boxes.
+        Without it all ranks share one box (pure shared-memory costs).
+    fabric:
+        Box-to-box fabric used when no placement is given but callers
+        still ask for cross-box costs.
+    """
+
+    def __init__(
+        self,
+        nranks: int,
+        placement: JobPlacement | None = None,
+        fabric: FabricModel = NUMALINK4,
+    ):
+        if nranks < 1:
+            raise ValueError("nranks must be >= 1")
+        if placement is not None and placement.nranks != nranks:
+            raise ValueError(
+                f"placement provides {placement.nranks} ranks, world needs {nranks}"
+            )
+        self.nranks = nranks
+        self.placement = placement
+        self._fabric = fabric
+        self._mailboxes: dict = {}
+        self._mailbox_lock = threading.Lock()
+        self._collectives = _CollectiveContext(nranks)
+        if placement is not None:
+            self._box_of = placement.box_of_rank()
+            self._nboxes = placement.nboxes
+            self._eff_fabric = placement.effective_fabric()
+            self.cpu = placement.nodes[0].cpu
+        else:
+            self._box_of = np.zeros(nranks, dtype=np.int64)
+            self._nboxes = 1
+            self._eff_fabric = fabric
+            from ..machine.cpu import CPU_ITANIUM2_1600
+
+            self.cpu = CPU_ITANIUM2_1600
+
+    # -- plumbing -------------------------------------------------------------
+
+    def _mailbox(self, dst: int, src: int, tag: int) -> queue.Queue:
+        key = (dst, src, tag)
+        with self._mailbox_lock:
+            box = self._mailboxes.get(key)
+            if box is None:
+                box = self._mailboxes[key] = queue.Queue()
+            return box
+
+    # -- cost model -----------------------------------------------------------
+
+    def transfer_time(
+        self, src: int, dst: int, nbytes: float, irregular: bool = False
+    ) -> float:
+        """Fabric cost of one message between two ranks."""
+        same_box = bool(self._box_of[src] == self._box_of[dst])
+        return message_time(
+            nbytes,
+            same_box=same_box,
+            fabric=self._eff_fabric,
+            nboxes=self._nboxes,
+            irregular=irregular,
+        )
+
+    def collective_time(self, nbytes: float) -> float:
+        """Tree-structured collective: log2(P) message steps on the
+        slowest path (cross-box when the job spans boxes)."""
+        steps = max(1, int(np.ceil(np.log2(max(self.nranks, 2)))))
+        worst = message_time(
+            nbytes,
+            same_box=self._nboxes == 1,
+            fabric=self._eff_fabric,
+            nboxes=self._nboxes,
+        )
+        return steps * worst
+
+    # -- execution -------------------------------------------------------------
+
+    def run(self, target, *args, **kwargs) -> list:
+        """Execute ``target(comm, *args, **kwargs)`` on every rank.
+
+        Returns the per-rank return values in rank order.  Exceptions in
+        any rank abort the run and re-raise on the caller.
+        """
+        comms = [Comm(self, r) for r in range(self.nranks)]
+        self.comms = comms
+        if self.nranks == 1:
+            return [target(comms[0], *args, **kwargs)]
+
+        results: list = [None] * self.nranks
+        errors: list = []
+
+        def entry(rank: int):
+            try:
+                results[rank] = target(comms[rank], *args, **kwargs)
+            except BaseException as exc:  # noqa: BLE001 - must cross threads
+                errors.append((rank, exc))
+                self._collectives.barrier.abort()
+
+        threads = [
+            threading.Thread(target=entry, args=(r,), name=f"simmpi-rank-{r}")
+            for r in range(self.nranks)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        if errors:
+            rank, exc = errors[0]
+            raise RuntimeError(f"rank {rank} failed: {exc!r}") from exc
+        return results
+
+    # -- post-run inspection ----------------------------------------------------
+
+    def max_clock(self) -> float:
+        """Virtual makespan of the last run (max over rank clocks)."""
+        return max(c.clock for c in self.comms)
+
+    def total_stats(self) -> CommStats:
+        total = CommStats()
+        for c in self.comms:
+            s = c.stats
+            total.messages_sent += s.messages_sent
+            total.bytes_sent += s.bytes_sent
+            total.messages_received += s.messages_received
+            total.bytes_received += s.bytes_received
+            total.collectives += s.collectives
+            total.flops += s.flops
+            total.compute_seconds += s.compute_seconds
+            total.comm_seconds += s.comm_seconds
+        return total

@@ -1,0 +1,50 @@
+"""Top level: variable-fidelity workflow, flight-envelope fly-through,
+and the registry mapping every paper figure to its reproduction."""
+
+from .figures import (
+    ALL_FIGURES,
+    FigureResult,
+    figure_14a,
+    figure_14b,
+    figure_15,
+    figure_16a,
+    figure_16b,
+    figure_19,
+    figure_20b,
+    figure_21,
+    figure_22,
+    figures_17_18,
+    text_anchors,
+)
+from .design import DesignHistory, DesignOptimizer, trim_objective
+from .flightenv import (
+    AeroInterpolant,
+    FlightState,
+    fly_through,
+    is_statically_stable,
+)
+from .workflow import VariableFidelityStudy
+
+__all__ = [
+    "DesignOptimizer",
+    "DesignHistory",
+    "trim_objective",
+    "ALL_FIGURES",
+    "FigureResult",
+    "figure_14a",
+    "figure_14b",
+    "figure_15",
+    "figure_16a",
+    "figure_16b",
+    "figures_17_18",
+    "figure_19",
+    "figure_20b",
+    "figure_21",
+    "figure_22",
+    "text_anchors",
+    "VariableFidelityStudy",
+    "AeroInterpolant",
+    "FlightState",
+    "fly_through",
+    "is_statically_stable",
+]

@@ -1,0 +1,415 @@
+"""Per-figure experiment registry (the reproduction index of DESIGN.md).
+
+Every table/figure of the paper's evaluation has one generator here that
+returns a :class:`FigureResult`: the data series, a formatted text
+rendition, and the paper-vs-measured comparisons that EXPERIMENTS.md
+records.  The benchmark harness calls these; so can users.
+
+Scaling figures (14b-22) run the calibrated performance model at the
+paper's scale; the convergence figure (14a) runs the *real* NSU3D-style
+solver on a laptop-scale mesh with the same anisotropy (the multigrid
+level-count behaviour it demonstrates is mesh-size-independent, which is
+the method's point).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..machine.interconnect import INFINIBAND, NUMALINK4, TENGIGE
+from ..machine.limits import max_mpi_processes_infiniband
+from ..perf.report import convergence_table, format_comparison, format_series_table
+from ..perf.scaling import (
+    CART3D_CELLS_25M,
+    NSU3D_CPU_COUNTS,
+    NSU3D_POINTS_72M,
+    cycle_time,
+    infiniband_mpi_feasible,
+    project_run_time,
+    scaling_series,
+)
+from ..perf.workmodel import CART3D_WORK, NSU3D_WORK
+
+#: Box layout of the Cart3D experiments: <=504 CPUs one box, 508-1000
+#: two boxes, 1024+ four boxes (paper section VII).
+CART3D_BOXES = {
+    32: 1, 64: 1, 128: 1, 256: 1, 496: 1, 504: 1,
+    508: 2, 688: 2, 1000: 2,
+    1024: 4, 1524: 4, 2016: 4,
+}
+CART3D_SWEEP = [32, 64, 128, 256, 496, 688, 1024, 1524, 2016]
+CART3D_SWEEP_IB = [32, 64, 128, 256, 496, 508, 688, 1000, 1024, 1524]
+
+
+@dataclass
+class FigureResult:
+    """One reproduced figure/table."""
+
+    figure_id: str
+    description: str
+    series: dict = field(default_factory=dict)
+    comparisons: list = field(default_factory=list)  # (name, paper, measured)
+    text: str = ""
+
+    def summary(self) -> str:
+        lines = [f"== {self.figure_id}: {self.description} =="]
+        if self.text:
+            lines.append(self.text)
+        for name, paper, measured in self.comparisons:
+            lines.append(format_comparison(name, paper, measured))
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# NSU3D figures
+# ---------------------------------------------------------------------------
+
+
+def figure_14a(
+    ni: int = 16, nj: int = 6, nk: int = 12, ncycles: int = 120,
+    mach: float = 0.5, reynolds: float = 1.0e5,
+) -> FigureResult:
+    """NSU3D multigrid convergence for several level counts (real runs).
+
+    Paper shape: 5/6-level converge in ~800 cycles, 4-level lags,
+    single-grid would need 'several hundred thousand iterations'.  At
+    our scale the same ordering appears within ``ncycles`` cycles.
+    """
+    from ..mesh.unstructured import bump_channel
+    from ..solvers.nsu3d import NSU3DSolver
+
+    mesh = bump_channel(
+        ni=ni, nj=nj, nk=nk, wall_spacing=2e-3, ratio=1.4, bump_height=0.03
+    )
+    histories = {}
+    finals = {}
+    for mg in (1, 2, 4):
+        solver = NSU3DSolver(
+            mesh=mesh, mach=mach, reynolds=reynolds, mg_levels=mg,
+            turbulence=True, cfl=8.0,
+        )
+        for _ in range(ncycles):
+            solver.run_cycle(cycle="W")
+        label = f"{solver.mg_levels}-level"
+        histories[label] = solver.history.residuals
+        finals[label] = solver.history.residuals[-1]
+    labels = list(histories)
+    result = FigureResult(
+        figure_id="fig14a",
+        description="NSU3D multigrid convergence, W-cycles, level sweep",
+        series=histories,
+        text=convergence_table(histories, every=max(1, ncycles // 8)),
+    )
+    result.comparisons.append(
+        (
+            "more levels converge deeper (final residual ordering)",
+            "6lvl < 5lvl < 4lvl << single",
+            " > ".join(
+                f"{l}:{finals[l]:.1e}" for l in labels
+            ),
+        )
+    )
+    return result
+
+
+def figure_14b() -> FigureResult:
+    """NSU3D speedup + TFLOP/s, 128-2008 CPUs, NUMAlink (virtual run)."""
+    series = {
+        mg: scaling_series(
+            f"{mg if mg > 1 else 'single'}"
+            + ("" if mg == 1 else "-level MG"),
+            NSU3D_POINTS_72M, NSU3D_CPU_COUNTS, NSU3D_WORK, mg_levels=mg,
+        )
+        for mg in (1, 4, 5, 6)
+    }
+    result = FigureResult(
+        figure_id="fig14b",
+        description="NSU3D scalability and TFLOP/s on NUMAlink",
+        series=series,
+        text=format_series_table(
+            list(series.values()), base_cpus=128, show_tflops=True
+        ),
+    )
+    s1, s4, s5, s6 = (series[k] for k in (1, 4, 5, 6))
+    result.comparisons += [
+        ("single-grid speedup @2008", 2395, round(s1.speedup(128)[-1])),
+        ("4-level speedup @2008", 2250, round(s4.speedup(128)[-1])),
+        ("6-level speedup @2008", 2044, round(s6.speedup(128)[-1])),
+        ("single-grid TFLOP/s @2008", 3.4, round(s1.tflops()[-1], 2)),
+        ("4-level TFLOP/s @2008", 3.1, round(s4.tflops()[-1], 2)),
+        ("5-level TFLOP/s @2008", 2.95, round(s5.tflops()[-1], 2)),
+        ("6-level TFLOP/s @2008", 2.8, round(s6.tflops()[-1], 2)),
+        ("6-level s/cycle @128", 31.3, round(s6.seconds_per_cycle[0], 1)),
+        ("6-level s/cycle @2008", 1.95, round(s6.seconds_per_cycle[-1], 2)),
+    ]
+    return result
+
+
+def figure_15() -> FigureResult:
+    """Hybrid relative efficiency at 128 CPUs over 4 boxes."""
+    base = cycle_time(
+        NSU3D_POINTS_72M, 128, mg_levels=6, fabric=NUMALINK4,
+        omp_threads=1, nboxes=4,
+    ).total
+    effs = {}
+    for fabric, fname in ((NUMALINK4, "NUMAlink"), (INFINIBAND, "InfiniBand")):
+        for omp in (1, 2, 4):
+            t = cycle_time(
+                NSU3D_POINTS_72M, 128, mg_levels=6, fabric=fabric,
+                omp_threads=omp, nboxes=4,
+            ).total
+            effs[(fname, omp)] = base / t
+    text = "\n".join(
+        f"  {f:>10} x {omp} OpenMP thread(s): efficiency {e:.3f}"
+        for (f, omp), e in effs.items()
+    )
+    result = FigureResult(
+        figure_id="fig15",
+        description="72M-pt 6-level MG relative efficiency, 128 CPUs/4 boxes",
+        series=effs,
+        text=text,
+    )
+    result.comparisons += [
+        ("NUMAlink 2-thread efficiency", 0.984,
+         round(effs[("NUMAlink", 2)], 3)),
+        ("NUMAlink 4-thread efficiency", 0.872,
+         round(effs[("NUMAlink", 4)], 3)),
+        ("InfiniBand pure-MPI efficiency", 0.957,
+         round(effs[("InfiniBand", 1)], 3)),
+    ]
+    return result
+
+
+def _fabric_level_figure(fig_id: str, mg_levels: int, paper_note: str) -> FigureResult:
+    series = []
+    for fabric, fname in ((NUMALINK4, "NUMAlink"), (INFINIBAND, "Infiniband")):
+        for omp in (1, 2):
+            label = f"{fname}:{omp}thr"
+            s = scaling_series(
+                label, NSU3D_POINTS_72M, NSU3D_CPU_COUNTS, NSU3D_WORK,
+                mg_levels=mg_levels, fabric=fabric, omp_threads=omp,
+            )
+            series.append(s)
+    result = FigureResult(
+        figure_id=fig_id,
+        description=f"NSU3D {mg_levels}-level "
+        f"{'single grid' if mg_levels == 1 else 'multigrid'}: "
+        "NUMAlink vs InfiniBand, 1-2 OpenMP threads",
+        series={s.label: s for s in series},
+        text=format_series_table(series, base_cpus=128)
+        + f"\n  note: {paper_note}",
+    )
+    numa = series[0].speedup(128)[-1]
+    ib1 = series[2].speedup(128)[-1]
+    ib2 = series[3].speedup(128)[-1]
+    feasible = infiniband_mpi_feasible(2008)
+    result.comparisons += [
+        (f"NUMAlink 1-thread speedup @2008 ({mg_levels} lvl)",
+         "superlinear" if mg_levels == 1 else ">= ~2000 (mg6: 2044)",
+         round(numa)),
+        (f"InfiniBand/NUMAlink speedup ratio @2008 ({mg_levels} lvl, 2thr)",
+         "~1.0 single grid, degrading with levels", round(ib2 / numa, 2)),
+        ("IB pure-MPI feasible @2008 (eq. 1)", False, feasible),
+    ]
+    return result
+
+
+def figure_16a() -> FigureResult:
+    return _fabric_level_figure(
+        "fig16a", 1,
+        "single grid: both fabrics near-ideal/superlinear (paper)",
+    )
+
+
+def figure_16b() -> FigureResult:
+    return _fabric_level_figure(
+        "fig16b", 6,
+        "6-level MG: 'degradation in performance due to the use of "
+        "InfiniBand over NUMAlink is dramatic' (paper); IB pure-MPI "
+        "infeasible at 2008 CPUs falls back to 10GigE",
+    )
+
+
+def figures_17_18() -> list:
+    """2/3/4/5-level fabric comparisons — gradual degradation."""
+    out = []
+    ids = {2: "fig17a", 3: "fig17b", 4: "fig18a", 5: "fig18b"}
+    for mg in (2, 3, 4, 5):
+        out.append(
+            _fabric_level_figure(
+                ids[mg], mg,
+                "gradual degradation as multigrid levels increase (paper)",
+            )
+        )
+    return out
+
+
+def figure_19() -> FigureResult:
+    """Coarse levels run alone: both fabrics degrade similarly."""
+    series = []
+    for offset, size_label in ((1, "9M pts (2nd level)"), (2, "1.1M pts (3rd level)")):
+        for fabric, fname in ((NUMALINK4, "NUMAlink"), (INFINIBAND, "Infiniband")):
+            s = scaling_series(
+                f"{size_label[:2]}:{fname}", NSU3D_POINTS_72M,
+                NSU3D_CPU_COUNTS, NSU3D_WORK, mg_levels=1, fabric=fabric,
+                level_offset=offset,
+            )
+            series.append(s)
+    result = FigureResult(
+        figure_id="fig19",
+        description="2nd (9M) and 3rd (1M) multigrid levels run alone",
+        series={s.label: s for s in series},
+        text=format_series_table(series, base_cpus=128),
+    )
+    r9 = series[1].speedup(128)[-1] / series[0].speedup(128)[-1]
+    r1 = series[3].speedup(128)[-1] / series[2].speedup(128)[-1]
+    result.comparisons += [
+        ("9M level: IB/NUMAlink speedup ratio @2008",
+         "~1 (both degrade at similar rates)", round(r9, 2)),
+        ("1M level: IB/NUMAlink speedup ratio @2008",
+         "~1 (both degrade at similar rates)", round(r1, 2)),
+        ("coarse levels scale worse than fine",
+         True, series[0].speedup(128)[-1] < 2008),
+    ]
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Cart3D figures
+# ---------------------------------------------------------------------------
+
+
+def figure_20b() -> FigureResult:
+    """Cart3D OpenMP vs MPI on one 512-CPU box (32-504 CPUs)."""
+    cpus = [32, 64, 128, 256, 504]
+    boxes = {c: 1 for c in cpus}
+    s_mpi = scaling_series(
+        "MPI", CART3D_CELLS_25M, cpus, CART3D_WORK, mg_levels=4,
+        boxes_for=boxes,
+    )
+    s_omp = scaling_series(
+        "OpenMP", CART3D_CELLS_25M, cpus, CART3D_WORK, mg_levels=4,
+        boxes_for=boxes, openmp=True,
+    )
+    result = FigureResult(
+        figure_id="fig20b",
+        description="Cart3D SSLV 25M cells, one box: OpenMP vs MPI",
+        series={"MPI": s_mpi, "OpenMP": s_omp},
+        text=format_series_table([s_mpi, s_omp], base_cpus=32,
+                                 show_tflops=True),
+    )
+    result.comparisons += [
+        ("MPI speedup @504 (near ideal)", "~500", round(s_mpi.speedup(32)[-1])),
+        ("OpenMP slope break beyond 128 CPUs (coarse mode)",
+         "slightly reduced slope",
+         round(s_omp.speedup(32)[-1] / s_mpi.speedup(32)[-1], 3)),
+        ("TFLOP/s on ~500 CPUs", 0.75, round(s_mpi.tflops()[-1], 2)),
+        ("per-CPU GFLOP/s", 1.5,
+         round(s_mpi.tflops()[-1] * 1e3 / 504, 2)),
+    ]
+    return result
+
+
+def figure_21() -> FigureResult:
+    """Cart3D 4-level MG vs single grid, 32-2016 CPUs, NUMAlink."""
+    s_mg = scaling_series(
+        "4-level MG", CART3D_CELLS_25M, CART3D_SWEEP, CART3D_WORK,
+        mg_levels=4, fabric=NUMALINK4, boxes_for=CART3D_BOXES,
+    )
+    s_sg = scaling_series(
+        "single mesh", CART3D_CELLS_25M, CART3D_SWEEP, CART3D_WORK,
+        mg_levels=1, fabric=NUMALINK4, boxes_for=CART3D_BOXES,
+    )
+    result = FigureResult(
+        figure_id="fig21",
+        description="Cart3D multigrid vs single grid on NUMAlink",
+        series={"mg4": s_mg, "single": s_sg},
+        text=format_series_table([s_mg, s_sg], base_cpus=32,
+                                 show_tflops=True),
+    )
+    sp_mg = s_mg.speedup(32)
+    sp_sg = s_sg.speedup(32)
+    result.comparisons += [
+        ("single-grid speedup @2016", 1900, round(sp_sg[-1])),
+        ("4-level MG speedup @2016", 1585, round(sp_mg[-1])),
+        ("MG TFLOP/s @2016 (NUMAlink)", 2.4, round(s_mg.tflops()[-1], 2)),
+        ("MG roll-off appears around 688 CPUs", "roll-off ~688",
+         round(sp_mg[CART3D_SWEEP.index(688)] / 688, 2)),
+    ]
+    return result
+
+
+def figure_22() -> FigureResult:
+    """Cart3D 4-level MG: NUMAlink vs InfiniBand (incl. the 508 dip)."""
+    s_numa = scaling_series(
+        "NUMAlink", CART3D_CELLS_25M, CART3D_SWEEP_IB, CART3D_WORK,
+        mg_levels=4, fabric=NUMALINK4, boxes_for=CART3D_BOXES,
+    )
+    s_ib = scaling_series(
+        "Infiniband", CART3D_CELLS_25M, CART3D_SWEEP_IB, CART3D_WORK,
+        mg_levels=4, fabric=INFINIBAND, boxes_for=CART3D_BOXES,
+    )
+    result = FigureResult(
+        figure_id="fig22",
+        description="Cart3D multigrid: NUMAlink vs InfiniBand fabrics",
+        series={"NUMAlink": s_numa, "Infiniband": s_ib},
+        text=format_series_table([s_numa, s_ib], base_cpus=32),
+    )
+    sp = s_ib.speedup(32)
+    i496 = CART3D_SWEEP_IB.index(496)
+    i508 = CART3D_SWEEP_IB.index(508)
+    result.comparisons += [
+        ("IB 508-CPU (2-box) underperforms 496-CPU (1-box)",
+         True, bool(sp[i508] < sp[i496])),
+        ("IB curve limited to 1524 CPUs (eq. 1)", 1524,
+         max_mpi_processes_infiniband(4)),
+        ("IB/NUMAlink speedup ratio @1524 (4 boxes, further decrease)",
+         "< 1", round(sp[-1] / s_numa.speedup(32)[-1], 2)),
+    ]
+    return result
+
+
+# ---------------------------------------------------------------------------
+# text anchors (section VI projections)
+# ---------------------------------------------------------------------------
+
+
+def text_anchors() -> FigureResult:
+    """Quantitative claims from the running text of section VI."""
+    t_solution = project_run_time(NSU3D_POINTS_72M, 2008, cycles=800)
+    t_billion = project_run_time(1.0e9, 2008, cycles=800, mg_levels=7)
+    b = cycle_time(
+        1.0e9, 4016, mg_levels=7, fabric=INFINIBAND, omp_threads=4,
+        nboxes=8,
+    )
+    result = FigureResult(
+        figure_id="text-VI",
+        description="Section VI textual anchors and projections",
+    )
+    result.comparisons += [
+        ("72M-pt solution (800 cycles) on 2008 CPUs [min]", 30,
+         round(t_solution / 60.0, 1)),
+        ("10^9-pt case on 2008 CPUs [h]", "4-5",
+         round(t_billion / 3600.0, 1)),
+        ("10^9-pt case on 4016 CPUs, IB+4 threads [TFLOP/s]", "5-6",
+         round(b.useful_flops / b.total / 1e12, 1)),
+        ("min OpenMP threads @4016 CPUs on IB (8 boxes)", 4,
+         __import__("repro.machine.limits", fromlist=["x"])
+         .min_omp_threads_for_infiniband(4016, 8)),
+    ]
+    return result
+
+
+ALL_FIGURES = {
+    "fig14a": figure_14a,
+    "fig14b": figure_14b,
+    "fig15": figure_15,
+    "fig16a": figure_16a,
+    "fig16b": figure_16b,
+    "fig17_18": figures_17_18,
+    "fig19": figure_19,
+    "fig20b": figure_20b,
+    "fig21": figure_21,
+    "fig22": figure_22,
+    "text": text_anchors,
+}

@@ -1,0 +1,23 @@
+"""Cart3D-style automated parameter studies (paper section IV):
+config-space x wind-space definitions, hierarchical job control, node
+packing, and the aero-performance database with virtual re-runs."""
+
+from .jobs import FlowJob, GeometryJob, build_job_tree, meshing_amortization
+from .parameters import Axis, ParameterSpace, StudyDefinition, standard_study
+from .scheduler import SchedulePlan, schedule_fill
+from .store import AeroDatabase, CaseRecord
+
+__all__ = [
+    "Axis",
+    "ParameterSpace",
+    "StudyDefinition",
+    "standard_study",
+    "FlowJob",
+    "GeometryJob",
+    "build_job_tree",
+    "meshing_amortization",
+    "SchedulePlan",
+    "schedule_fill",
+    "AeroDatabase",
+    "CaseRecord",
+]

@@ -1,0 +1,76 @@
+"""Hierarchical job control for database fills (paper §IV).
+
+"The job control scripts arrange the jobs hierarchically such that
+different instances of the geometry are at the top level with wind
+parameters below.  For a particular instance of the geometry, the jobs
+exploring variation in the Wind-Space all run using the same mesh and
+geometry files.  This approach amortizes the cost of preparing the
+surface and meshing each instance of the geometry over the hundreds or
+thousands of runs done on that particular instance."
+
+:func:`build_job_tree` produces exactly that: one :class:`GeometryJob`
+per config instance (meshing done once, possibly in parallel across
+instances) and one :class:`FlowJob` per wind case below it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .parameters import StudyDefinition
+
+
+@dataclass
+class FlowJob:
+    """One CFD run: a wind-space case on a fixed geometry instance."""
+
+    config_params: dict
+    wind_params: dict
+    cpus: int = 32
+
+    @property
+    def params(self) -> dict:
+        merged = dict(self.config_params)
+        merged.update(self.wind_params)
+        return merged
+
+
+@dataclass
+class GeometryJob:
+    """One geometry instance: triangulate + position + mesh once, then
+    run every wind case on the shared mesh."""
+
+    config_params: dict
+    flow_jobs: list = field(default_factory=list)
+
+    @property
+    def ncases(self) -> int:
+        return len(self.flow_jobs)
+
+
+def build_job_tree(
+    study: StudyDefinition, cpus_per_case: int = 32
+) -> list:
+    """Expand a study into the hierarchical job list."""
+    tree = []
+    for config, wind_cases in study.hierarchy():
+        geo = GeometryJob(config_params=config)
+        for wind in wind_cases:
+            geo.flow_jobs.append(
+                FlowJob(
+                    config_params=config,
+                    wind_params=wind,
+                    cpus=cpus_per_case,
+                )
+            )
+        tree.append(geo)
+    return tree
+
+
+def meshing_amortization(tree: list) -> float:
+    """Average wind cases per meshing job — the amortization factor that
+    makes 'the speed of the flow solver the primary driver in the total
+    cost of producing the aerodynamic database'."""
+    if not tree:
+        return 0.0
+    return sum(g.ncases for g in tree) / len(tree)

@@ -1,0 +1,107 @@
+"""Configuration-space x wind-space parameter definitions (paper §IV).
+
+"A typical analysis may consider three 'Configuration-Space' parameters
+(e.g. aileron, elevator and rudder deflections) and examine three
+'Wind-Space' parameters (Mach number, angle-of-attack, and sideslip
+angle).  In this six-dimensional parametric space, ten values of each
+parameter would require 10^6 CFD simulations; 1000 wind-space cases for
+each of the 1000 instances of the configuration in the config-space."
+
+A :class:`ParameterSpace` is an ordered set of named axes; its product
+enumerates the cases.  A :class:`StudyDefinition` pairs one config space
+with one wind space and exposes exactly the hierarchical enumeration the
+paper's job-control scripts use: geometry instances at the top level,
+wind sweeps below.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Axis:
+    """One sweep parameter."""
+
+    name: str
+    values: tuple
+
+    def __post_init__(self):
+        if len(self.values) == 0:
+            raise ValueError(f"axis {self.name} has no values")
+
+    @staticmethod
+    def linspace(name: str, lo: float, hi: float, n: int) -> "Axis":
+        return Axis(name=name, values=tuple(np.linspace(lo, hi, n).tolist()))
+
+
+@dataclass(frozen=True)
+class ParameterSpace:
+    """An ordered collection of axes; iterates dict-valued cases."""
+
+    axes: tuple
+
+    def __post_init__(self):
+        names = [a.name for a in self.axes]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate axis names")
+
+    @property
+    def names(self) -> tuple:
+        return tuple(a.name for a in self.axes)
+
+    @property
+    def ncases(self) -> int:
+        n = 1
+        for a in self.axes:
+            n *= len(a.values)
+        return n
+
+    def cases(self):
+        """Iterate dicts {axis name: value} in row-major order."""
+        for combo in itertools.product(*(a.values for a in self.axes)):
+            yield dict(zip(self.names, combo))
+
+
+@dataclass(frozen=True)
+class StudyDefinition:
+    """Config-space x wind-space study (the 10^4-10^6-entry database)."""
+
+    config_space: ParameterSpace
+    wind_space: ParameterSpace
+
+    @property
+    def ncases(self) -> int:
+        return self.config_space.ncases * self.wind_space.ncases
+
+    def hierarchy(self):
+        """Iterate (config case, wind-space iterator): the paper's job
+        layout — one geometry/mesh per config instance, amortized over
+        all its wind cases."""
+        for config in self.config_space.cases():
+            yield config, self.wind_space.cases()
+
+
+def standard_study(
+    n_config: int = 3, n_wind: int = 5
+) -> StudyDefinition:
+    """The paper's canonical 6-D study shape, at a configurable size:
+    (aileron, elevator, rudder) x (Mach, alpha, beta)."""
+    config = ParameterSpace(
+        axes=(
+            Axis.linspace("aileron", -10.0, 10.0, n_config),
+            Axis.linspace("elevator", -10.0, 10.0, n_config),
+            Axis.linspace("rudder", -5.0, 5.0, n_config),
+        )
+    )
+    wind = ParameterSpace(
+        axes=(
+            Axis.linspace("mach", 0.3, 0.8, n_wind),
+            Axis.linspace("alpha", -2.0, 6.0, n_wind),
+            Axis.linspace("beta", 0.0, 4.0, n_wind),
+        )
+    )
+    return StudyDefinition(config_space=config, wind_space=wind)

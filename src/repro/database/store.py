@@ -1,0 +1,107 @@
+"""The aero-performance database (paper §IV-V).
+
+"In general, the only data stored for these cases are surface pressures,
+convergence histories and force and moment coefficients.  If, during
+review of the results, the database shows unexpected results in a
+particular region, those cases are typically re-run on-demand ... In
+many cases, it is actually faster to re-run a case than it would be to
+retrieve it from mass storage" — the *virtual database*.
+
+:class:`AeroDatabase` stores exactly those records, supports slicing by
+parameter values, flags outliers for review, and implements the virtual
+re-run: a query for a missing (or suspicious) case invokes the solver
+callback again.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+def _key(params: dict) -> tuple:
+    return tuple(sorted(params.items()))
+
+
+@dataclass
+class CaseRecord:
+    """One database entry: parameters -> coefficients + diagnostics."""
+
+    params: dict
+    coefficients: dict  # cl, cd, cm, ...
+    residual_history: list = field(default_factory=list)
+    converged: bool = True
+
+    @property
+    def orders_converged(self) -> float:
+        h = self.residual_history
+        if len(h) < 2 or h[0] <= 0:
+            return 0.0
+        return float(np.log10(h[0] / max(h[-1], 1e-300)))
+
+
+class AeroDatabase:
+    """Force/moment database with on-demand (virtual) re-runs."""
+
+    def __init__(self, solver_callback=None):
+        self._records: dict = {}
+        self._solver_callback = solver_callback
+        self.reruns = 0
+
+    def insert(self, record: CaseRecord) -> None:
+        self._records[_key(record.params)] = record
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, params: dict) -> bool:
+        return _key(params) in self._records
+
+    def get(self, params: dict) -> CaseRecord:
+        """Fetch a case; re-run it on demand if absent (the paper's
+        'virtual database' of full solution data)."""
+        key = _key(params)
+        if key not in self._records:
+            if self._solver_callback is None:
+                raise KeyError(f"case {params} not in database and no solver")
+            self.reruns += 1
+            self.insert(self._solver_callback(params))
+        return self._records[key]
+
+    def coefficients(self, name: str) -> tuple:
+        """(list of param dicts, array of one coefficient) over all cases."""
+        params = [dict(k) for k in self._records]
+        values = np.array(
+            [r.coefficients.get(name, np.nan) for r in self._records.values()]
+        )
+        return params, values
+
+    def slice(self, **fixed) -> list:
+        """Records whose parameters match all the given values."""
+        out = []
+        for rec in self._records.values():
+            if all(rec.params.get(k) == v for k, v in fixed.items()):
+                out.append(rec)
+        return out
+
+    def outliers(self, name: str, nsigma: float = 3.0) -> list:
+        """Cases whose coefficient deviates > nsigma from the database
+        mean — 'unexpected results in a particular region' flagged for
+        on-demand re-runs."""
+        _, values = self.coefficients(name)
+        good = values[np.isfinite(values)]
+        if len(good) < 3:
+            return []
+        mu, sd = good.mean(), good.std()
+        if sd == 0:
+            return []
+        return [
+            rec
+            for rec in self._records.values()
+            if np.isfinite(rec.coefficients.get(name, np.nan))
+            and abs(rec.coefficients[name] - mu) > nsigma * sd
+        ]
+
+    def unconverged(self) -> list:
+        return [r for r in self._records.values() if not r.converged]

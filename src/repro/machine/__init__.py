@@ -1,0 +1,68 @@
+"""Model of the NASA Columbia supercomputer (paper section II).
+
+Exposes the supercluster topology, the Itanium2 CPU (with its
+cache-residency sustained-rate model), the three interconnect fabrics, the
+InfiniBand MPI-connection limit of paper eq. (1), job placement, and
+pfmon-style performance counters.
+"""
+
+from .counters import NULL_COUNTERS, PerfCounters, RegionStats
+from .cpu import CPU_ITANIUM2_1500, CPU_ITANIUM2_1600, CpuModel
+from .interconnect import (
+    FABRICS,
+    INFINIBAND,
+    NUMALINK4,
+    OPENMP_COARSE_MODE_PENALTY,
+    SHARED_MEMORY,
+    TENGIGE,
+    FabricModel,
+    fabric_by_name,
+    message_time,
+)
+from .limits import (
+    PAPER_LIMIT_4_NODES,
+    infiniband_feasible,
+    max_mpi_processes_infiniband,
+    min_omp_threads_for_infiniband,
+)
+from .placement import JobPlacement, even_spread
+from .topology import (
+    BRICKS_PER_NODE,
+    CPUS_PER_BRICK,
+    CPUS_PER_NODE,
+    NUMALINK_MAX_NODES,
+    AltixNode,
+    Columbia,
+    vortex_subcluster,
+)
+
+__all__ = [
+    "AltixNode",
+    "Columbia",
+    "vortex_subcluster",
+    "CPUS_PER_NODE",
+    "CPUS_PER_BRICK",
+    "BRICKS_PER_NODE",
+    "NUMALINK_MAX_NODES",
+    "CpuModel",
+    "CPU_ITANIUM2_1600",
+    "CPU_ITANIUM2_1500",
+    "FabricModel",
+    "NUMALINK4",
+    "INFINIBAND",
+    "TENGIGE",
+    "SHARED_MEMORY",
+    "FABRICS",
+    "fabric_by_name",
+    "message_time",
+    "OPENMP_COARSE_MODE_PENALTY",
+    "max_mpi_processes_infiniband",
+    "infiniband_feasible",
+    "min_omp_threads_for_infiniband",
+    "PAPER_LIMIT_4_NODES",
+    "JobPlacement",
+    "even_spread",
+    "PerfCounters",
+    "RegionStats",
+    "NULL_COUNTERS",
+]

@@ -1,0 +1,104 @@
+"""Itanium2 CPU model with a cache-residency sustained-rate curve.
+
+Each Columbia CPU supports up to four memory loads per cycle from L2 to
+the floating-point registers and can deliver up to 4 FLOPs per cycle
+(paper section II), i.e. 6.4 GFLOP/s peak at 1.6 GHz.  Sustained rates for
+the two solvers are far below peak and depend on whether a partition's
+working set fits in the 9 MB L3 cache — this dependence is what produces
+the *superlinear* speedups of figure 14(b): as the CPU count grows the
+per-partition working set shrinks and an increasing fraction of it stays
+resident.
+
+The model: for a working set of ``W`` bytes against a cache of ``C``
+bytes, the resident fraction is ``h = min(1, C / W)`` and the sustained
+rate interpolates harmonically between a cache-resident rate and a
+memory-bound rate:
+
+    rate(W) = 1 / ( h / rate_cache + (1 - h) / rate_mem )
+
+Harmonic interpolation is the right composition law because times, not
+rates, add.  ``rate_cache`` and ``rate_mem`` are per-code calibration
+constants (see :mod:`repro.perf.workmodel`), anchored to the paper's own
+measurements: Cart3D sustains "somewhat better than 1.5 GFLOP/s" per CPU,
+and NSU3D's single-grid run reaches 3.4 TFLOP/s on 2008 CPUs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..util.units import GB, GHZ, MB
+
+
+@dataclass(frozen=True)
+class CpuModel:
+    """A cache-based scalar processor.
+
+    Attributes
+    ----------
+    name:
+        Marketing name.
+    clock_hz:
+        Core clock.
+    flops_per_cycle:
+        Peak FLOPs retired per cycle (Itanium2: 4, counting MADD as 2).
+    l3_bytes:
+        Last-level cache size; working sets below this run at the
+        cache-resident rate.
+    mem_bandwidth:
+        Sustainable local-memory bandwidth per CPU, bytes/s.
+    """
+
+    name: str
+    clock_hz: float
+    flops_per_cycle: int
+    l3_bytes: float
+    mem_bandwidth: float
+
+    @property
+    def peak_flops(self) -> float:
+        return self.clock_hz * self.flops_per_cycle
+
+    def resident_fraction(self, working_set_bytes: float) -> float:
+        """Fraction of the working set resident in L3."""
+        if working_set_bytes <= 0:
+            return 1.0
+        return min(1.0, self.l3_bytes / working_set_bytes)
+
+    def sustained_flops(
+        self,
+        working_set_bytes: float,
+        rate_cache: float,
+        rate_mem: float,
+    ) -> float:
+        """Sustained FLOP/s for a solver kernel with the given working set.
+
+        ``rate_cache``/``rate_mem`` are the kernel's cache-resident and
+        memory-bound sustained rates (FLOP/s); both must be positive and
+        are clipped at the CPU's peak.
+        """
+        if rate_cache <= 0 or rate_mem <= 0:
+            raise ValueError("rates must be positive")
+        rate_cache = min(rate_cache, self.peak_flops)
+        rate_mem = min(rate_mem, self.peak_flops)
+        h = self.resident_fraction(working_set_bytes)
+        return 1.0 / (h / rate_cache + (1.0 - h) / rate_mem)
+
+
+#: The 1.6 GHz Itanium2 in the BX2 boxes c13-c20 (9 MB L3).
+CPU_ITANIUM2_1600 = CpuModel(
+    name="Intel Itanium2 1.6GHz",
+    clock_hz=1.6 * GHZ,
+    flops_per_cycle=4,
+    l3_bytes=9.0 * MB,
+    mem_bandwidth=2.0 * GB,
+)
+
+#: The 1.5 GHz Itanium2 in the original 3700 boxes c1-c12 (6 MB L3).
+CPU_ITANIUM2_1500 = CpuModel(
+    name="Intel Itanium2 1.5GHz",
+    clock_hz=1.5 * GHZ,
+    flops_per_cycle=4,
+    l3_bytes=6.0 * MB,
+    mem_bandwidth=2.0 * GB,
+)

@@ -1,0 +1,204 @@
+"""Interconnect fabric models: NUMAlink4, InfiniBand and 10GigE.
+
+The paper's experiments contrast the SGI NUMAlink4 fabric (proprietary,
+6.4 GB/s peak, spans at most the four "Vortex" boxes c17-c20) with the
+machine-wide InfiniBand fabric, and observe:
+
+* nearly indistinguishable single-grid scalability on either fabric
+  (fig. 16a),
+* *dramatic* InfiniBand degradation for multigrid at high CPU counts
+  (fig. 16b-18), which figure 19 localizes not to the coarse-level
+  intra-grid exchanges but to the *inter-grid* (restriction/prolongation)
+  transfers — irregular communication patterns for which reference [4]
+  (Biswas et al.) measured severe InfiniBand "Random Ring" latency and
+  bandwidth degradation,
+* a 508-CPU two-box InfiniBand Cart3D case that under-performs the
+  496-CPU single-box case (fig. 22).
+
+A message of ``b`` bytes costs ``alpha + b / beta`` where (alpha, beta)
+depend on whether the endpoints share a box, on the fabric joining boxes,
+on how many boxes the job spans (InfiniBand contention grows with box
+count), and on whether the communication pattern is *regular* (halo
+exchange with stable neighbors) or *irregular* (scattered inter-grid
+transfers, modelled after the Random Ring benchmark).
+
+Numbers are calibration constants of the model, not measurements; they are
+anchored so that the model reproduces the paper's anchor points (31.3 s
+and 1.95 s per NSU3D multigrid cycle at 128 and 2008 CPUs, the relative
+fabric efficiencies of figure 15) — see EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..util.units import GB, MICROSEC
+
+
+@dataclass(frozen=True)
+class FabricModel:
+    """A box-to-box communication fabric.
+
+    Attributes
+    ----------
+    name:
+        Fabric name as used in the paper's figure legends.
+    latency:
+        Per-message cross-box latency (s) for regular patterns.
+    bandwidth:
+        Effective per-link cross-box bandwidth (bytes/s).
+    contention_per_box:
+        Multiplicative time penalty per *additional* box beyond the
+        second; models fabric saturation as a job spreads out.
+    irregular_latency_factor, irregular_bandwidth_factor:
+        Penalties applied to latency / applied against bandwidth for
+        irregular (Random-Ring-like) communication patterns such as the
+        non-nested multigrid restriction/prolongation transfers.
+    irregular_rank_critical:
+        Endpoint-contention scale for irregular patterns: their message
+        cost grows as ``1 + nranks / irregular_rank_critical``.  This is
+        the Random-Ring behaviour reference [4] measured — InfiniBand
+        degrades severely as more endpoints participate, NUMAlink barely.
+        Regular (stable-neighbor) traffic is unaffected, which is why
+        single-grid runs cannot tell the fabrics apart (fig. 16a) while
+        multigrid inter-grid transfers collapse on InfiniBand (fig. 16b).
+    max_span_boxes:
+        Largest number of boxes the fabric can join (NUMAlink: 4).
+    """
+
+    name: str
+    latency: float
+    bandwidth: float
+    contention_per_box: float = 0.0
+    irregular_latency_factor: float = 1.0
+    irregular_bandwidth_factor: float = 1.0
+    irregular_rank_critical: float = 1.0e12
+    #: Fixed software/rendezvous overhead per halo exchange when the job
+    #: spans boxes (connection management, completion polling).
+    sync_overhead: float = 0.0
+    #: Host-side CPU overhead fraction when the fabric is active across
+    #: boxes: interrupt/completion processing steals compute cycles.
+    #: Calibrated against figure 15 (InfiniBand pure-MPI efficiency
+    #: 0.957 at 128 CPUs over 4 boxes) and responsible for figure 22's
+    #: 508-CPU two-box dip below the 496-CPU single-box case.
+    host_overhead: float = 0.0
+    max_span_boxes: int = 20
+
+    def host_factor(self, nboxes: int) -> float:
+        """Compute-time multiplier when the job spans ``nboxes`` boxes
+        (reference [4] predicts an increasing penalty with box count)."""
+        if nboxes <= 1:
+            return 1.0
+        return 1.0 + self.host_overhead * (1.0 + 0.15 * max(0, nboxes - 2))
+
+    def irregular_rank_factor(self, nranks: int) -> float:
+        """Endpoint-contention multiplier for irregular traffic."""
+        return 1.0 + nranks / self.irregular_rank_critical
+
+    def cross_box_time(
+        self, nbytes: float, nboxes: int, irregular: bool = False
+    ) -> float:
+        """Time to move one ``nbytes`` message between two boxes."""
+        if nboxes < 2:
+            raise ValueError("cross_box_time requires a job spanning >= 2 boxes")
+        if nboxes > self.max_span_boxes:
+            raise ValueError(
+                f"{self.name} spans at most {self.max_span_boxes} boxes, got {nboxes}"
+            )
+        alpha = self.latency
+        beta = self.bandwidth
+        if irregular:
+            alpha *= self.irregular_latency_factor
+            beta /= self.irregular_bandwidth_factor
+        contention = 1.0 + self.contention_per_box * max(0, nboxes - 2)
+        return (alpha + nbytes / beta) * contention
+
+
+#: Intra-box communication (cache-coherent shared memory inside one Altix
+#: box).  MPI inside a box moves through shared memory regardless of the
+#: box-to-box fabric selected, which is why figures 20(b)/22 show identical
+#: performance below 512 CPUs.
+SHARED_MEMORY = FabricModel(
+    name="shared-memory",
+    latency=1.0 * MICROSEC,
+    bandwidth=3.2 * GB,
+    contention_per_box=0.0,
+    max_span_boxes=1,
+)
+
+#: Penalty on *global-address-space* (OpenMP) traffic that leaves a 128-CPU
+#: double cabinet: remote addresses drop the last few pointer bits and are
+#: dereferenced in "coarse mode" (paper section VII).  MPI is unaffected.
+OPENMP_COARSE_MODE_PENALTY = 1.18
+
+NUMALINK4 = FabricModel(
+    name="NUMAlink4",
+    latency=2.0 * MICROSEC,
+    bandwidth=3.0 * GB,  # 6.4 GB/s peak, ~half delivered to MPI
+    contention_per_box=0.02,
+    irregular_latency_factor=1.3,
+    irregular_bandwidth_factor=1.4,
+    irregular_rank_critical=4096.0,
+    sync_overhead=0.05e-3,
+    host_overhead=0.0,
+    max_span_boxes=4,
+)
+
+INFINIBAND = FabricModel(
+    name="InfiniBand",
+    latency=8.0 * MICROSEC,
+    bandwidth=0.75 * GB,
+    contention_per_box=0.18,
+    irregular_latency_factor=4.0,
+    irregular_bandwidth_factor=6.0,
+    irregular_rank_critical=32.0,
+    sync_overhead=0.05e-3,
+    host_overhead=0.033,
+    max_span_boxes=20,
+)
+
+TENGIGE = FabricModel(
+    name="10GigE",
+    latency=45.0 * MICROSEC,
+    bandwidth=0.45 * GB,
+    contention_per_box=0.30,
+    irregular_latency_factor=3.0,
+    irregular_bandwidth_factor=4.0,
+    irregular_rank_critical=40.0,
+    sync_overhead=0.5e-3,
+    host_overhead=0.10,
+    max_span_boxes=20,
+)
+
+FABRICS = {f.name: f for f in (NUMALINK4, INFINIBAND, TENGIGE)}
+
+
+def fabric_by_name(name: str) -> FabricModel:
+    """Look up a box-to-box fabric by its paper-legend name."""
+    try:
+        return FABRICS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown fabric {name!r}; expected one of {sorted(FABRICS)}"
+        ) from None
+
+
+def message_time(
+    nbytes: float,
+    same_box: bool,
+    fabric: FabricModel,
+    nboxes: int = 1,
+    irregular: bool = False,
+) -> float:
+    """Cost of one point-to-point message.
+
+    ``same_box`` routes the message through shared memory; otherwise it
+    crosses boxes on ``fabric`` with the job spanning ``nboxes`` boxes.
+    """
+    if same_box:
+        alpha, beta = SHARED_MEMORY.latency, SHARED_MEMORY.bandwidth
+        if irregular:
+            alpha *= 1.1
+            beta /= 1.1
+        return alpha + nbytes / beta
+    return fabric.cross_box_time(nbytes, max(nboxes, 2), irregular=irregular)

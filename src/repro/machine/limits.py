@@ -1,0 +1,68 @@
+"""The InfiniBand MPI-connection limit — paper equation (1).
+
+Each 512-CPU Columbia box carries ``N_IB = 8`` InfiniBand cards, and each
+card supports ``N_connections = 64K`` MPI connections.  When a pure-MPI
+job spans ``n >= 2`` boxes, every rank holds a connection to every rank in
+a *different* box; the per-box card capacity therefore bounds the global
+rank count.  In practical terms (the paper's words) "a pure MPI code run
+on 4 nodes of Columbia can have no more than 1524 MPI processes"; beyond
+that the system warns and silently drops to the 10GigE network.
+
+With ranks spread evenly over ``n`` boxes, each of the ``P / n`` ranks in
+a box terminates ``P (n-1) / n`` cross-box connections, so the per-box
+demand is ``P^2 (n-1) / n^2`` against a capacity of
+``eta * N_IB * N_connections``.  The usable-capacity fraction ``eta``
+(system-reserved connections, imperfect balance over the 8 cards) is
+calibrated so the n = 4 limit equals the paper's stated 1524.
+"""
+
+from __future__ import annotations
+
+import math
+
+N_IB_CARDS_PER_NODE = 8
+N_CONNECTIONS_PER_CARD = 64 * 1024
+
+#: Usable fraction of raw card capacity, calibrated so that
+#: ``max_mpi_processes_infiniband(4) == 1524`` (the paper's figure).
+ETA_USABLE = 1524.0**2 * 3.0 / (16.0 * N_IB_CARDS_PER_NODE * N_CONNECTIONS_PER_CARD)
+
+#: The paper's stated practical limit for a 4-box pure-MPI job.
+PAPER_LIMIT_4_NODES = 1524
+
+
+def max_mpi_processes_infiniband(nboxes: int) -> int:
+    """Largest pure-MPI rank count a ``nboxes``-box InfiniBand job allows.
+
+    For a single box there is no InfiniBand traffic and hence no limit
+    from the cards (the box itself holds 512 CPUs).
+    """
+    if nboxes < 1:
+        raise ValueError("nboxes must be >= 1")
+    if nboxes == 1:
+        return 512
+    capacity = ETA_USABLE * N_IB_CARDS_PER_NODE * N_CONNECTIONS_PER_CARD
+    # P^2 (n-1) / n^2 <= capacity
+    return int(math.floor(nboxes * math.sqrt(capacity / (nboxes - 1))))
+
+
+def infiniband_feasible(nranks: int, nboxes: int) -> bool:
+    """Whether ``nranks`` MPI processes over ``nboxes`` boxes fit on IB."""
+    return nranks <= max_mpi_processes_infiniband(nboxes)
+
+
+def min_omp_threads_for_infiniband(ncpus: int, nboxes: int) -> int:
+    """Smallest OpenMP threads-per-rank making ``ncpus`` total CPUs feasible.
+
+    This is the constraint that forces *hybrid* MPI/OpenMP execution for
+    runs beyond 2048 CPUs (paper section II): e.g. 4016 CPUs over 8 boxes
+    require >= 4 threads per MPI process.
+    """
+    if ncpus < 1:
+        raise ValueError("ncpus must be >= 1")
+    threads = 1
+    while ncpus // threads > max_mpi_processes_infiniband(nboxes):
+        threads += 1
+        if threads > ncpus:
+            raise RuntimeError("no feasible hybrid decomposition")
+    return threads

@@ -1,0 +1,98 @@
+"""Topology of the NASA Columbia supercluster (paper section II).
+
+Columbia is an array of 20 SGI Altix nodes of 512 Itanium2 CPUs each.
+Nodes c1-c12 are Altix 3700 systems (1.5 GHz CPUs); c13-c20 are 3700BX2
+systems (1.6 GHz CPUs, 9 MB L3).  Each 512-CPU node is built from four
+128-CPU double cabinets ("bricks"); within one cabinet addresses are
+dereferenced with the complete pointer, while more distant addresses use
+"coarse mode", which is slightly slower — this is the mechanism behind the
+OpenMP slope break at 128 CPUs in the paper's figure 20(b).
+
+The four BX2 nodes c17-c20 (the "Vortex" subsystem used for every
+experiment in the paper) are joined by NUMAlink4; the whole machine is
+joined by InfiniBand (MPI) and 10GigE (user access / I/O).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .cpu import CPU_ITANIUM2_1500, CPU_ITANIUM2_1600, CpuModel
+
+CPUS_PER_NODE = 512
+CPUS_PER_BRICK = 128
+BRICKS_PER_NODE = CPUS_PER_NODE // CPUS_PER_BRICK
+NUMALINK_MAX_NODES = 4  # NUMAlink spans at most 4 boxes (2048 CPUs)
+
+
+@dataclass(frozen=True)
+class AltixNode:
+    """One 512-CPU SGI Altix box.
+
+    Attributes
+    ----------
+    name:
+        Node name, e.g. ``"c17"``.
+    cpu:
+        CPU model installed in this box.
+    bx2:
+        True for the 3700BX2 boxes (c13-c20) with double-density bricks
+        and BX2 routers.
+    """
+
+    name: str
+    cpu: CpuModel
+    bx2: bool
+    ncpus: int = CPUS_PER_NODE
+
+    @property
+    def memory_bytes(self) -> float:
+        """2 GB of local memory per CPU -> 1 TB per 512-CPU node."""
+        return self.ncpus * 2.0 * 1024**3
+
+    def brick_of(self, cpu_index: int) -> int:
+        """Which 128-CPU double cabinet a CPU belongs to."""
+        if not 0 <= cpu_index < self.ncpus:
+            raise ValueError(f"cpu index {cpu_index} out of range for {self.name}")
+        return cpu_index // CPUS_PER_BRICK
+
+
+@dataclass(frozen=True)
+class Columbia:
+    """The full 20-node, 10240-CPU Columbia supercluster."""
+
+    nodes: tuple[AltixNode, ...] = field(default_factory=tuple)
+
+    @staticmethod
+    def build() -> "Columbia":
+        """Construct the machine as installed in 2005."""
+        nodes = []
+        for i in range(1, 21):
+            bx2 = i >= 13
+            cpu = CPU_ITANIUM2_1600 if bx2 else CPU_ITANIUM2_1500
+            nodes.append(AltixNode(name=f"c{i}", cpu=cpu, bx2=bx2))
+        return Columbia(nodes=tuple(nodes))
+
+    def __getitem__(self, name: str) -> AltixNode:
+        for node in self.nodes:
+            if node.name == name:
+                return node
+        raise KeyError(name)
+
+    @property
+    def total_cpus(self) -> int:
+        return sum(n.ncpus for n in self.nodes)
+
+    def vortex(self) -> tuple[AltixNode, ...]:
+        """The c17-c20 BX2 sub-cluster used for all paper experiments."""
+        return tuple(self[f"c{i}"] for i in range(17, 21))
+
+    def numalink_reach(self) -> int:
+        """Maximum CPUs addressable over NUMAlink (4 boxes = 2048)."""
+        return NUMALINK_MAX_NODES * CPUS_PER_NODE
+
+
+def vortex_subcluster() -> Columbia:
+    """Just the four BX2 boxes (c17-c20) — 2048 CPUs at 1.6 GHz."""
+    full = Columbia.build()
+    return Columbia(nodes=full.vortex())

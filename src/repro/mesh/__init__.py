@@ -1,0 +1,6 @@
+"""Mesh substrates: ``unstructured`` (NSU3D side) and ``cartesian``
+(Cart3D side)."""
+
+from . import cartesian, unstructured
+
+__all__ = ["cartesian", "unstructured"]

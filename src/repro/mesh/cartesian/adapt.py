@@ -1,0 +1,101 @@
+"""Geometry-adaptive Cartesian mesh generation (paper section IV/V).
+
+Cart3D's mesher "automatically produces a computational mesh to support
+the CFD runs": starting from a coarse uniform mesh it refines every cell
+the body surface passes near, level by level, keeping 2:1 grading, and
+finally orders the result along the space-filling curve.  On Columbia's
+Itanium2 CPUs it produced 3-5 million cells per minute; our pure-Python
+mesher is far slower, but exercises the same pipeline — including the
+automatic mesh *response* to control-surface deflection (fig. 8): a new
+deflection simply re-runs adaptation against the re-positioned solid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .cutcell import CutCellMesh, build_cutcell_mesh
+from .geometry import ImplicitSolid
+from .octree import CartesianMesh
+
+
+@dataclass(frozen=True)
+class AdaptReport:
+    """Statistics of one adaptation run (the paper quotes cell counts and
+    levels of subdivision, e.g. '4.7M cells with 14 levels')."""
+
+    ncells: int
+    nlevels: int
+    cells_per_level: dict
+    cut_cells: int
+
+
+def adapt_to_geometry(
+    solid: ImplicitSolid,
+    dim: int = 3,
+    base_level: int = 3,
+    max_level: int = 6,
+    band: float = 1.2,
+    curve: str = "hilbert",
+    lo=None,
+    hi=None,
+) -> tuple[CartesianMesh, AdaptReport]:
+    """Generate an adapted, 2:1-graded, SFC-ordered mesh around ``solid``.
+
+    A cell refines while its center lies within ``band`` half-diagonals
+    of the body surface and it is coarser than ``max_level``.
+    """
+    if base_level > max_level:
+        raise ValueError("base_level must not exceed max_level")
+    mesh = CartesianMesh.uniform(dim, base_level, lo=lo, hi=hi)
+    for _ in range(max_level - base_level):
+        centers = mesh.centers()
+        if dim == 2:
+            pts = np.column_stack([centers, np.full(len(centers), 0.5)])
+        else:
+            pts = centers
+        phi = np.abs(solid.sdf(pts))
+        half_diag = 0.5 * np.linalg.norm(mesh.cell_size(), axis=1)
+        mark = (phi < band * half_diag) & (mesh.level < max_level)
+        if not mark.any():
+            break
+        mesh = mesh.refine(mark).balance_2to1()
+    mesh = mesh.reorder(mesh.sfc_order(curve))
+
+    centers = mesh.centers()
+    if dim == 2:
+        pts = np.column_stack([centers, np.full(len(centers), 0.5)])
+    else:
+        pts = centers
+    phi = solid.sdf(pts)
+    half_diag = 0.5 * np.linalg.norm(mesh.cell_size(), axis=1)
+    near = int((np.abs(phi) < half_diag).sum())
+    levels, counts = np.unique(mesh.level, return_counts=True)
+    report = AdaptReport(
+        ncells=mesh.ncells,
+        nlevels=int(mesh.level.max() - mesh.level.min()) + 1,
+        cells_per_level={int(l): int(c) for l, c in zip(levels, counts)},
+        cut_cells=near,
+    )
+    return mesh, report
+
+
+def mesh_for_configuration(
+    solid: ImplicitSolid,
+    dim: int = 3,
+    base_level: int = 3,
+    max_level: int = 6,
+    curve: str = "hilbert",
+) -> tuple[CutCellMesh, AdaptReport]:
+    """Full meshing pipeline: adapt, classify, build flow faces.
+
+    This is what the parameter-study machinery calls once per geometry
+    instance (the cost the config-space hierarchy amortizes over all
+    wind-space runs, section IV).
+    """
+    mesh, report = adapt_to_geometry(
+        solid, dim=dim, base_level=base_level, max_level=max_level, curve=curve
+    )
+    return build_cutcell_mesh(mesh, solid), report

@@ -1,0 +1,151 @@
+"""Single-pass SFC mesh coarsening (paper section V, figure 11).
+
+"Tracing along the SFC, cells that collapse into the same coarse cell
+('siblings') are collected whenever they are all the same size, and the
+corresponding coarse cell is inserted into a new mesh structure.  This
+process builds the coarse mesh cell-by-cell.  An additional benefit of
+this single-pass construction algorithm is that the coarse mesh is
+automatically generated with its cells already ordered along the SFC."
+
+Because the SFC is hierarchical, the (up to) ``2**dim`` leaves of a
+parent are always *consecutive* on the curve, so detecting complete
+sibling families is a run-length scan over packed parent keys — exactly
+one pass.  Incomplete families (or families whose coarsening would break
+2:1 grading against an already-finer neighbor) survive unchanged.
+
+The paper reports coarsening ratios "in excess of 7" on typical 3-D
+examples; tests verify we match that on adapted meshes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from .octree import CartesianMesh, _pack
+
+
+def sfc_coarsen(
+    mesh: CartesianMesh, respect_grading: bool = True
+) -> tuple[CartesianMesh, np.ndarray]:
+    """One multigrid coarsening of an SFC-ordered mesh.
+
+    Returns ``(coarse_mesh, parent_of)`` where ``parent_of[f]`` is the
+    coarse-cell index of fine cell ``f``.  The input must be SFC-ordered
+    (``mesh.reorder(mesh.sfc_order())``); the output is too.
+    """
+    n = mesh.ncells
+    if n == 0:
+        return mesh, np.empty(0, dtype=np.int64)
+    level, ijk = mesh.level, mesh.ijk
+    family = 1 << mesh.dim
+
+    parent_key = _pack(np.maximum(level - 1, 0), ijk >> 1)
+    parent_key = np.where(level > 0, parent_key, -1 - np.arange(n))  # roots unique
+
+    # run-length scan over consecutive equal parent keys
+    breaks = np.flatnonzero(np.diff(parent_key) != 0)
+    starts = np.concatenate([[0], breaks + 1])
+    ends = np.concatenate([breaks + 1, [n]])
+    lengths = ends - starts
+
+    collapse = (lengths == family) & (level[starts] > 0)
+
+    if respect_grading and collapse.any():
+        collapse = _filter_grading(mesh, starts, ends, collapse)
+
+    parent_of = np.empty(n, dtype=np.int64)
+    coarse_level = []
+    coarse_ijk = []
+    cid = 0
+    for s, e, c in zip(starts, ends, collapse):
+        if c:
+            parent_of[s:e] = cid
+            coarse_level.append(level[s] - 1)
+            coarse_ijk.append(ijk[s] >> 1)
+            cid += 1
+        else:
+            for f in range(s, e):
+                parent_of[f] = cid
+                coarse_level.append(level[f])
+                coarse_ijk.append(ijk[f])
+                cid += 1
+    coarse = replace(
+        mesh,
+        level=np.array(coarse_level, dtype=np.int64),
+        ijk=np.array(coarse_ijk, dtype=np.int64).reshape(cid, mesh.dim),
+    )
+    return coarse, parent_of
+
+
+def _filter_grading(mesh, starts, ends, collapse):
+    """Reject collapses that would leave a >2:1 face-neighbor jump.
+
+    A family at level L collapses to L-1.  In a 2:1-graded fine mesh its
+    face neighbors are at level L-1, L or L+1; only L+1 neighbors can
+    break grading afterwards (they end at least two levels finer than the
+    new L-1 cell unless they collapse too, which we do not assume).  A
+    fine neighbor being at L+1 is detectable as: no leaf at the
+    same-level position and no leaf at its parent position — the region
+    beyond the face must then be finer.
+    """
+    level, ijk = mesh.level, mesh.ijk
+    leaves = set(_pack(level, ijk).tolist())
+
+    def is_finer_region(lvl: int, coords: np.ndarray) -> bool:
+        n_at = 1 << lvl
+        if (coords < 0).any() or (coords >= n_at).any():
+            return False  # domain boundary, no constraint
+        if int(_pack(np.array([lvl]), coords[None, :])[0]) in leaves:
+            return False
+        if lvl > 0 and int(
+            _pack(np.array([lvl - 1]), (coords >> 1)[None, :])[0]
+        ) in leaves:
+            return False
+        return True
+
+    keep = collapse.copy()
+    for c in np.flatnonzero(collapse):
+        lvl = int(level[starts[c]])
+        blocked = False
+        for f in range(starts[c], ends[c]):
+            for axis in range(mesh.dim):
+                for sign in (-1, 1):
+                    nbr = ijk[f].copy()
+                    nbr[axis] += sign
+                    if is_finer_region(lvl, nbr):
+                        blocked = True
+                        break
+                if blocked:
+                    break
+            if blocked:
+                break
+        if blocked:
+            keep[c] = False
+    return keep
+
+
+def coarsening_ratio(fine: CartesianMesh, coarse: CartesianMesh) -> float:
+    """Fine/coarse cell-count ratio (paper: 'in excess of 7' in 3-D)."""
+    if coarse.ncells == 0:
+        raise ValueError("empty coarse mesh")
+    return fine.ncells / coarse.ncells
+
+
+def multigrid_hierarchy(
+    mesh: CartesianMesh, nlevels: int, curve: str = "hilbert"
+) -> tuple[list, list]:
+    """Repeated SFC coarsening: returns ([meshes fine->coarse],
+    [parent_of maps]), stopping early if coarsening stalls."""
+    if nlevels < 1:
+        raise ValueError("nlevels must be >= 1")
+    meshes = [mesh]
+    maps = []
+    for _ in range(nlevels - 1):
+        coarse, parent_of = sfc_coarsen(meshes[-1])
+        if coarse.ncells >= meshes[-1].ncells:
+            break
+        meshes.append(coarse)
+        maps.append(parent_of)
+    return meshes, maps

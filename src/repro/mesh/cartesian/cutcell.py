@@ -1,0 +1,222 @@
+"""Embedded-boundary cut-cell classification.
+
+Cart3D intersects the component triangulation with the Cartesian mesh to
+produce exact cut cells.  We classify cells against the implicit solids
+instead: a cell is *solid* (removed from the flow domain), *cut*
+(intersected by the boundary; kept with a volume fraction), or *fluid*.
+
+Substitution note (recorded in DESIGN.md): volume fractions come from
+corner/subsample point-in-solid tests rather than exact polyhedron
+clipping, and the wall where the body crosses the mesh is represented by
+the axis-aligned faces against removed solid cells plus the cut cells'
+volume deficit ("stairstep + volume fraction").  This preserves what the
+paper's experiments exercise — cut-cell detection driving refinement,
+the 2.1x cut-cell partition weighting, and wall boundary fluxes — while
+avoiding a computational-geometry kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .geometry import ImplicitSolid
+from .octree import CartesianMesh, FaceSet
+
+FLUID, CUT, SOLID = 0, 1, 2
+
+
+@dataclass(frozen=True)
+class CellClassification:
+    """Per-cell class and open (fluid) volume fraction."""
+
+    kind: np.ndarray  # FLUID / CUT / SOLID per cell
+    volume_fraction: np.ndarray  # 1 for fluid, 0 for solid, (0,1) for cut
+
+    @property
+    def is_fluid(self) -> np.ndarray:
+        return self.kind == FLUID
+
+    @property
+    def is_cut(self) -> np.ndarray:
+        return self.kind == CUT
+
+    @property
+    def is_solid(self) -> np.ndarray:
+        return self.kind == SOLID
+
+    def counts(self) -> dict:
+        return {
+            "fluid": int(self.is_fluid.sum()),
+            "cut": int(self.is_cut.sum()),
+            "solid": int(self.is_solid.sum()),
+        }
+
+
+def classify_cells(
+    mesh: CartesianMesh, solid: ImplicitSolid, nsample: int = 2
+) -> CellClassification:
+    """Classify every cell against ``solid``.
+
+    Cells whose center is farther from the surface than half their
+    diagonal are decided immediately from the sign; the rest are sampled
+    on an ``nsample``-per-axis sub-grid to estimate the volume fraction.
+    """
+    if nsample < 2:
+        raise ValueError("nsample must be >= 2")
+    centers = mesh.centers()
+    h = mesh.cell_size()
+    half_diag = 0.5 * np.linalg.norm(h, axis=1)
+    if mesh.dim == 2:
+        pts = np.column_stack([centers, np.full(len(centers), 0.5)])
+    else:
+        pts = centers
+    phi = solid.sdf(pts)
+
+    kind = np.full(mesh.ncells, CUT, dtype=np.int8)
+    frac = np.full(mesh.ncells, 0.5)
+    kind[phi > half_diag] = FLUID
+    frac[phi > half_diag] = 1.0
+    kind[phi < -half_diag] = SOLID
+    frac[phi < -half_diag] = 0.0
+
+    near = np.flatnonzero(kind == CUT)
+    if len(near):
+        offs = (np.arange(nsample) + 0.5) / nsample - 0.5
+        grids = np.meshgrid(*([offs] * mesh.dim), indexing="ij")
+        rel = np.column_stack([g.ravel() for g in grids])  # (S, dim)
+        sub = centers[near, None, :] + rel[None, :, :] * h[near, None, :]
+        if mesh.dim == 2:
+            sub3 = np.concatenate(
+                [sub, np.full(sub.shape[:2] + (1,), 0.5)], axis=2
+            )
+        else:
+            sub3 = sub
+        inside = solid.sdf(sub3.reshape(-1, 3)).reshape(len(near), -1) < 0.0
+        open_frac = 1.0 - inside.mean(axis=1)
+        frac[near] = open_frac
+        kind[near] = np.where(
+            open_frac >= 1.0, FLUID, np.where(open_frac <= 0.0, SOLID, CUT)
+        )
+        frac[near] = np.clip(open_frac, 0.0, 1.0)
+    return CellClassification(kind=kind, volume_fraction=frac)
+
+
+@dataclass(frozen=True)
+class CutCellMesh:
+    """A flow-domain view of a classified Cartesian mesh.
+
+    ``mesh`` retains all cells; solid cells are excluded from the flow by
+    ``flow_cells`` (indices of fluid + cut cells).  ``faces`` are the
+    full-mesh faces split into flow-flow interior faces and wall faces
+    (flow cell against solid cell), with domain-boundary (farfield)
+    faces passed through.
+    """
+
+    mesh: CartesianMesh
+    classification: CellClassification
+    flow_cells: np.ndarray
+    interior: FaceSet
+    wall_cell: np.ndarray
+    wall_axis: np.ndarray
+    wall_sign: np.ndarray
+    wall_area: np.ndarray
+
+    @property
+    def nflow(self) -> int:
+        return len(self.flow_cells)
+
+    def flow_volumes(self) -> np.ndarray:
+        """Open volumes of the flow cells (cut cells scaled by their
+        fraction, floored to stay invertible)."""
+        v = self.mesh.volumes()[self.flow_cells]
+        f = self.classification.volume_fraction[self.flow_cells]
+        return v * np.maximum(f, 0.05)
+
+    def is_cut_flow(self) -> np.ndarray:
+        """Cut flags over flow cells (for the 2.1x partition weights)."""
+        return self.classification.is_cut[self.flow_cells]
+
+
+def aggregate_classification(
+    fine: CellClassification,
+    fine_volumes: np.ndarray,
+    parent_of: np.ndarray,
+    ncoarse: int,
+) -> CellClassification:
+    """Coarse-level classification from fine aggregation.
+
+    Used when building multigrid hierarchies: deriving the coarse class
+    from its children (volume-weighted open fraction; solid iff all
+    children solid) keeps fine and coarse flow domains *nested*, which
+    re-classifying coarse centers against the geometry would not.
+    """
+    vol = np.bincount(parent_of, weights=fine_volumes, minlength=ncoarse)
+    open_vol = np.bincount(
+        parent_of,
+        weights=fine_volumes * fine.volume_fraction,
+        minlength=ncoarse,
+    )
+    frac = open_vol / np.maximum(vol, 1e-300)
+    kind = np.full(ncoarse, CUT, dtype=np.int8)
+    kind[frac <= 0.0] = SOLID
+    kind[frac >= 1.0 - 1e-12] = FLUID
+    return CellClassification(kind=kind, volume_fraction=np.clip(frac, 0, 1))
+
+
+def build_cutcell_mesh(
+    mesh: CartesianMesh,
+    solid: ImplicitSolid,
+    nsample: int = 2,
+    classification: CellClassification | None = None,
+) -> CutCellMesh:
+    """Classify, then split faces into interior / wall / farfield.
+
+    Pass ``classification`` to reuse a precomputed (e.g. aggregated
+    coarse-level) classification instead of sampling the geometry.
+    """
+    cls = classification
+    if cls is None:
+        cls = classify_cells(mesh, solid, nsample=nsample)
+    faces = mesh.build_faces()
+    solid_mask = cls.is_solid
+
+    fl = solid_mask[faces.left]
+    fr = solid_mask[faces.right]
+    both_flow = ~fl & ~fr
+    interior = FaceSet(
+        left=faces.left[both_flow],
+        right=faces.right[both_flow],
+        axis=faces.axis[both_flow],
+        area=faces.area[both_flow],
+        # farfield faces: domain boundary faces owned by flow cells
+        bcell=faces.bcell[~solid_mask[faces.bcell]],
+        baxis=faces.baxis[~solid_mask[faces.bcell]],
+        bsign=faces.bsign[~solid_mask[faces.bcell]],
+        barea=faces.barea[~solid_mask[faces.bcell]],
+    )
+    # wall faces: flow cell looking at a solid cell
+    left_wall = ~fl & fr
+    right_wall = fl & ~fr
+    wall_cell = np.concatenate([faces.left[left_wall], faces.right[right_wall]])
+    wall_axis = np.concatenate([faces.axis[left_wall], faces.axis[right_wall]])
+    wall_sign = np.concatenate(
+        [
+            np.ones(left_wall.sum(), dtype=np.int64),
+            -np.ones(right_wall.sum(), dtype=np.int64),
+        ]
+    )
+    wall_area = np.concatenate([faces.area[left_wall], faces.area[right_wall]])
+
+    flow_cells = np.flatnonzero(~solid_mask)
+    return CutCellMesh(
+        mesh=mesh,
+        classification=cls,
+        flow_cells=flow_cells,
+        interior=interior,
+        wall_cell=wall_cell,
+        wall_axis=wall_axis,
+        wall_sign=wall_sign,
+        wall_area=wall_area,
+    )

@@ -1,0 +1,512 @@
+"""Component-based geometry for embedded-boundary Cartesian meshing.
+
+Cart3D's geometry "comes into the system as a set of watertight solids,
+either directly from the optimizer or from a CAD system", automatically
+triangulated and positioned for the desired control-surface deflections
+(references [13], [16]).  We have no CAD kernel, so components are
+**implicit solids** (signed distance functions, negative inside) with
+analytic triangulations — the closest substitute that exercises the same
+code paths: component assembly, deflection re-positioning, cut-cell
+classification and mesh adaptation.
+
+The module ships the paper's two study geometries in miniature:
+
+* :func:`wing_body` — the DPW-style transport (fuselage + wing, optional
+  nacelle, deflectable aileron/elevator/rudder) used by NSU3D and by the
+  parameter-study examples;
+* :func:`shuttle_stack` — the full SSLV assembly of figure 9 (orbiter,
+  external tank, twin solid rocket boosters, attach hardware, engine
+  nozzles, deflectable elevons).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+class ImplicitSolid:
+    """Base class: a closed solid given by a signed distance bound.
+
+    ``sdf(points)`` returns negative values inside the solid.  Values
+    need not be exact Euclidean distances, but must be conservative
+    (correct sign, magnitude a lower bound on true distance) so cell
+    classification can use them for early outs.
+    """
+
+    def sdf(self, pts: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def bounding_box(self) -> tuple[np.ndarray, np.ndarray]:
+        raise NotImplementedError
+
+    def triangulate(self, resolution: int = 16):
+        """(vertices, triangles) approximating the surface."""
+        raise NotImplementedError
+
+    def contains(self, pts: np.ndarray) -> np.ndarray:
+        return self.sdf(pts) < 0.0
+
+
+@dataclass
+class Sphere(ImplicitSolid):
+    center: np.ndarray
+    radius: float
+
+    def __post_init__(self):
+        self.center = np.asarray(self.center, dtype=float)
+        if self.radius <= 0:
+            raise ValueError("radius must be positive")
+
+    def sdf(self, pts):
+        return np.linalg.norm(np.asarray(pts) - self.center, axis=-1) - self.radius
+
+    def bounding_box(self):
+        return self.center - self.radius, self.center + self.radius
+
+    def triangulate(self, resolution: int = 16):
+        nu, nv = 2 * resolution, resolution
+        u = np.linspace(0, 2 * np.pi, nu, endpoint=False)
+        v = np.linspace(0, np.pi, nv + 1)
+        uu, vv = np.meshgrid(u, v, indexing="ij")
+        verts = self.center + self.radius * np.stack(
+            [np.cos(uu) * np.sin(vv), np.sin(uu) * np.sin(vv), np.cos(vv)], axis=-1
+        ).reshape(-1, 3)
+        tris = []
+        for i in range(nu):
+            for j in range(nv):
+                a = i * (nv + 1) + j
+                b = ((i + 1) % nu) * (nv + 1) + j
+                tris.append([a, b, a + 1])
+                tris.append([b, b + 1, a + 1])
+        return verts, np.array(tris, dtype=np.int64)
+
+
+@dataclass
+class Box(ImplicitSolid):
+    lo: np.ndarray
+    hi: np.ndarray
+
+    def __post_init__(self):
+        self.lo = np.asarray(self.lo, dtype=float)
+        self.hi = np.asarray(self.hi, dtype=float)
+        if (self.hi <= self.lo).any():
+            raise ValueError("hi must exceed lo")
+
+    def sdf(self, pts):
+        pts = np.asarray(pts)
+        center = (self.lo + self.hi) / 2
+        half = (self.hi - self.lo) / 2
+        q = np.abs(pts - center) - half
+        outside = np.linalg.norm(np.maximum(q, 0.0), axis=-1)
+        inside = np.minimum(np.max(q, axis=-1), 0.0)
+        return outside + inside
+
+    def bounding_box(self):
+        return self.lo.copy(), self.hi.copy()
+
+    def triangulate(self, resolution: int = 16):
+        lo, hi = self.lo, self.hi
+        corners = np.array(
+            [
+                [lo[0], lo[1], lo[2]], [hi[0], lo[1], lo[2]],
+                [hi[0], hi[1], lo[2]], [lo[0], hi[1], lo[2]],
+                [lo[0], lo[1], hi[2]], [hi[0], lo[1], hi[2]],
+                [hi[0], hi[1], hi[2]], [lo[0], hi[1], hi[2]],
+            ]
+        )
+        quads = [
+            (0, 3, 2, 1), (4, 5, 6, 7), (0, 1, 5, 4),
+            (2, 3, 7, 6), (1, 2, 6, 5), (3, 0, 4, 7),
+        ]
+        tris = []
+        for a, b, c, d in quads:
+            tris.append([a, b, c])
+            tris.append([a, c, d])
+        return corners, np.array(tris, dtype=np.int64)
+
+
+@dataclass
+class Cylinder(ImplicitSolid):
+    """Capped cylinder from ``p0`` to ``p1``."""
+
+    p0: np.ndarray
+    p1: np.ndarray
+    radius: float
+
+    def __post_init__(self):
+        self.p0 = np.asarray(self.p0, dtype=float)
+        self.p1 = np.asarray(self.p1, dtype=float)
+        if self.radius <= 0:
+            raise ValueError("radius must be positive")
+        axis = self.p1 - self.p0
+        self._len = float(np.linalg.norm(axis))
+        if self._len == 0:
+            raise ValueError("degenerate cylinder")
+        self._axis = axis / self._len
+
+    def sdf(self, pts):
+        pts = np.asarray(pts)
+        rel = pts - self.p0
+        t = rel @ self._axis
+        radial = np.linalg.norm(rel - np.outer(t, self._axis), axis=-1)
+        dr = radial - self.radius
+        dt = np.maximum(-t, t - self._len)
+        outside = np.sqrt(np.maximum(dr, 0) ** 2 + np.maximum(dt, 0) ** 2)
+        inside = np.minimum(np.maximum(dr, dt), 0.0)
+        return outside + inside
+
+    def bounding_box(self):
+        lo = np.minimum(self.p0, self.p1) - self.radius
+        hi = np.maximum(self.p0, self.p1) + self.radius
+        return lo, hi
+
+    def triangulate(self, resolution: int = 16):
+        n = 2 * resolution
+        theta = np.linspace(0, 2 * np.pi, n, endpoint=False)
+        # orthonormal frame around the axis
+        a = self._axis
+        ref = np.array([1.0, 0, 0]) if abs(a[0]) < 0.9 else np.array([0, 1.0, 0])
+        u = np.cross(a, ref)
+        u /= np.linalg.norm(u)
+        v = np.cross(a, u)
+        ring = self.radius * (
+            np.outer(np.cos(theta), u) + np.outer(np.sin(theta), v)
+        )
+        bottom = self.p0 + ring
+        top = self.p1 + ring
+        verts = np.vstack([bottom, top, self.p0[None, :], self.p1[None, :]])
+        tris = []
+        for i in range(n):
+            j = (i + 1) % n
+            tris.append([i, j, n + i])
+            tris.append([j, n + j, n + i])
+            tris.append([2 * n, j, i])  # bottom cap
+            tris.append([2 * n + 1, n + i, n + j])  # top cap
+        return verts, np.array(tris, dtype=np.int64)
+
+
+@dataclass
+class Cone(ImplicitSolid):
+    """Solid cone from ``apex`` to a circular base."""
+
+    apex: np.ndarray
+    base_center: np.ndarray
+    base_radius: float
+
+    def __post_init__(self):
+        self.apex = np.asarray(self.apex, dtype=float)
+        self.base_center = np.asarray(self.base_center, dtype=float)
+        if self.base_radius <= 0:
+            raise ValueError("base_radius must be positive")
+        axis = self.base_center - self.apex
+        self._len = float(np.linalg.norm(axis))
+        if self._len == 0:
+            raise ValueError("degenerate cone")
+        self._axis = axis / self._len
+
+    def sdf(self, pts):
+        pts = np.asarray(pts)
+        rel = pts - self.apex
+        t = rel @ self._axis
+        radial = np.linalg.norm(rel - np.outer(t, self._axis), axis=-1)
+        frac = np.clip(t / self._len, 0.0, None)
+        local_r = self.base_radius * frac
+        dr = radial - local_r
+        dt = np.maximum(-t, t - self._len)
+        # not an exact cone distance, but sign-correct and conservative
+        scale = 1.0 / math.sqrt(1.0 + (self.base_radius / self._len) ** 2)
+        outside = np.sqrt(np.maximum(dr * scale, 0) ** 2 + np.maximum(dt, 0) ** 2)
+        inside = np.minimum(np.maximum(dr * scale, dt), 0.0)
+        return outside + inside
+
+    def bounding_box(self):
+        lo = np.minimum(self.apex, self.base_center) - self.base_radius
+        hi = np.maximum(self.apex, self.base_center) + self.base_radius
+        return lo, hi
+
+    def triangulate(self, resolution: int = 16):
+        n = 2 * resolution
+        theta = np.linspace(0, 2 * np.pi, n, endpoint=False)
+        a = self._axis
+        ref = np.array([1.0, 0, 0]) if abs(a[0]) < 0.9 else np.array([0, 1.0, 0])
+        u = np.cross(a, ref)
+        u /= np.linalg.norm(u)
+        v = np.cross(a, u)
+        ring = self.base_center + self.base_radius * (
+            np.outer(np.cos(theta), u) + np.outer(np.sin(theta), v)
+        )
+        verts = np.vstack([ring, self.apex[None, :], self.base_center[None, :]])
+        tris = []
+        for i in range(n):
+            j = (i + 1) % n
+            tris.append([n, i, j])  # lateral
+            tris.append([n + 1, j, i])  # base cap
+        return verts, np.array(tris, dtype=np.int64)
+
+
+@dataclass
+class Union(ImplicitSolid):
+    parts: tuple
+
+    def __post_init__(self):
+        self.parts = tuple(self.parts)
+        if not self.parts:
+            raise ValueError("empty union")
+
+    def sdf(self, pts):
+        return np.min([p.sdf(pts) for p in self.parts], axis=0)
+
+    def bounding_box(self):
+        boxes = [p.bounding_box() for p in self.parts]
+        lo = np.min([b[0] for b in boxes], axis=0)
+        hi = np.max([b[1] for b in boxes], axis=0)
+        return lo, hi
+
+    def triangulate(self, resolution: int = 16):
+        verts, tris = [], []
+        offset = 0
+        for p in self.parts:
+            v, t = p.triangulate(resolution)
+            verts.append(v)
+            tris.append(t + offset)
+            offset += len(v)
+        return np.vstack(verts), np.vstack(tris)
+
+
+def rotation_matrix(axis: np.ndarray, angle_rad: float) -> np.ndarray:
+    """Rodrigues rotation about a (unit) axis."""
+    axis = np.asarray(axis, dtype=float)
+    n = np.linalg.norm(axis)
+    if n == 0:
+        raise ValueError("zero rotation axis")
+    x, y, z = axis / n
+    c, s = math.cos(angle_rad), math.sin(angle_rad)
+    cc = 1 - c
+    return np.array(
+        [
+            [c + x * x * cc, x * y * cc - z * s, x * z * cc + y * s],
+            [y * x * cc + z * s, c + y * y * cc, y * z * cc - x * s],
+            [z * x * cc - y * s, z * y * cc + x * s, c + z * z * cc],
+        ]
+    )
+
+
+@dataclass
+class Rotated(ImplicitSolid):
+    """A solid rotated by ``angle_rad`` about an axis through ``origin`` —
+    the mechanism for control-surface deflection (paper fig. 8)."""
+
+    solid: ImplicitSolid
+    axis: np.ndarray
+    angle_rad: float
+    origin: np.ndarray
+
+    def __post_init__(self):
+        self.axis = np.asarray(self.axis, dtype=float)
+        self.origin = np.asarray(self.origin, dtype=float)
+        self._rot = rotation_matrix(self.axis, self.angle_rad)
+        self._inv = self._rot.T
+
+    def sdf(self, pts):
+        pts = np.asarray(pts)
+        local = (pts - self.origin) @ self._inv.T + self.origin
+        return self.solid.sdf(local)
+
+    def bounding_box(self):
+        lo, hi = self.solid.bounding_box()
+        corners = np.array(
+            [[x, y, z] for x in (lo[0], hi[0]) for y in (lo[1], hi[1])
+             for z in (lo[2], hi[2])]
+        )
+        world = (corners - self.origin) @ self._rot.T + self.origin
+        return world.min(axis=0), world.max(axis=0)
+
+    def triangulate(self, resolution: int = 16):
+        verts, tris = self.solid.triangulate(resolution)
+        return (verts - self.origin) @ self._rot.T + self.origin, tris
+
+
+@dataclass
+class Component:
+    """A named piece of an assembly, optionally deflectable about a hinge."""
+
+    name: str
+    solid: ImplicitSolid
+    hinge_origin: np.ndarray | None = None
+    hinge_axis: np.ndarray | None = None
+
+    def deflected(self, angle_deg: float) -> ImplicitSolid:
+        if angle_deg == 0.0 or self.hinge_origin is None:
+            return self.solid
+        return Rotated(
+            self.solid,
+            axis=self.hinge_axis,
+            angle_rad=math.radians(angle_deg),
+            origin=self.hinge_origin,
+        )
+
+
+@dataclass
+class Assembly(ImplicitSolid):
+    """A configuration: components plus current deflection settings."""
+
+    components: tuple
+    deflections: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        self.components = tuple(self.components)
+        names = [c.name for c in self.components]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate component names")
+        unknown = set(self.deflections) - set(names)
+        if unknown:
+            raise ValueError(f"deflections for unknown components: {unknown}")
+
+    def _solids(self):
+        return [
+            c.deflected(self.deflections.get(c.name, 0.0)) for c in self.components
+        ]
+
+    def sdf(self, pts):
+        return np.min([s.sdf(pts) for s in self._solids()], axis=0)
+
+    def bounding_box(self):
+        boxes = [s.bounding_box() for s in self._solids()]
+        return (
+            np.min([b[0] for b in boxes], axis=0),
+            np.max([b[1] for b in boxes], axis=0),
+        )
+
+    def triangulate(self, resolution: int = 16):
+        return Union(tuple(self._solids())).triangulate(resolution)
+
+    def with_deflections(self, **deflections_deg) -> "Assembly":
+        """New instance of the configuration with other control settings
+        — what the parameter-study machinery iterates over."""
+        merged = dict(self.deflections)
+        merged.update(deflections_deg)
+        return Assembly(components=self.components, deflections=merged)
+
+
+# ---------------------------------------------------------------------------
+# the paper's two study geometries, in miniature
+# ---------------------------------------------------------------------------
+
+
+def wing_body(
+    aileron_deg: float = 0.0,
+    elevator_deg: float = 0.0,
+    rudder_deg: float = 0.0,
+    nacelle: bool = False,
+) -> Assembly:
+    """A DPW-like transport: fuselage, wing, tail, movable surfaces.
+
+    Domain convention: x streamwise, y spanwise, z up; fuselage along x
+    in roughly [0.2, 0.8] of a unit domain centered at y = z = 0.5.
+    """
+    fuselage = Cylinder(p0=[0.22, 0.5, 0.5], p1=[0.75, 0.5, 0.5], radius=0.035)
+    nose = Cone(apex=[0.16, 0.5, 0.5], base_center=[0.22, 0.5, 0.5],
+                base_radius=0.035)
+    wing = Box(lo=[0.40, 0.20, 0.485], hi=[0.52, 0.80, 0.505])
+    hstab = Box(lo=[0.68, 0.38, 0.49], hi=[0.74, 0.62, 0.50])
+    vstab = Box(lo=[0.68, 0.495, 0.50], hi=[0.74, 0.505, 0.60])
+    aileron = Component(
+        "aileron",
+        Box(lo=[0.52, 0.62, 0.487], hi=[0.55, 0.78, 0.503]),
+        hinge_origin=np.array([0.52, 0.70, 0.495]),
+        hinge_axis=np.array([0.0, 1.0, 0.0]),
+    )
+    elevator = Component(
+        "elevator",
+        Box(lo=[0.74, 0.40, 0.492], hi=[0.77, 0.60, 0.498]),
+        hinge_origin=np.array([0.74, 0.50, 0.495]),
+        hinge_axis=np.array([0.0, 1.0, 0.0]),
+    )
+    rudder = Component(
+        "rudder",
+        Box(lo=[0.74, 0.497, 0.50], hi=[0.77, 0.503, 0.58]),
+        hinge_origin=np.array([0.74, 0.50, 0.54]),
+        hinge_axis=np.array([0.0, 0.0, 1.0]),
+    )
+    comps = [
+        Component("fuselage", fuselage),
+        Component("nose", nose),
+        Component("wing", wing),
+        Component("hstab", hstab),
+        Component("vstab", vstab),
+        aileron,
+        elevator,
+        rudder,
+    ]
+    if nacelle:
+        comps.append(
+            Component(
+                "nacelle",
+                Cylinder(p0=[0.42, 0.35, 0.46], p1=[0.50, 0.35, 0.46], radius=0.015),
+            )
+        )
+    return Assembly(
+        components=tuple(comps),
+        deflections={
+            "aileron": aileron_deg,
+            "elevator": elevator_deg,
+            "rudder": rudder_deg,
+        },
+    )
+
+
+def shuttle_stack(elevon_deg: float = 0.0) -> Assembly:
+    """The SSLV of figure 9: orbiter, external tank, twin SRBs, attach
+    hardware, engine nozzles, deflectable elevons (fig. 8)."""
+    # external tank along x, centered in the unit box
+    et = Cylinder(p0=[0.30, 0.5, 0.50], p1=[0.72, 0.5, 0.50], radius=0.045)
+    et_nose = Cone(apex=[0.22, 0.5, 0.50], base_center=[0.30, 0.5, 0.50],
+                   base_radius=0.045)
+    # orbiter above the tank
+    orb = Cylinder(p0=[0.40, 0.5, 0.585], p1=[0.72, 0.5, 0.585], radius=0.028)
+    orb_nose = Cone(apex=[0.34, 0.5, 0.585], base_center=[0.40, 0.5, 0.585],
+                    base_radius=0.028)
+    orb_wing = Box(lo=[0.58, 0.38, 0.575], hi=[0.72, 0.62, 0.592])
+    # twin solid rocket boosters either side of the tank
+    srb_l = Cylinder(p0=[0.34, 0.41, 0.50], p1=[0.70, 0.41, 0.50], radius=0.020)
+    srb_l_nose = Cone(apex=[0.28, 0.41, 0.50], base_center=[0.34, 0.41, 0.50],
+                      base_radius=0.020)
+    srb_r = Cylinder(p0=[0.34, 0.59, 0.50], p1=[0.70, 0.59, 0.50], radius=0.020)
+    srb_r_nose = Cone(apex=[0.28, 0.59, 0.50], base_center=[0.34, 0.59, 0.50],
+                      base_radius=0.020)
+    # fore and aft attach hardware
+    attach_fore = Box(lo=[0.40, 0.48, 0.545], hi=[0.43, 0.52, 0.558])
+    attach_aft = Box(lo=[0.64, 0.48, 0.545], hi=[0.68, 0.52, 0.558])
+    # engine nozzles: 3 SSMEs + 2 SRB nozzles ("five engines")
+    nozzles = [
+        Cone(apex=[0.72, 0.5, 0.585], base_center=[0.76, 0.5, 0.585],
+             base_radius=0.012),
+        Cone(apex=[0.72, 0.488, 0.573], base_center=[0.755, 0.485, 0.570],
+             base_radius=0.009),
+        Cone(apex=[0.72, 0.512, 0.573], base_center=[0.755, 0.515, 0.570],
+             base_radius=0.009),
+        Cone(apex=[0.70, 0.41, 0.50], base_center=[0.745, 0.41, 0.50],
+             base_radius=0.014),
+        Cone(apex=[0.70, 0.59, 0.50], base_center=[0.745, 0.59, 0.50],
+             base_radius=0.014),
+    ]
+    elevon = Component(
+        "elevon",
+        Box(lo=[0.72, 0.40, 0.577], hi=[0.75, 0.60, 0.590]),
+        hinge_origin=np.array([0.72, 0.5, 0.5835]),
+        hinge_axis=np.array([0.0, 1.0, 0.0]),
+    )
+    comps = [
+        Component("external_tank", Union((et, et_nose))),
+        Component("orbiter", Union((orb, orb_nose, orb_wing))),
+        Component("srb_left", Union((srb_l, srb_l_nose))),
+        Component("srb_right", Union((srb_r, srb_r_nose))),
+        Component("attach_fore", attach_fore),
+        Component("attach_aft", attach_aft),
+        Component("engines", Union(tuple(nozzles))),
+        elevon,
+    ]
+    return Assembly(components=tuple(comps), deflections={"elevon": elevon_deg})

@@ -1,0 +1,332 @@
+"""Synthetic aerodynamic meshes with boundary-layer stretching.
+
+The paper's NSU3D benchmarks run on DPW wing-body meshes whose defining
+features are (a) *highly anisotropic* prismatic layers hugging the
+surface — normal spacings of ~1e-6 chords against chordwise spacings
+orders of magnitude larger (paper section III) — and (b) isotropic
+elements in the outer field.  We have no CAD/mesh generator, so this
+module produces structured-curvilinear *wing/bump* meshes with exactly
+those properties and converts them to unstructured hybrid form:
+
+* :func:`bump_channel` — a channel whose lower wall carries a smooth
+  Gaussian bump (a classic transonic test), geometric wall-normal
+  stretching from a specified first-cell height;
+* :func:`wing_mesh` — the same with a spanwise-tapered bump, a wing-like
+  proxy for the DPW configuration;
+* :func:`to_prism_tet` — splits the hexes into wall prisms + outer
+  tetrahedra (NSU3D's standard layout), conforming by the
+  minimum-global-vertex diagonal rule;
+* :func:`with_pyramid_band` — replaces a band of hexes by pyramids
+  (coning from cell centroids), covering the transition-element family.
+
+Everything is tagged with boundary patches (wall / farfield / symmetry)
+so the dual-mesh builder and solver need no extra information.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .hybridmesh import BoundaryPatch, HybridMesh
+
+
+def geometric_distribution(n: int, ratio: float, first: float) -> np.ndarray:
+    """``n+1`` monotone coordinates on [0, 1]: first interval ``first``
+    (fraction of total), each following one ``ratio`` times larger, then
+    normalized."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if ratio <= 0 or first <= 0:
+        raise ValueError("ratio and first must be positive")
+    steps = first * ratio ** np.arange(n)
+    x = np.concatenate([[0.0], np.cumsum(steps)])
+    return x / x[-1]
+
+
+def _structured_points(ni, nj, nk, lengths, wall_spacing, ratio, bump):
+    lx, ly, lz = lengths
+    x1 = np.linspace(0.0, lx, ni + 1)
+    y1 = np.linspace(0.0, ly, nj + 1)
+    eta = geometric_distribution(nk, ratio, wall_spacing / lz)
+    x, y = np.meshgrid(x1, y1, indexing="ij")
+    zlow = bump(x, y)  # lower-wall height
+    pts = np.empty((ni + 1, nj + 1, nk + 1, 3))
+    pts[..., 0] = x[:, :, None]
+    pts[..., 1] = y[:, :, None]
+    pts[..., 2] = zlow[:, :, None] + eta[None, None, :] * (lz - zlow[:, :, None])
+    return pts
+
+
+def _vid(ni, nj, nk):
+    def f(i, j, k):
+        return (i * (nj + 1) + j) * (nk + 1) + k
+
+    return f
+
+
+def _hexes_and_patches(pts4, ni, nj, nk):
+    vid = _vid(ni, nj, nk)
+    i, j, k = np.meshgrid(
+        np.arange(ni), np.arange(nj), np.arange(nk), indexing="ij"
+    )
+    i, j, k = i.ravel(), j.ravel(), k.ravel()
+    conn = np.column_stack(
+        [
+            vid(i, j, k), vid(i + 1, j, k), vid(i + 1, j + 1, k), vid(i, j + 1, k),
+            vid(i, j, k + 1), vid(i + 1, j, k + 1), vid(i + 1, j + 1, k + 1),
+            vid(i, j + 1, k + 1),
+        ]
+    )
+
+    def quad_patch(name, kind, rows):
+        faces = np.array(rows, dtype=np.int64).reshape(-1, 4)
+        return BoundaryPatch(name=name, kind=kind, faces=faces)
+
+    ii, jj = np.meshgrid(np.arange(ni), np.arange(nj), indexing="ij")
+    ii, jj = ii.ravel(), jj.ravel()
+    wall = np.column_stack(
+        [vid(ii, jj, 0), vid(ii, jj + 1, 0), vid(ii + 1, jj + 1, 0), vid(ii + 1, jj, 0)]
+    )
+    top = np.column_stack(
+        [vid(ii, jj, nk), vid(ii + 1, jj, nk), vid(ii + 1, jj + 1, nk),
+         vid(ii, jj + 1, nk)]
+    )
+    jj2, kk2 = np.meshgrid(np.arange(nj), np.arange(nk), indexing="ij")
+    jj2, kk2 = jj2.ravel(), kk2.ravel()
+    inlet = np.column_stack(
+        [vid(0, jj2, kk2), vid(0, jj2, kk2 + 1), vid(0, jj2 + 1, kk2 + 1),
+         vid(0, jj2 + 1, kk2)]
+    )
+    outlet = np.column_stack(
+        [vid(ni, jj2, kk2), vid(ni, jj2 + 1, kk2), vid(ni, jj2 + 1, kk2 + 1),
+         vid(ni, jj2, kk2 + 1)]
+    )
+    ii3, kk3 = np.meshgrid(np.arange(ni), np.arange(nk), indexing="ij")
+    ii3, kk3 = ii3.ravel(), kk3.ravel()
+    side0 = np.column_stack(
+        [vid(ii3, 0, kk3), vid(ii3 + 1, 0, kk3), vid(ii3 + 1, 0, kk3 + 1),
+         vid(ii3, 0, kk3 + 1)]
+    )
+    side1 = np.column_stack(
+        [vid(ii3, nj, kk3), vid(ii3, nj, kk3 + 1), vid(ii3 + 1, nj, kk3 + 1),
+         vid(ii3 + 1, nj, kk3)]
+    )
+    patches = [
+        quad_patch("wall", "wall", wall),
+        quad_patch("top", "farfield", top),
+        quad_patch("inlet", "farfield", inlet),
+        quad_patch("outlet", "farfield", outlet),
+        quad_patch("side0", "symmetry", side0),
+        quad_patch("side1", "symmetry", side1),
+    ]
+    return conn, patches
+
+
+def bump_channel(
+    ni: int = 24,
+    nj: int = 8,
+    nk: int = 16,
+    lengths=(3.0, 1.0, 1.0),
+    wall_spacing: float = 1.0e-3,
+    ratio: float = 1.3,
+    bump_height: float = 0.08,
+    bump_center: float | None = None,
+    bump_width: float = 0.35,
+) -> HybridMesh:
+    """Channel with a Gaussian lower-wall bump and wall-normal stretching."""
+    lx = lengths[0]
+    xc = lx / 2 if bump_center is None else bump_center
+
+    def bump(x, y):
+        return bump_height * np.exp(-(((x - xc) / bump_width) ** 2))
+
+    pts = _structured_points(ni, nj, nk, lengths, wall_spacing, ratio, bump)
+    conn, patches = _hexes_and_patches(pts, ni, nj, nk)
+    return HybridMesh(
+        points=pts.reshape(-1, 3), elements={"hex": conn}, patches=patches
+    )
+
+
+def wing_mesh(
+    ni: int = 28,
+    nj: int = 12,
+    nk: int = 16,
+    lengths=(3.0, 2.0, 1.2),
+    wall_spacing: float = 5.0e-4,
+    ratio: float = 1.3,
+    bump_height: float = 0.10,
+    span_fraction: float = 0.55,
+) -> HybridMesh:
+    """A wing-like spanwise-tapered bump — the DPW stand-in geometry."""
+    lx, ly, _ = lengths
+    xc, w = lx * 0.45, lx * 0.12
+
+    def bump(x, y):
+        taper = np.clip(1.0 - y / (span_fraction * ly), 0.0, 1.0)
+        return bump_height * taper * np.exp(-(((x - xc) / w) ** 2))
+
+    pts = _structured_points(ni, nj, nk, lengths, wall_spacing, ratio, bump)
+    conn, patches = _hexes_and_patches(pts, ni, nj, nk)
+    return HybridMesh(
+        points=pts.reshape(-1, 3), elements={"hex": conn}, patches=patches
+    )
+
+
+# ---------------------------------------------------------------------------
+# hybrid conversion
+# ---------------------------------------------------------------------------
+
+
+def _hex_to_prisms(conn: np.ndarray) -> np.ndarray:
+    """Split hexes into two prisms by a vertical cut through the
+    bottom/top-face diagonals chosen by the minimum-global-vertex rule.
+
+    The hex lateral quads stay whole, so the split is always conforming.
+    """
+    # bottom quad (0,1,2,3); diagonal through its min vertex
+    bmin = np.argmin(conn[:, :4], axis=1)
+    diag02 = (bmin == 0) | (bmin == 2)
+    prisms = np.empty((2 * len(conn), 6), dtype=np.int64)
+    c = conn
+    # diagonal 0-2 (and 4-6 above): prisms (0,1,2 / 4,5,6) & (0,2,3 / 4,6,7)
+    a = np.flatnonzero(diag02)
+    prisms[2 * a] = np.column_stack([c[a, 0], c[a, 1], c[a, 2],
+                                     c[a, 4], c[a, 5], c[a, 6]])
+    prisms[2 * a + 1] = np.column_stack([c[a, 0], c[a, 2], c[a, 3],
+                                         c[a, 4], c[a, 6], c[a, 7]])
+    # diagonal 1-3 (and 5-7): prisms (0,1,3 / 4,5,7) & (1,2,3 / 5,6,7)
+    b = np.flatnonzero(~diag02)
+    prisms[2 * b] = np.column_stack([c[b, 0], c[b, 1], c[b, 3],
+                                     c[b, 4], c[b, 5], c[b, 7]])
+    prisms[2 * b + 1] = np.column_stack([c[b, 1], c[b, 2], c[b, 3],
+                                         c[b, 5], c[b, 6], c[b, 7]])
+    return prisms
+
+
+_PRISM_QUADS = ((0, 1, 4, 3), (1, 2, 5, 4), (2, 0, 3, 5))
+
+
+def _prisms_to_tets(prisms: np.ndarray, points: np.ndarray) -> np.ndarray:
+    """Split prisms into three tets each, diagonals by the
+    minimum-global-vertex rule (never cyclic: the prism's smallest vertex
+    lies on two quads, so two diagonals share it)."""
+    tets = np.empty((3 * len(prisms), 4), dtype=np.int64)
+    out = 0
+    for p in prisms:
+        v_local = int(np.argmin(p))
+        tris = []
+        # triangle faces
+        for tri in ((0, 2, 1), (3, 4, 5)):
+            tris.append(tuple(p[list(tri)]))
+        # quad faces, split through each quad's min-global vertex
+        for quad in _PRISM_QUADS:
+            g = p[list(quad)]
+            m = int(np.argmin(g))
+            tris.append((g[m], g[(m + 1) % 4], g[(m + 2) % 4]))
+            tris.append((g[m], g[(m + 2) % 4], g[(m + 3) % 4]))
+        v = p[v_local]
+        for tri in tris:
+            if v in tri:
+                continue
+            tet = np.array([v, *tri], dtype=np.int64)
+            x = points[tet]
+            vol = np.dot(np.cross(x[1] - x[0], x[2] - x[0]), x[3] - x[0])
+            if vol < 0:
+                tet[2], tet[3] = tet[3], tet[2]
+            tets[out] = tet
+            out += 1
+    if out != len(tets):
+        raise RuntimeError("prism tetrahedralization produced a bad count")
+    return tets
+
+
+def _hex_to_pyramids(conn: np.ndarray, points: np.ndarray):
+    """Cone each hex into six pyramids from its centroid.
+
+    All six quad faces stay whole, so the band is conforming against
+    neighboring hexes (and prism lateral quads).
+    """
+    centroids = points[conn].mean(axis=1)
+    apex = len(points) + np.arange(len(conn))
+    from .elements import HEX
+
+    pyr = []
+    for face in HEX.faces:
+        base = conn[:, list(face)][:, ::-1]  # inward-facing base
+        pyr.append(np.column_stack([base, apex]))
+    pyramids = np.vstack(pyr)
+    return pyramids, centroids
+
+
+def to_prism_tet(mesh: HybridMesh, prism_layers: int, nk: int) -> HybridMesh:
+    """Convert an all-hex structured mesh (nk cells in the wall-normal
+    direction) to wall prisms (lowest ``prism_layers`` cell layers) plus
+    tetrahedra above — NSU3D's standard hybrid layout."""
+    if "hex" not in mesh.elements or len(mesh.elements) != 1:
+        raise ValueError("to_prism_tet expects an all-hex mesh")
+    if not 0 <= prism_layers <= nk:
+        raise ValueError("bad prism_layers")
+    conn = mesh.elements["hex"]
+    # structured generator emits hexes with k fastest
+    k_of = np.arange(len(conn)) % nk
+    low = conn[k_of < prism_layers]
+    high = conn[k_of >= prism_layers]
+    prisms = _hex_to_prisms(low) if len(low) else np.empty((0, 6), dtype=np.int64)
+    tets = (
+        _prisms_to_tets(_hex_to_prisms(high), mesh.points)
+        if len(high)
+        else np.empty((0, 4), dtype=np.int64)
+    )
+    return HybridMesh(
+        points=mesh.points,
+        elements={"prism": prisms, "tet": tets},
+        patches=_retriangulate_patches(mesh.patches),
+    )
+
+
+def with_pyramid_band(
+    mesh: HybridMesh, band_lo: int, band_hi: int, nk: int
+) -> HybridMesh:
+    """Replace hex layers ``band_lo <= k < band_hi`` by coned pyramids."""
+    if "hex" not in mesh.elements or len(mesh.elements) != 1:
+        raise ValueError("with_pyramid_band expects an all-hex mesh")
+    if not 0 <= band_lo < band_hi <= nk:
+        raise ValueError("bad band")
+    conn = mesh.elements["hex"]
+    k_of = np.arange(len(conn)) % nk
+    in_band = (k_of >= band_lo) & (k_of < band_hi)
+    pyramids, centroids = _hex_to_pyramids(conn[in_band], mesh.points)
+    return HybridMesh(
+        points=np.vstack([mesh.points, centroids]),
+        elements={"hex": conn[~in_band], "pyramid": pyramids},
+        patches=mesh.patches,
+    )
+
+
+def _retriangulate_patches(patches: list) -> list:
+    """Quad patch faces become min-vertex-rule triangles so they keep
+    matching the element faces after tet conversion.
+
+    Prism-region quads (lateral walls) remain whole on the elements, and
+    the dual builder matches patches by vertex *sets*, so quads adjacent
+    to prisms are left intact while quads adjacent to tets are split the
+    same way the tets split them.  Emitting both the quad and its two
+    triangles is safe: unmatched patch rows are simply never referenced.
+    """
+    out = []
+    for p in patches:
+        rows = [p.faces]
+        quads = p.faces[(p.faces >= 0).all(axis=1)]
+        if len(quads):
+            m = np.argmin(quads, axis=1)
+            idx = np.arange(len(quads))
+            g = quads[idx[:, None], (m[:, None] + np.arange(4)) % 4]
+            tri1 = np.column_stack([g[:, 0], g[:, 1], g[:, 2],
+                                    np.full(len(g), -1)])
+            tri2 = np.column_stack([g[:, 0], g[:, 2], g[:, 3],
+                                    np.full(len(g), -1)])
+            rows += [tri1, tri2]
+        out.append(
+            BoundaryPatch(name=p.name, kind=p.kind, faces=np.vstack(rows))
+        )
+    return out

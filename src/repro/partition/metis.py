@@ -1,0 +1,324 @@
+"""A from-scratch multilevel k-way graph partitioner.
+
+The paper partitions every multigrid level's adjacency graph with METIS
+(Karypis & Kumar, reference [10]).  METIS itself is a compiled library we
+do not ship, so this module implements the same *multilevel* scheme the
+METIS paper describes:
+
+1. **Coarsening** — repeated heavy-edge matching contracts the graph
+   until it is small;
+2. **Initial partitioning** — recursive bisection on the coarsest graph,
+   each bisection by greedy graph growing followed by
+   Fiduccia-Mattheyses-style boundary refinement;
+3. **Uncoarsening** — the partition is projected back level by level,
+   with greedy k-way boundary refinement at every step.
+
+Vertex weights (needed for line-contracted graphs, fig. 6b, and for
+Cart3D's 2.1x cut-cell weighting) and edge weights are honored
+throughout.  Quality is measured by :mod:`repro.partition.quality`; tests
+assert parity with spatial partitioning baselines on structured grids.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from .graph import Graph
+
+#: Stop coarsening when the graph is this small (per target part).
+_COARSEST_VERTICES_PER_PART = 15
+#: Abandon coarsening if matching shrinks the graph by less than this.
+_MIN_SHRINK = 0.9
+
+
+def partition_graph(
+    graph: Graph,
+    nparts: int,
+    seed: int = 0,
+    imbalance: float = 0.05,
+    refine_passes: int = 4,
+) -> np.ndarray:
+    """Partition ``graph`` into ``nparts`` balanced parts, minimizing cut.
+
+    Returns an integer part id per vertex.  ``imbalance`` bounds
+    ``max part weight / ideal part weight - 1``.
+    """
+    if nparts < 1:
+        raise ValueError("nparts must be >= 1")
+    if graph.nvert == 0:
+        return np.empty(0, dtype=np.int64)
+    if nparts == 1:
+        return np.zeros(graph.nvert, dtype=np.int64)
+    if nparts > graph.nvert:
+        raise ValueError(f"cannot cut {graph.nvert} vertices into {nparts} parts")
+    rng = np.random.default_rng(seed)
+
+    # 1. coarsen
+    levels: list[tuple[Graph, np.ndarray]] = []  # (finer graph, cluster map)
+    g = graph
+    target = max(_COARSEST_VERTICES_PER_PART * nparts, 40)
+    while g.nvert > target:
+        cluster, ncluster = heavy_edge_matching(g, rng)
+        if ncluster > g.nvert * _MIN_SHRINK:
+            break
+        levels.append((g, cluster))
+        g = g.contract(cluster, ncluster)
+
+    # 2. initial partition of the coarsest graph
+    part = recursive_bisection(g, nparts, rng)
+    part = kway_refine(g, part, nparts, imbalance, refine_passes)
+
+    # 3. uncoarsen and refine
+    for finer, cluster in reversed(levels):
+        part = part[cluster]
+        part = kway_refine(finer, part, nparts, imbalance, refine_passes)
+    return part
+
+
+# ---------------------------------------------------------------------------
+# coarsening
+# ---------------------------------------------------------------------------
+
+
+def heavy_edge_matching(graph: Graph, rng) -> tuple[np.ndarray, int]:
+    """Match each vertex with its heaviest unmatched neighbor.
+
+    Returns (cluster id per vertex, number of clusters); matched pairs
+    share a cluster, unmatched vertices are singletons.
+    """
+    n = graph.nvert
+    match = np.full(n, -1, dtype=np.int64)
+    order = rng.permutation(n)
+    xadj, adjncy, adjwgt = graph.xadj, graph.adjncy, graph.adjwgt
+    for v in order:
+        if match[v] != -1:
+            continue
+        nbrs = adjncy[xadj[v] : xadj[v + 1]]
+        wgts = adjwgt[xadj[v] : xadj[v + 1]]
+        best, best_w = -1, -1.0
+        for u, w in zip(nbrs, wgts):
+            if match[u] == -1 and u != v and w > best_w:
+                best, best_w = u, w
+        if best >= 0:
+            match[v] = best
+            match[best] = v
+        else:
+            match[v] = v
+    cluster = np.full(n, -1, dtype=np.int64)
+    next_id = 0
+    for v in range(n):
+        if cluster[v] == -1:
+            cluster[v] = next_id
+            if match[v] != v:
+                cluster[match[v]] = next_id
+            next_id += 1
+    return cluster, next_id
+
+
+# ---------------------------------------------------------------------------
+# initial partitioning: recursive bisection by greedy growing + FM
+# ---------------------------------------------------------------------------
+
+
+def recursive_bisection(graph: Graph, nparts: int, rng) -> np.ndarray:
+    """Recursive bisection into ``nparts`` (any k, weighted splits)."""
+    part = np.zeros(graph.nvert, dtype=np.int64)
+
+    def recurse(sub: Graph, ids: np.ndarray, k: int, base: int):
+        if k == 1:
+            part[ids] = base
+            return
+        k_left = k // 2
+        frac = k_left / k
+        side = grow_bisection(sub, frac, rng)
+        side = fm_refine_bisection(sub, side, frac)
+        left_mask = ~side
+        left, left_ids = sub.subgraph(left_mask)
+        right, right_ids = sub.subgraph(side)
+        recurse(left, ids[left_ids], k_left, base)
+        recurse(right, ids[right_ids], k - k_left, base + k_left)
+
+    recurse(graph, np.arange(graph.nvert), nparts, 0)
+    return part
+
+
+def grow_bisection(graph: Graph, frac: float, rng) -> np.ndarray:
+    """Greedy graph growing: grow side-0 to ``frac`` of total weight.
+
+    Returns a boolean array, True = side 1.  Handles disconnected graphs
+    by reseeding.
+    """
+    n = graph.nvert
+    total = graph.vwgt.sum()
+    want = frac * total
+    in_zero = np.zeros(n, dtype=bool)
+    grown = 0.0
+    heap: list = []
+    visited = np.zeros(n, dtype=bool)
+    xadj, adjncy, adjwgt = graph.xadj, graph.adjncy, graph.adjwgt
+
+    def push_neighbors(v):
+        for u, w in zip(adjncy[xadj[v] : xadj[v + 1]], adjwgt[xadj[v] : xadj[v + 1]]):
+            if not visited[u]:
+                heapq.heappush(heap, (-w, int(u)))
+
+    remaining = list(rng.permutation(n))
+    while grown < want:
+        if not heap:
+            while remaining and visited[remaining[-1]]:
+                remaining.pop()
+            if not remaining:
+                break
+            seed = remaining.pop()
+            visited[seed] = True
+            in_zero[seed] = True
+            grown += graph.vwgt[seed]
+            push_neighbors(seed)
+            continue
+        _, v = heapq.heappop(heap)
+        if visited[v]:
+            continue
+        visited[v] = True
+        in_zero[v] = True
+        grown += graph.vwgt[v]
+        push_neighbors(v)
+    return ~in_zero
+
+
+def fm_refine_bisection(
+    graph: Graph, side: np.ndarray, frac: float, passes: int = 4
+) -> np.ndarray:
+    """Greedy FM-style 2-way refinement of a bisection.
+
+    Each pass first *rebalances* — while either side exceeds its band it
+    moves the least-damaging boundary vertex off the heavy side, whatever
+    the gain — then makes cut-improving moves that stay inside the bands.
+    """
+    side = side.copy()
+    total = graph.vwgt.sum()
+    target = np.array([frac * total, (1 - frac) * total])
+    lo, hi = target * 0.9, target * 1.1
+    weights = np.array(
+        [graph.vwgt[~side].sum(), graph.vwgt[side].sum()], dtype=float
+    )
+    xadj, adjncy, adjwgt = graph.xadj, graph.adjncy, graph.adjwgt
+
+    def compute_gains():
+        ext = np.zeros(graph.nvert)
+        internal = np.zeros(graph.nvert)
+        src = np.repeat(np.arange(graph.nvert), np.diff(xadj))
+        same = side[src] == side[adjncy]
+        np.add.at(internal, src[same], adjwgt[same])
+        np.add.at(ext, src[~same], adjwgt[~same])
+        return ext - internal
+
+    def apply_move(v, gains):
+        s = int(side[v])
+        t = 1 - s
+        w = graph.vwgt[v]
+        side[v] = bool(t)
+        weights[s] -= w
+        weights[t] += w
+        for u, wgt in zip(
+            adjncy[xadj[v] : xadj[v + 1]], adjwgt[xadj[v] : xadj[v + 1]]
+        ):
+            if side[u] == t:
+                gains[u] -= 2 * wgt
+            else:
+                gains[u] += 2 * wgt
+        gains[v] = -gains[v]
+
+    for _ in range(passes):
+        gains = compute_gains()
+
+        # phase 1: rebalance, ignoring gain sign
+        guard = graph.nvert
+        while guard > 0 and (weights > hi).any():
+            guard -= 1
+            s = int(np.argmax(weights - hi))
+            candidates = np.flatnonzero(side == bool(s))
+            if len(candidates) <= 1:
+                break
+            v = candidates[np.argmax(gains[candidates])]
+            if weights[s] - graph.vwgt[v] < graph.vwgt[candidates].min() * 0.5:
+                break
+            apply_move(v, gains)
+
+        # phase 2: improving moves inside the bands
+        moved_any = False
+        order = np.argsort(-gains)
+        for v in order:
+            if gains[v] <= 0:
+                break
+            s = int(side[v])
+            t = 1 - s
+            w = graph.vwgt[v]
+            if weights[s] - w < lo[s] or weights[t] + w > hi[t]:
+                continue
+            apply_move(v, gains)
+            moved_any = True
+        if not moved_any and (weights <= hi).all():
+            break
+    return side
+
+
+# ---------------------------------------------------------------------------
+# k-way refinement
+# ---------------------------------------------------------------------------
+
+
+def kway_refine(
+    graph: Graph,
+    part: np.ndarray,
+    nparts: int,
+    imbalance: float,
+    passes: int,
+) -> np.ndarray:
+    """Greedy k-way boundary refinement under a balance constraint."""
+    part = part.astype(np.int64, copy=True)
+    total = graph.vwgt.sum()
+    max_weight = (1.0 + imbalance) * total / nparts
+    weights = np.bincount(part, weights=graph.vwgt, minlength=nparts)
+    xadj, adjncy, adjwgt = graph.xadj, graph.adjncy, graph.adjwgt
+
+    # an overweight partition may need many drain moves; scale the pass
+    # budget with how far out of balance the projection left us
+    if weights.max() > max_weight:
+        passes = max(passes, int(np.ceil(weights.max() / max_weight)) * 8)
+
+    for _ in range(passes):
+        src = np.repeat(np.arange(graph.nvert), np.diff(xadj))
+        boundary = np.unique(src[part[src] != part[adjncy]])
+        moved = 0
+        for v in boundary:
+            p = part[v]
+            nbrs = adjncy[xadj[v] : xadj[v + 1]]
+            wgts = adjwgt[xadj[v] : xadj[v + 1]]
+            conn: dict[int, float] = {}
+            for u, w in zip(nbrs, wgts):
+                q = part[u]
+                conn[q] = conn.get(q, 0.0) + w
+            internal = conn.get(p, 0.0)
+            best_q, best_gain = -1, 0.0
+            w_v = graph.vwgt[v]
+            for q, w in conn.items():
+                if q == p:
+                    continue
+                if weights[q] + w_v > max_weight:
+                    continue
+                gain = w - internal
+                # strictly positive gain, or zero-gain move that improves
+                # balance (drains an overweight part)
+                better_balance = weights[p] > max_weight and weights[q] + w_v <= max_weight
+                if gain > best_gain or (gain == best_gain == 0.0 and better_balance):
+                    best_q, best_gain = q, gain
+            if best_q >= 0 and (best_gain > 0 or weights[p] > max_weight):
+                part[v] = best_q
+                weights[p] -= w_v
+                weights[best_q] += w_v
+                moved += 1
+        if moved == 0:
+            break
+    return part

@@ -1,0 +1,164 @@
+"""Communication cost model for paper-scale virtual runs.
+
+Composes the fabric models of :mod:`repro.machine.interconnect` with the
+solver work models into per-cycle communication times:
+
+* **intra-level halo exchange** — ``neighbors`` messages per rank per
+  exchange, message size from the halo surface law; a fraction of the
+  neighbor links crosses boxes and rides the box-to-box fabric;
+* **inter-grid transfers** — restriction/prolongation between non-nested
+  partitions (paper: communication graph degree 19 vs 18, and "we
+  speculate that the performance of the inter-grid multigrid
+  communication operations may be related to" the Random-Ring
+  degradation) — charged as *irregular* traffic, which is what makes
+  InfiniBand multigrid collapse (figs. 16b-18) while single-level runs
+  barely tell the fabrics apart (figs. 16a, 19);
+* **hybrid master-thread exchange** — per paper fig. 7(b): thread-
+  parallel packing, serialized MPI on the master overlapped with the
+  intra-process OpenMP copies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..comm.hybrid import PACK_SECONDS_PER_BYTE, master_thread_time
+from ..machine.interconnect import (
+    OPENMP_COARSE_MODE_PENALTY,
+    SHARED_MEMORY,
+    FabricModel,
+    message_time,
+)
+from .workmodel import SolverWorkModel
+
+#: Fraction of a rank's neighbor links that cross box boundaries when the
+#: job spans more than one box (partitions are spatially local, so most
+#: links stay inside a box; calibration constant).
+CROSS_BOX_LINK_FRACTION = 0.25
+
+#: Communication-graph degree of the inter-grid transfers (paper: max 19).
+INTERGRID_NEIGHBORS = 19
+
+
+@dataclass(frozen=True)
+class CommScenario:
+    """Where the job runs: fabric, boxes, ranks, threads per rank."""
+
+    fabric: FabricModel
+    nboxes: int = 1
+    omp_threads: int = 1
+    nranks: int = 1
+    openmp_global_address: bool = False  # pure-OpenMP builds (fig. 20b)
+    spans_bricks: bool = False
+
+
+def halo_exchange_time(
+    units_per_partition: float,
+    work: SolverWorkModel,
+    scenario: CommScenario,
+    irregular: bool = False,
+    neighbors: int | None = None,
+) -> float:
+    """One halo exchange for one rank's partition."""
+    nbr = work.neighbors if neighbors is None else neighbors
+    halo = work.halo_units(units_per_partition)
+    msg_bytes = max(halo * work.halo_bytes_per_unit / nbr, 64.0)
+
+    if scenario.openmp_global_address:
+        # pure OpenMP: ghost values are copied through the global address
+        # space; beyond one 128-CPU cabinet the coarse-mode pointer
+        # penalty applies (fig. 20b's slope break)
+        t = nbr * (
+            SHARED_MEMORY.latency * 0.5
+            + msg_bytes / SHARED_MEMORY.bandwidth
+        )
+        if scenario.spans_bricks:
+            t *= OPENMP_COARSE_MODE_PENALTY
+        return t
+
+    cross = CROSS_BOX_LINK_FRACTION if scenario.nboxes > 1 else 0.0
+    t_local = message_time(
+        msg_bytes, same_box=True, fabric=scenario.fabric,
+        nboxes=scenario.nboxes, irregular=irregular,
+    )
+    t_cross = (
+        message_time(
+            msg_bytes, same_box=False, fabric=scenario.fabric,
+            nboxes=scenario.nboxes, irregular=irregular,
+        )
+        if cross > 0
+        else 0.0
+    )
+    if irregular and cross > 0:
+        # endpoint contention of Random-Ring-like patterns grows with
+        # the number of participating ranks (reference [4])
+        t_cross *= scenario.fabric.irregular_rank_factor(scenario.nranks)
+    per_rank = nbr * ((1 - cross) * t_local + cross * t_cross)
+    if scenario.nboxes > 1:
+        per_rank += scenario.fabric.sync_overhead
+
+    if scenario.omp_threads > 1:
+        # master-thread hybrid (fig. 7b): T partitions' halos aggregated
+        # into one buffer per remote process; MPI serialized on the
+        # master thread, overlapped with the intra-process OpenMP copies.
+        # While the master is in MPI the other T-1 threads idle — that
+        # thread-sequential phase is the fig. 15 efficiency cost.
+        t_threads = scenario.omp_threads
+        pack_bytes = 2.0 * halo * work.halo_bytes_per_unit * t_threads
+        omp_copy = (
+            halo * work.halo_bytes_per_unit * (t_threads - 1)
+            * PACK_SECONDS_PER_BYTE
+        )
+        return master_thread_time(
+            mpi_time=per_rank,
+            omp_copy_time=omp_copy,
+            pack_bytes=pack_bytes,
+            nthreads=t_threads,
+        )
+    return per_rank
+
+
+def intergrid_transfer_time(
+    coarse_units_per_partition: float,
+    work: SolverWorkModel,
+    scenario: CommScenario,
+) -> float:
+    """Restriction + prolongation between two levels, per rank.
+
+    Charged as irregular (Random-Ring-like) traffic with the paper's
+    degree-19 communication graph.
+    """
+    vol = work.intergrid_volume_factor
+    if scenario.openmp_global_address:
+        halo = work.halo_units(coarse_units_per_partition)
+        nbytes = vol * halo * work.halo_bytes_per_unit
+        t = 2 * (SHARED_MEMORY.latency + nbytes / SHARED_MEMORY.bandwidth)
+        if scenario.spans_bricks:
+            t *= OPENMP_COARSE_MODE_PENALTY
+        return t
+    # restriction + prolongation, each an irregular exchange whose
+    # volume corresponds to a halo INTERGRID_VOLUME_FACTOR times larger;
+    # only the non-local share of the transfers crosses processors
+    remote = 1.0 - work.intergrid_local_fraction
+    return remote * 2.0 * halo_exchange_time(
+        coarse_units_per_partition * vol,
+        work,
+        scenario,
+        irregular=True,
+        neighbors=INTERGRID_NEIGHBORS,
+    )
+
+
+def collective_time(nranks: int, scenario: CommScenario,
+                    nbytes: float = 64.0) -> float:
+    """One small allreduce (residual norm / time-step sync) per cycle."""
+    import numpy as np
+
+    steps = max(1, int(np.ceil(np.log2(max(nranks, 2)))))
+    worst = message_time(
+        nbytes,
+        same_box=scenario.nboxes == 1,
+        fabric=scenario.fabric,
+        nboxes=scenario.nboxes,
+    )
+    return steps * worst

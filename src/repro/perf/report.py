@@ -1,0 +1,86 @@
+"""Formatting helpers: print scaling series the way the paper plots them.
+
+Each figure-reproduction bench prints one table per figure with the same
+rows/series the paper reports (CPU counts, parallel speedups, TFLOP/s),
+plus the paper's value where the text quotes one, so EXPERIMENTS.md can
+record paper-vs-measured at a glance.
+"""
+
+from __future__ import annotations
+
+from .scaling import ScalingSeries
+
+
+def format_series_table(
+    series_list: list,
+    base_cpus: int | None = None,
+    show_tflops: bool = False,
+    title: str = "",
+) -> str:
+    """Render several :class:`ScalingSeries` as one aligned text table."""
+    if not series_list:
+        return ""
+    cpus = series_list[0].cpus
+    for s in series_list:
+        if s.cpus != cpus:
+            raise ValueError("series must share CPU counts")
+    lines = []
+    if title:
+        lines.append(title)
+    header = f"{'CPUs':>6} |"
+    for s in series_list:
+        header += f" {s.label:>18}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    speedups = [s.speedup(base_cpus) for s in series_list]
+    tflops = [s.tflops() for s in series_list]
+    for i, c in enumerate(cpus):
+        row = f"{c:>6} |"
+        for j, s in enumerate(series_list):
+            cell = f"S={speedups[j][i]:7.0f}"
+            if show_tflops:
+                cell += f" {tflops[j][i]:5.2f}TF"
+            row += f" {cell:>18}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def format_comparison(
+    name: str, paper_value, measured_value, unit: str = ""
+) -> str:
+    """One paper-vs-measured line for EXPERIMENTS.md-style records."""
+    if isinstance(paper_value, float):
+        paper_s = f"{paper_value:g}"
+    else:
+        paper_s = str(paper_value)
+    if isinstance(measured_value, float):
+        meas_s = f"{measured_value:g}"
+    else:
+        meas_s = str(measured_value)
+    ratio = ""
+    try:
+        r = float(measured_value) / float(paper_value)
+        ratio = f"  (x{r:.2f} of paper)"
+    except (TypeError, ValueError, ZeroDivisionError):
+        pass
+    return f"  {name:<48} paper: {paper_s:>10} {unit:<6} measured: {meas_s:>10} {unit}{ratio}"
+
+
+def convergence_table(histories: dict, every: int = 50) -> str:
+    """Residual histories (fig. 14a style) side by side.
+
+    ``histories`` maps label -> list of residuals.
+    """
+    labels = list(histories)
+    n = max(len(h) for h in histories.values())
+    lines = [
+        f"{'cycle':>6} |" + "".join(f" {l:>14}" for l in labels),
+    ]
+    lines.append("-" * len(lines[0]))
+    for i in range(0, n, every):
+        row = f"{i:>6} |"
+        for l in labels:
+            h = histories[l]
+            row += f" {h[i]:14.3e}" if i < len(h) else f" {'-':>14}"
+        lines.append(row)
+    return "\n".join(lines)

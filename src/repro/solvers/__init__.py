@@ -1,0 +1,6 @@
+"""Flow solvers: shared gas dynamics / fluxes / limiters, the NSU3D-style
+RANS solver (``nsu3d``) and the Cart3D-style Euler solver (``cart3d``)."""
+
+from . import cart3d, fluxes, gas, limiters
+
+__all__ = ["gas", "fluxes", "limiters", "cart3d", "nsu3d"]

@@ -1,0 +1,90 @@
+"""FAS multigrid cycles for the Cart3D-style solver.
+
+Cart3D uses "the same multigrid cycling strategies as NSU3D" (paper
+section V, fig. 4): V-cycles, and the preferred W-cycles that revisit
+coarse levels 2^(l-1) times per fine-grid visit.  Because the equations
+are nonlinear, the Full Approximation Scheme is used: each coarse level
+solves its own nonlinear problem with a forcing term
+
+    f_c = R_c(I q_f) - I (R_f(q_f) - f_f)
+
+so that at convergence the coarse correction vanishes.  Solution
+restriction is volume-weighted, residual restriction is a plain sum over
+children, prolongation is injection along the fine-to-coarse map —
+exactly the transfers the SFC hierarchy provides.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .rk import rk_smooth
+
+
+def fas_cycle(
+    levels: list,
+    transfers: list,
+    q: np.ndarray,
+    qinf: np.ndarray,
+    l: int = 0,
+    forcing: np.ndarray | None = None,
+    cycle: str = "W",
+    nu1: int = 1,
+    nu2: int = 1,
+    cfl: float = 2.0,
+    coarse_cfl: float = 1.5,
+    flux: str = "vanleer",
+    order2: bool = False,
+    grad_setups: list | None = None,
+) -> np.ndarray:
+    """One multigrid cycle starting at level ``l``; returns updated q."""
+    if cycle not in ("V", "W"):
+        raise ValueError("cycle must be 'V' or 'W'")
+    level = levels[l]
+    this_cfl = cfl if l == 0 else coarse_cfl
+    use_order2 = order2 and l == 0  # coarse levels run first order
+    gs = grad_setups[l] if (grad_setups and use_order2) else None
+
+    q = rk_smooth(
+        level, q, qinf, forcing=forcing, cfl=this_cfl, flux=flux,
+        order2=use_order2, grad_setup=gs, nsteps=nu1,
+    )
+
+    if l + 1 < len(levels):
+        from .residual import residual
+
+        t = transfers[l]
+        coarse = levels[l + 1]
+        q_c0 = t.restrict_solution(q, level.vol, coarse.vol)
+        r_f = residual(level, q, qinf, flux=flux, order2=use_order2,
+                       grad_setup=gs)
+        if forcing is not None:
+            r_f = r_f - forcing
+        f_c = residual(coarse, q_c0, qinf, flux=flux) - t.restrict_residual(r_f)
+
+        q_c = q_c0.copy()
+        visits = 2 if (cycle == "W" and l + 2 < len(levels)) else 1
+        for _ in range(visits):
+            q_c = fas_cycle(
+                levels, transfers, q_c, qinf, l=l + 1, forcing=f_c,
+                cycle=cycle, nu1=nu1, nu2=nu2, cfl=cfl,
+                coarse_cfl=coarse_cfl, flux=flux, order2=order2,
+                grad_setups=grad_setups,
+            )
+        dq = t.prolong(q_c - q_c0)
+        cand = q + dq
+        # guard: fall back to a damped correction if prolongation
+        # produced an unphysical state (strong startup transients)
+        from ..gas import check_physical
+
+        scale = 1.0
+        while not check_physical(cand) and scale > 1e-3:
+            scale *= 0.5
+            cand = q + scale * dq
+        if check_physical(cand):
+            q = cand
+
+    return rk_smooth(
+        level, q, qinf, forcing=forcing, cfl=this_cfl, flux=flux,
+        order2=use_order2, grad_setup=gs, nsteps=nu2,
+    )

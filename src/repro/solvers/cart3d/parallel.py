@@ -1,0 +1,189 @@
+"""Domain-decomposed Cart3D over SimMPI (paper section V).
+
+Cart3D partitions by cutting the space-filling curve into contiguous
+segments ("the mesh partitioner actually operates on-the-fly as the
+SFC-ordered mesh file is read"), with cut cells weighted 2.1x.  This
+driver does exactly that: the flow cells, already in SFC order, are split
+by :func:`repro.partition.sfcpart.sfc_partition`; cross-partition faces
+create ghost cells; residual evaluation accumulates to owners and the
+Runge-Kutta update runs on owned cells with ghost refresh per stage.
+
+The halo machinery is shared with the NSU3D driver — the face graph of
+the Cartesian mesh plays the role of the edge graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...comm.exchange import LocalHalo, build_halos
+from ...comm.simmpi import SimMPI
+from ...partition.sfcpart import cell_weights, sfc_partition
+from ..fluxes import rusanov_flux, wall_flux
+from ..gas import apply_positivity_floors
+from .levels import Cart3DLevel
+from .residual import FLUX_FUNCTIONS
+from .rk import RK_COEFFS
+
+
+@dataclass
+class LocalCartDomain:
+    """One rank's share of a Cart3D level."""
+
+    halo: LocalHalo
+    vol: np.ndarray  # (nlocal,)
+    face_left: np.ndarray  # local indices of the rank's assigned faces
+    face_right: np.ndarray
+    face_normal: np.ndarray
+    wall_cell: np.ndarray  # owned-only
+    wall_normal: np.ndarray
+    far_cell: np.ndarray  # owned-only
+    far_normal: np.ndarray
+    nowned: int
+
+    @property
+    def nlocal(self) -> int:
+        return len(self.vol)
+
+
+def partition_level(level: Cart3DLevel, nparts: int) -> tuple[list, np.ndarray]:
+    """SFC-segment decomposition of a flow level into local domains."""
+    weights = cell_weights(level.cut.is_cut_flow())
+    part = sfc_partition(weights, nparts)
+
+    edges = np.column_stack([level.face_left, level.face_right])
+    halos = build_halos(level.nflow, edges, part)
+    domains = []
+    for h in halos:
+        l2g = h.local_to_global()
+        g2l = np.full(level.nflow, -1, dtype=np.int64)
+        g2l[l2g] = np.arange(len(l2g))
+        owned_mask = np.zeros(level.nflow, dtype=bool)
+        owned_mask[h.owned_global] = True
+
+        wall_sel = owned_mask[level.wall_cell]
+        far_sel = owned_mask[level.far_cell]
+        domains.append(
+            LocalCartDomain(
+                halo=h,
+                vol=level.vol[l2g],
+                face_left=h.edges[:, 0],
+                face_right=h.edges[:, 1],
+                face_normal=level.face_normal[h.edge_gids],
+                wall_cell=g2l[level.wall_cell[wall_sel]],
+                wall_normal=level.wall_normal[wall_sel],
+                far_cell=g2l[level.far_cell[far_sel]],
+                far_normal=level.far_normal[far_sel],
+                nowned=h.nowned,
+            )
+        )
+    return domains, part
+
+
+def local_residual(comm, dom: LocalCartDomain, q: np.ndarray, qinf,
+                   flux: str = "vanleer") -> np.ndarray:
+    """Complete residual on owned cells (ghost rows zeroed)."""
+    flux_fn = FLUX_FUNCTIONS[flux]
+    r = np.zeros_like(q)
+    f = flux_fn(q[dom.face_left], q[dom.face_right], dom.face_normal)
+    np.add.at(r, dom.face_left, f)
+    np.add.at(r, dom.face_right, -f)
+    if len(dom.wall_cell):
+        np.add.at(r, dom.wall_cell, wall_flux(q[dom.wall_cell], dom.wall_normal))
+    if len(dom.far_cell):
+        qf = np.broadcast_to(qinf, (len(dom.far_cell), q.shape[1]))
+        np.add.at(
+            r, dom.far_cell, rusanov_flux(q[dom.far_cell], qf, dom.far_normal)
+        )
+    dom.halo.plan.exchange_add(comm, r)
+    r[dom.nowned:] = 0.0
+    return r
+
+
+def _local_time_step(comm, dom: LocalCartDomain, q, cfl):
+    from ..gas import GAMMA, pressure
+
+    p = pressure(q)
+    c = np.sqrt(GAMMA * p / q[:, 0])
+    u = q[:, 1:4] / q[:, 0:1]
+    acc = np.zeros((dom.nlocal, 1))
+
+    def term(cells, normals):
+        area = np.linalg.norm(normals, axis=1)
+        un = np.abs(np.einsum("nd,nd->n", u[cells], normals))
+        np.add.at(acc[:, 0], cells, un + c[cells] * area)
+
+    term(dom.face_left, dom.face_normal)
+    term(dom.face_right, dom.face_normal)
+    if len(dom.wall_cell):
+        term(dom.wall_cell, dom.wall_normal)
+    if len(dom.far_cell):
+        term(dom.far_cell, dom.far_normal)
+    dom.halo.plan.exchange_add(comm, acc, tag=21)
+    return cfl * dom.vol / np.maximum(acc[:, 0], 1e-300)
+
+
+def parallel_rk_smooth(
+    comm,
+    dom: LocalCartDomain,
+    q: np.ndarray,
+    qinf: np.ndarray,
+    cfl: float = 2.0,
+    flux: str = "vanleer",
+    nsteps: int = 1,
+) -> np.ndarray:
+    """Domain-decomposed 5-stage RK with ghost refresh per stage."""
+    dom.halo.plan.exchange_copy(comm, q, tag=22)
+    for _ in range(nsteps):
+        dt = _local_time_step(comm, dom, q, cfl)
+        q0 = q.copy()
+        for alpha in RK_COEFFS:
+            r = local_residual(comm, dom, q, qinf, flux=flux)
+            q = apply_positivity_floors(
+                q0 - alpha * (dt / dom.vol)[:, None] * r
+            )
+            dom.halo.plan.exchange_copy(comm, q, tag=23)
+    return q
+
+
+def parallel_residual_norm(comm, dom: LocalCartDomain, q, qinf,
+                           flux: str = "vanleer") -> float:
+    r = local_residual(comm, dom, q, qinf, flux=flux)
+    own = slice(0, dom.nowned)
+    local = np.array(
+        [float(np.sum((r[own, 0] / dom.vol[own]) ** 2)), float(dom.nowned)]
+    )
+    total = comm.allreduce(local)
+    return float(np.sqrt(total[0] / total[1]))
+
+
+class ParallelCart3D:
+    """Facade running the decomposed Euler solver on a SimMPI world."""
+
+    def __init__(self, level: Cart3DLevel, qinf: np.ndarray, nparts: int,
+                 flux: str = "vanleer"):
+        self.domains, self.part = partition_level(level, nparts)
+        self.level = level
+        self.qinf = qinf
+        self.flux = flux
+
+    def run(self, world: SimMPI, ncycles: int, cfl: float = 2.0):
+        """Returns (global q over flow cells, residual history)."""
+        qinf, domains, flux = self.qinf, self.domains, self.flux
+
+        def body(comm):
+            dom = domains[comm.rank]
+            q = np.tile(qinf, (dom.nlocal, 1))
+            history = []
+            for _ in range(ncycles):
+                q = parallel_rk_smooth(comm, dom, q, qinf, cfl=cfl, flux=flux)
+                history.append(parallel_residual_norm(comm, dom, q, qinf, flux))
+            return dom.halo.owned_global, q[: dom.nowned], history
+
+        results = world.run(body)
+        q_global = np.empty((self.level.nflow, len(qinf)))
+        for gids, q_owned, history in results:
+            q_global[gids] = q_owned
+        return q_global, results[0][2]

@@ -1,0 +1,68 @@
+"""NSU3D-style unstructured RANS solver (paper section III)."""
+
+from .agglomerate import agglomerate, build_hierarchy, coarsen_context
+from .context import FlowContext, context_from_dual
+from .distance import wall_distance
+from .gradients import green_gauss, vorticity_magnitude
+from .jacobians import (
+    assemble_diagonal,
+    edge_offdiagonals,
+    euler_jacobian,
+    local_time_step,
+)
+from .linesolve import (
+    batch_lines_by_length,
+    block_thomas,
+    line_implicit_update,
+    point_implicit_update,
+    smooth,
+)
+from .multigrid import fas_cycle, restrict_residual, restrict_solution
+from .residual import apply_wall_bc, mask_wall_rows, residual, residual_norm
+from .parallel import (
+    LocalDomain,
+    ParallelNSU3D,
+    parallel_residual,
+    parallel_residual_norm,
+    parallel_smooth,
+    partition_domain,
+)
+from .solver import NSU3DHistory, NSU3DSolver
+from .turbulence import eddy_viscosity, source_terms
+
+__all__ = [
+    "ParallelNSU3D",
+    "partition_domain",
+    "parallel_residual",
+    "parallel_smooth",
+    "parallel_residual_norm",
+    "LocalDomain",
+    "NSU3DSolver",
+    "NSU3DHistory",
+    "FlowContext",
+    "context_from_dual",
+    "wall_distance",
+    "green_gauss",
+    "vorticity_magnitude",
+    "residual",
+    "residual_norm",
+    "apply_wall_bc",
+    "mask_wall_rows",
+    "euler_jacobian",
+    "assemble_diagonal",
+    "edge_offdiagonals",
+    "local_time_step",
+    "smooth",
+    "point_implicit_update",
+    "line_implicit_update",
+    "block_thomas",
+    "batch_lines_by_length",
+    "agglomerate",
+    "coarsen_context",
+    "build_hierarchy",
+    "fas_cycle",
+    "restrict_solution",
+    "restrict_residual",
+    "eddy_viscosity",
+    "source_terms",
+]

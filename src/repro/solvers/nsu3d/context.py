@@ -1,0 +1,93 @@
+"""Per-level solver context for the NSU3D-style RANS solver.
+
+A :class:`FlowContext` packages everything the residual, Jacobian and
+smoother routines need about one grid level: the edge/dual geometry (or
+its agglomerated coarse equivalent), wall distances, boundary vertex
+groups by condition kind, the laminar viscosity, and (on the fine level)
+the implicit-line structures.
+
+The same context type serves the fine grid (built from a
+:class:`~repro.mesh.unstructured.dual.DualMesh`) and agglomerated coarse
+levels (built by :mod:`repro.solvers.nsu3d.agglomerate`), which is what
+lets one residual implementation run on every level of the multigrid
+hierarchy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ...mesh.unstructured.dual import DualMesh
+
+
+@dataclass
+class FlowContext:
+    """Geometry and physics of one solver level."""
+
+    points: np.ndarray  # (N, 3) vertex/agglomerate centroids
+    edges: np.ndarray  # (E, 2)
+    face_vectors: np.ndarray  # (E, 3), oriented edges[:,0] -> edges[:,1]
+    volumes: np.ndarray  # (N,)
+    dist: np.ndarray  # (N,) wall distance
+    mu_lam: float
+    # boundary vertex groups (aggregated outward normals)
+    wall_vert: np.ndarray = field(default_factory=lambda: np.empty(0, np.int64))
+    wall_normal: np.ndarray = field(default_factory=lambda: np.empty((0, 3)))
+    far_vert: np.ndarray = field(default_factory=lambda: np.empty(0, np.int64))
+    far_normal: np.ndarray = field(default_factory=lambda: np.empty((0, 3)))
+    sym_vert: np.ndarray = field(default_factory=lambda: np.empty(0, np.int64))
+    sym_normal: np.ndarray = field(default_factory=lambda: np.empty((0, 3)))
+    lines: list = field(default_factory=list)
+    dual: DualMesh | None = None  # fine level keeps its dual for gradients
+
+    @property
+    def npoints(self) -> int:
+        return len(self.volumes)
+
+    @property
+    def nedges(self) -> int:
+        return len(self.edges)
+
+    def edge_distances(self) -> np.ndarray:
+        d = self.points[self.edges[:, 1]] - self.points[self.edges[:, 0]]
+        return np.maximum(np.linalg.norm(d, axis=1), 1e-300)
+
+
+def context_from_dual(
+    dual: DualMesh,
+    mu_lam: float,
+    lines: list | None = None,
+    dist: np.ndarray | None = None,
+) -> FlowContext:
+    """Fine-level context from a median-dual mesh."""
+    groups: dict = {"wall": [], "farfield": [], "symmetry": []}
+    for kind in groups:
+        patch_ids = [
+            i for i, k in enumerate(dual.patch_kinds) if k == kind
+        ]
+        sel = np.isin(dual.bpatch, patch_ids)
+        groups[kind] = (dual.bvert[sel], dual.bnormal[sel])
+
+    if dist is None:
+        from .distance import wall_distance
+
+        dist = wall_distance(dual)
+
+    return FlowContext(
+        points=dual.points,
+        edges=dual.edges,
+        face_vectors=dual.face_vectors,
+        volumes=dual.volumes,
+        dist=dist,
+        mu_lam=mu_lam,
+        wall_vert=groups["wall"][0],
+        wall_normal=groups["wall"][1],
+        far_vert=groups["farfield"][0],
+        far_normal=groups["farfield"][1],
+        sym_vert=groups["symmetry"][0],
+        sym_normal=groups["symmetry"][1],
+        lines=list(lines) if lines else [],
+        dual=dual,
+    )

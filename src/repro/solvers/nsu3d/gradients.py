@@ -1,0 +1,47 @@
+"""Green-Gauss gradients on median-dual control volumes.
+
+Vertex gradients drive three things in the NSU3D-style discretization:
+second-order MUSCL reconstruction of the convective fluxes, the vorticity
+magnitude in the turbulence model's production term, and the viscous
+work terms.  The Green-Gauss formula over the dual CV is exact for
+linear fields on a closed dual (which :mod:`repro.mesh.unstructured.dual`
+guarantees to machine precision).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...mesh.unstructured.dual import DualMesh
+
+
+def green_gauss(dual: DualMesh, fields: np.ndarray) -> np.ndarray:
+    """Gradients of ``fields`` (N, k) -> (N, 3, k).
+
+    Interior dual faces use the edge-midpoint average; boundary faces use
+    the boundary vertex value itself (first-order closure).
+    """
+    fields = np.asarray(fields, dtype=np.float64)
+    if fields.ndim == 1:
+        fields = fields[:, None]
+    n, k = fields.shape
+    grad = np.zeros((n, 3, k))
+    a = dual.edges[:, 0]
+    b = dual.edges[:, 1]
+    mid = 0.5 * (fields[a] + fields[b])  # (E, k)
+    contrib = dual.face_vectors[:, :, None] * mid[:, None, :]
+    np.add.at(grad, a, contrib)
+    np.add.at(grad, b, -contrib)
+    bcontrib = dual.bnormal[:, :, None] * fields[dual.bvert][:, None, :]
+    np.add.at(grad, dual.bvert, bcontrib)
+    grad /= dual.volumes[:, None, None]
+    return grad
+
+
+def vorticity_magnitude(grad_vel: np.ndarray) -> np.ndarray:
+    """|curl u| from velocity gradients ``(N, 3, 3)`` with
+    ``grad_vel[:, i, j] = d u_j / d x_i``."""
+    wx = grad_vel[:, 1, 2] - grad_vel[:, 2, 1]
+    wy = grad_vel[:, 2, 0] - grad_vel[:, 0, 2]
+    wz = grad_vel[:, 0, 1] - grad_vel[:, 1, 0]
+    return np.sqrt(wx**2 + wy**2 + wz**2)

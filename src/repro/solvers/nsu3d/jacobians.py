@@ -1,0 +1,193 @@
+"""6x6 block Jacobians for the implicit smoothers (paper section III).
+
+"Rather than performing simple explicit time steps on each grid level
+... the use of local implicit solvers at each grid point provides a more
+efficient solution mechanism.  This mandates the inversion of dense 6x6
+block matrices at each grid point at each iteration."
+
+The blocks linearize a Rusanov-form flux: for edge (a, b) with dual face
+``S`` (oriented a->b) and spectral radius ``lam``,
+
+    dR_a/dq_a = +1/2 A(q_a) . S + 1/2 lam I + k_visc I
+    dR_a/dq_b = +1/2 A(q_b) . S - 1/2 lam I - k_visc I
+    dR_b/dq_b = -1/2 A(q_b) . S + 1/2 lam I + k_visc I
+    dR_b/dq_a = -1/2 A(q_a) . S - 1/2 lam I - k_visc I
+
+with ``A`` the analytic Euler flux Jacobian and ``k_visc`` the edge
+viscous coefficient.  The SA row couples through its advection speed and
+a destruction-term diagonal.  Diagonal blocks add ``V/dt`` for the
+pseudo-time term; wall-vertex momentum/SA rows are replaced by identity
+(strong boundary condition).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..gas import GAMMA, GM1, conservative_to_primitive
+from .context import FlowContext
+from .turbulence import CW1, eddy_viscosity
+
+
+def euler_jacobian(q: np.ndarray, normal: np.ndarray) -> np.ndarray:
+    """Analytic flux Jacobian A . S for conservative variables.
+
+    ``q`` is (N, nvar >= 5); ``normal`` (N, 3) carries the face area.
+    Returns (N, nvar, nvar); the SA row/column holds passive advection.
+    """
+    q = np.asarray(q, dtype=np.float64)
+    nvar = q.shape[1]
+    prim = conservative_to_primitive(q)
+    u = prim[:, 1:4]
+    n = np.asarray(normal, dtype=np.float64)
+    vn = np.einsum("nd,nd->n", u, n)  # u . S (area-weighted)
+    phi = 0.5 * GM1 * np.sum(u * u, axis=1)
+    h = (q[:, 4] + prim[:, 4]) / prim[:, 0]
+
+    a = np.zeros((len(q), nvar, nvar))
+    a[:, 0, 1:4] = n
+    for i in range(3):
+        a[:, 1 + i, 0] = phi * n[:, i] - u[:, i] * vn
+        for j in range(3):
+            a[:, 1 + i, 1 + j] = (
+                u[:, i] * n[:, j] - GM1 * u[:, j] * n[:, i]
+            )
+        a[:, 1 + i, 1 + i] += vn
+        a[:, 1 + i, 4] = GM1 * n[:, i]
+    a[:, 4, 0] = vn * (phi - h)
+    a[:, 4, 1:4] = h[:, None] * n - GM1 * u * vn[:, None]
+    a[:, 4, 4] = GAMMA * vn
+    if nvar > 5:
+        # passive advection of rho nu_hat; cross-coupling to the mean
+        # flow is frozen (standard loosely-coupled Jacobian)
+        a[:, 5, 5] = vn
+    return a
+
+
+def edge_spectral_radius(q: np.ndarray, edges, face_vectors) -> np.ndarray:
+    """(|vn| + c) |S| at each edge from the face-average state."""
+    from ..gas import pressure
+
+    qa = q[edges[:, 0]]
+    qb = q[edges[:, 1]]
+    qm = 0.5 * (qa + qb)
+    area = np.linalg.norm(face_vectors, axis=1)
+    u = qm[:, 1:4] / qm[:, 0:1]
+    vn = np.abs(np.einsum("ed,ed->e", u, face_vectors))
+    c = np.sqrt(GAMMA * np.maximum(pressure(qm), 1e-12) / qm[:, 0])
+    return vn + c * area
+
+
+def viscous_edge_coefficient(ctx: FlowContext, q: np.ndarray) -> np.ndarray:
+    """Scalar viscous stiffness per edge, mu_eff |S| / d."""
+    if ctx.mu_lam <= 0.0:
+        return np.zeros(ctx.nedges)
+    prim = conservative_to_primitive(q)
+    mu_t = (
+        eddy_viscosity(prim[:, 0], prim[:, 5], ctx.mu_lam)
+        if q.shape[1] > 5
+        else np.zeros(ctx.npoints)
+    )
+    a = ctx.edges[:, 0]
+    b = ctx.edges[:, 1]
+    area = np.linalg.norm(ctx.face_vectors, axis=1)
+    mu_f = ctx.mu_lam + 0.5 * (mu_t[a] + mu_t[b])
+    return mu_f * area / ctx.edge_distances()
+
+
+def assemble_diagonal(
+    ctx: FlowContext,
+    q: np.ndarray,
+    dt: np.ndarray,
+    include_convective_jacobian: bool = True,
+) -> np.ndarray:
+    """(N, nvar, nvar) diagonal blocks of the implicit system."""
+    nvar = q.shape[1]
+    n = ctx.npoints
+    eye = np.eye(nvar)
+    diag = (ctx.volumes / dt)[:, None, None] * eye[None, :, :]
+
+    a = ctx.edges[:, 0]
+    b = ctx.edges[:, 1]
+    lam = edge_spectral_radius(q, ctx.edges, ctx.face_vectors)
+    kv = viscous_edge_coefficient(ctx, q)
+    scal = 0.5 * lam + kv  # identity part, both endpoints
+
+    scal_acc = np.zeros(n)
+    np.add.at(scal_acc, a, scal)
+    np.add.at(scal_acc, b, scal)
+    if include_convective_jacobian:
+        ja = euler_jacobian(q[a], ctx.face_vectors)
+        jb = euler_jacobian(q[b], ctx.face_vectors)
+        np.add.at(diag, a, 0.5 * ja)
+        np.add.at(diag, b, -0.5 * jb)
+    diag += scal_acc[:, None, None] * eye[None, :, :]
+
+    # boundary spectral radii keep the diagonal dominant at boundaries
+    for verts, normals in (
+        (ctx.far_vert, ctx.far_normal),
+        (ctx.sym_vert, ctx.sym_normal),
+        (ctx.wall_vert, ctx.wall_normal),
+    ):
+        if len(verts):
+            lam_b = edge_spectral_radius(
+                np.vstack([q[verts]]),
+                np.column_stack([np.arange(len(verts))] * 2),
+                normals,
+            )
+            contrib = 0.5 * lam_b[:, None, None] * eye[None, :, :]
+            np.add.at(diag, verts, contrib)
+
+    # SA destruction linearization (adds to the diagonal only)
+    if nvar > 5:
+        prim = conservative_to_primitive(q)
+        nu = np.maximum(prim[:, 5], 0.0)
+        diag[:, 5, 5] += ctx.volumes * 2.0 * CW1 * nu / ctx.dist**2
+
+    # strong wall rows -> identity
+    w = ctx.wall_vert
+    if len(w):
+        for row in [1, 2, 3] + ([5] if nvar > 5 else []):
+            diag[w, row, :] = 0.0
+            diag[w, row, row] = 1.0
+    return diag
+
+
+def edge_offdiagonals(
+    ctx: FlowContext, q: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Off-diagonal blocks per edge: (dR_a/dq_b, dR_b/dq_a)."""
+    nvar = q.shape[1]
+    a = ctx.edges[:, 0]
+    b = ctx.edges[:, 1]
+    lam = edge_spectral_radius(q, ctx.edges, ctx.face_vectors)
+    kv = viscous_edge_coefficient(ctx, q)
+    eye = np.eye(nvar)[None, :, :]
+    ja = euler_jacobian(q[a], ctx.face_vectors)
+    jb = euler_jacobian(q[b], ctx.face_vectors)
+    scal = (0.5 * lam + kv)[:, None, None] * eye
+    off_ab = 0.5 * jb - scal
+    off_ba = -0.5 * ja - scal
+    return off_ab, off_ba
+
+
+def local_time_step(ctx: FlowContext, q: np.ndarray, cfl: float) -> np.ndarray:
+    """CFL-scaled local pseudo-time step per vertex."""
+    lam = edge_spectral_radius(q, ctx.edges, ctx.face_vectors)
+    kv = viscous_edge_coefficient(ctx, q)
+    acc = np.zeros(ctx.npoints)
+    np.add.at(acc, ctx.edges[:, 0], lam + 2 * kv)
+    np.add.at(acc, ctx.edges[:, 1], lam + 2 * kv)
+    for verts, normals in (
+        (ctx.far_vert, ctx.far_normal),
+        (ctx.sym_vert, ctx.sym_normal),
+        (ctx.wall_vert, ctx.wall_normal),
+    ):
+        if len(verts):
+            lam_b = edge_spectral_radius(
+                q[verts],
+                np.column_stack([np.arange(len(verts))] * 2),
+                normals,
+            )
+            np.add.at(acc, verts, lam_b)
+    return cfl * ctx.volumes / np.maximum(acc, 1e-300)

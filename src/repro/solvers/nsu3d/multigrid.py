@@ -1,0 +1,105 @@
+"""FAS agglomeration multigrid cycles for the RANS solver (fig. 4).
+
+V- and W-cycles over the agglomerated hierarchy; "the multigrid W-cycle
+has been found to produce superior convergence rates and to be more
+robust, and is thus used exclusively in the NSU3D calculations."  Within
+a W-cycle the coarsest of ``n`` levels is visited ``2^(n-1)`` times per
+fine-grid visit — the communication amplification at the heart of the
+paper's InfiniBand results (figs. 16-19).
+
+Transfers: solution restriction is volume-weighted averaging over
+agglomerates, residual restriction a plain sum, prolongation injection —
+the standard agglomeration-multigrid set.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..gas import apply_positivity_floors
+from .linesolve import limit_correction, smooth
+from .residual import apply_wall_bc, residual
+
+
+def restrict_solution(q, cluster, vol_f, vol_c):
+    out = np.zeros((len(vol_c), q.shape[1]))
+    np.add.at(out, cluster, q * vol_f[:, None])
+    return out / vol_c[:, None]
+
+
+def restrict_residual(r, cluster, ncoarse):
+    out = np.zeros((ncoarse, r.shape[1]))
+    np.add.at(out, cluster, r)
+    return out
+
+
+def fas_cycle(
+    contexts: list,
+    maps: list,
+    q: np.ndarray,
+    qinf: np.ndarray,
+    l: int = 0,
+    forcing: np.ndarray | None = None,
+    cycle: str = "W",
+    nu1: int = 1,
+    nu2: int = 1,
+    cfl: float = 10.0,
+    coarse_cfl: float | None = None,
+    order2: bool = False,
+    turbulence: bool = True,
+    viscous: bool = True,
+) -> np.ndarray:
+    """One FAS cycle from level ``l`` down; returns the updated state."""
+    if cycle not in ("V", "W"):
+        raise ValueError("cycle must be 'V' or 'W'")
+    ctx = contexts[l]
+    this_cfl = cfl if l == 0 else (coarse_cfl or cfl)
+    use_order2 = order2 and l == 0
+
+    q = smooth(
+        ctx, q, qinf, forcing=forcing, cfl=this_cfl, nsteps=nu1,
+        order2=use_order2, turbulence=turbulence, viscous=viscous,
+    )
+
+    if l + 1 < len(contexts):
+        coarse = contexts[l + 1]
+        cluster = maps[l]
+        # the restricted base state must satisfy the coarse level's own
+        # strong wall condition, or the correction q_c - q_c0 acquires a
+        # spurious momentum component at every wall agglomerate
+        q_c0 = apply_wall_bc(
+            coarse, restrict_solution(q, cluster, ctx.volumes, coarse.volumes)
+        )
+        r_f = residual(
+            ctx, q, qinf, order2=use_order2, turbulence=turbulence,
+            viscous=viscous,
+        )
+        if forcing is not None:
+            r_f = r_f - forcing
+        from .residual import mask_wall_rows
+
+        f_c = mask_wall_rows(
+            coarse,
+            residual(coarse, q_c0, qinf, turbulence=turbulence,
+                     viscous=viscous)
+            - restrict_residual(r_f, cluster, coarse.npoints),
+        )
+
+        q_c = q_c0.copy()
+        visits = 2 if (cycle == "W" and l + 2 < len(contexts)) else 1
+        for _ in range(visits):
+            q_c = fas_cycle(
+                contexts, maps, q_c, qinf, l=l + 1, forcing=f_c,
+                cycle=cycle, nu1=nu1, nu2=nu2, cfl=cfl,
+                coarse_cfl=coarse_cfl, order2=order2,
+                turbulence=turbulence, viscous=viscous,
+            )
+        dq = (q_c - q_c0)[cluster]
+        q = apply_positivity_floors(
+            apply_wall_bc(ctx, limit_correction(q, dq))
+        )
+
+    return smooth(
+        ctx, q, qinf, forcing=forcing, cfl=this_cfl, nsteps=nu2,
+        order2=use_order2, turbulence=turbulence, viscous=viscous,
+    )

@@ -1,0 +1,87 @@
+"""Spalart-Allmaras one-equation turbulence model (paper reference [8]).
+
+NSU3D incorporates turbulence "through the solution of a standard
+one-equation turbulence model, which is solved in a coupled manner along
+with the flow equations" — the working variable ``nu_hat`` rides as the
+sixth unknown of the coupled system.
+
+The standard SA-I formulation is implemented (production, wall
+destruction, diffusion with the cb2 gradient-squared term); the trip
+terms are omitted (fully turbulent assumption, standard for RANS
+cruise analysis).  Robustness clips follow common practice: ``S_hat``
+floored, ``r`` capped at 10, negative ``nu_hat`` clipped on update.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+# standard SA constants
+CB1 = 0.1355
+CB2 = 0.622
+SIGMA = 2.0 / 3.0
+KAPPA = 0.41
+CW1 = CB1 / KAPPA**2 + (1.0 + CB2) / SIGMA
+CW2 = 0.3
+CW3 = 2.0
+CV1 = 7.1
+
+
+#: Cap on chi = nu_hat / nu_lam; keeps the algebra overflow-free while
+#: far above any physically meaningful eddy-viscosity ratio.
+CHI_MAX = 1.0e6
+
+
+def fv1(chi: np.ndarray) -> np.ndarray:
+    c3 = np.minimum(chi, CHI_MAX) ** 3
+    return c3 / (c3 + CV1**3)
+
+
+def eddy_viscosity(rho: np.ndarray, nu_hat: np.ndarray, mu_lam: float) -> np.ndarray:
+    """mu_t = rho nu_hat fv1(chi)."""
+    nu_lam = mu_lam / np.maximum(rho, 1e-300)
+    nu = np.minimum(np.maximum(nu_hat, 0.0), CHI_MAX * nu_lam)
+    chi = nu / nu_lam
+    return rho * nu * fv1(chi)
+
+
+def source_terms(
+    rho: np.ndarray,
+    nu_hat: np.ndarray,
+    vort: np.ndarray,
+    dist: np.ndarray,
+    mu_lam: float,
+) -> tuple[np.ndarray, np.ndarray]:
+    """(production, destruction) per unit volume for the rho*nu_hat
+    equation (both >= 0; the residual adds destruction - production)."""
+    nu_lam = mu_lam / np.maximum(rho, 1e-300)
+    nu = np.minimum(np.maximum(nu_hat, 0.0), CHI_MAX * nu_lam)
+    chi = nu / nu_lam
+    f_v1 = fv1(chi)
+    f_v2 = 1.0 - chi / (1.0 + chi * f_v1)
+    d2 = dist**2
+    s_hat = vort + nu / (KAPPA**2 * d2) * f_v2
+    s_hat = np.maximum(s_hat, 0.3 * vort + 1e-16)  # standard floor
+    production = CB1 * s_hat * nu
+    r = np.minimum(nu / np.maximum(s_hat * KAPPA**2 * d2, 1e-30), 10.0)
+    g = r + CW2 * (r**6 - r)
+    f_w = g * ((1.0 + CW3**6) / (g**6 + CW3**6)) ** (1.0 / 6.0)
+    destruction = CW1 * f_w * (nu / dist) ** 2
+    return rho * production, rho * destruction
+
+
+def diffusion_coefficient(
+    rho_a, rho_b, nu_a, nu_b, mu_lam: float
+) -> np.ndarray:
+    """Edge diffusion coefficient (1/sigma)(mu_lam + rho nu_hat) at the
+    face, for the edge-normal SA diffusion flux."""
+    rho_f = 0.5 * (rho_a + rho_b)
+    nu_f = 0.5 * (np.maximum(nu_a, 0.0) + np.maximum(nu_b, 0.0))
+    return (mu_lam + rho_f * nu_f) / SIGMA
+
+
+def cb2_term(grad_nu: np.ndarray, rho: np.ndarray) -> np.ndarray:
+    """The cb2/sigma rho (grad nu_hat)^2 production-like term, per unit
+    volume (added to production)."""
+    g2 = np.sum(grad_nu**2, axis=1)
+    return CB2 / SIGMA * rho * g2

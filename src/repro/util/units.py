@@ -1,0 +1,39 @@
+"""Unit constants and formatting helpers.
+
+All machine-model quantities in the package are SI: seconds, bytes,
+bytes/second, FLOP/s.  These constants keep literals in the machine
+description files legible (``6.4 * GB`` rather than ``6.4e9``).
+"""
+
+KB = 1024.0
+MB = 1024.0 * KB
+GB = 1024.0 * MB
+
+GHZ = 1.0e9
+MICROSEC = 1.0e-6
+
+
+def fmt_bytes(nbytes: float) -> str:
+    """Render a byte count with a binary-prefix unit, e.g. ``'9.0 MB'``."""
+    value = float(nbytes)
+    for unit in ("B", "KB", "MB", "GB", "TB"):
+        if abs(value) < 1024.0 or unit == "TB":
+            return f"{value:.1f} {unit}"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def fmt_time(seconds: float) -> str:
+    """Render a duration using the most natural unit, e.g. ``'31.3 s'``."""
+    s = float(seconds)
+    if s < 1.0e-6:
+        return f"{s * 1e9:.1f} ns"
+    if s < 1.0e-3:
+        return f"{s * 1e6:.1f} us"
+    if s < 1.0:
+        return f"{s * 1e3:.1f} ms"
+    if s < 120.0:
+        return f"{s:.2f} s"
+    if s < 7200.0:
+        return f"{s / 60.0:.1f} min"
+    return f"{s / 3600.0:.2f} h"

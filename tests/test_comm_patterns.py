@@ -1,0 +1,66 @@
+"""Tests for communication-pattern utilities and the Random Ring."""
+
+import numpy as np
+import pytest
+
+from repro.comm import (
+    SimMPI,
+    graph_degrees,
+    max_degree,
+    natural_ring_time,
+    random_ring_slowdown,
+    random_ring_time,
+)
+from repro.machine import INFINIBAND, NUMALINK4, JobPlacement
+
+
+class TestGraphDegrees:
+    def test_ring_degrees(self):
+        adj = np.zeros((4, 4), dtype=int)
+        for i in range(4):
+            adj[i, (i + 1) % 4] = adj[(i + 1) % 4, i] = 1
+        assert list(graph_degrees(adj)) == [2, 2, 2, 2]
+        assert max_degree(adj) == 2
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            graph_degrees(np.zeros((2, 3)))
+
+    def test_empty(self):
+        assert max_degree(np.zeros((0, 0))) == 0
+
+
+class TestRings:
+    def _world(self, fabric, nboxes=4, n=16):
+        return SimMPI(
+            n, placement=JobPlacement.pack(n, fabric=fabric, nboxes=nboxes)
+        )
+
+    def test_natural_ring_positive(self):
+        t = natural_ring_time(self._world(NUMALINK4), nbytes=8192)
+        assert t > 0
+
+    def test_random_slower_than_natural_cross_box(self):
+        t_nat = natural_ring_time(self._world(INFINIBAND), nbytes=65536)
+        t_rnd = random_ring_time(self._world(INFINIBAND), nbytes=65536)
+        assert t_rnd > t_nat
+
+    def test_infiniband_random_ring_penalty_exceeds_numalink(self):
+        """Reference [4]'s key measurement, reproduced on SimMPI."""
+        slow_ib = random_ring_slowdown(
+            lambda: self._world(INFINIBAND), nbytes=65536
+        )
+        slow_nl = random_ring_slowdown(
+            lambda: self._world(NUMALINK4), nbytes=65536
+        )
+        assert slow_ib > 1.5 * slow_nl
+
+    def test_single_box_ring_fabric_independent(self):
+        t_nl = natural_ring_time(self._world(NUMALINK4, nboxes=1), 8192)
+        t_ib = natural_ring_time(self._world(INFINIBAND, nboxes=1), 8192)
+        assert t_nl == pytest.approx(t_ib, rel=1e-9)
+
+    def test_random_ring_deterministic_per_seed(self):
+        t1 = random_ring_time(self._world(INFINIBAND), 8192, seed=3)
+        t2 = random_ring_time(self._world(INFINIBAND), 8192, seed=3)
+        assert t1 == pytest.approx(t2)

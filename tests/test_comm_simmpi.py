@@ -1,0 +1,261 @@
+"""Tests for the SimMPI in-process runtime."""
+
+import numpy as np
+import pytest
+
+from repro.comm import SimMPI
+from repro.machine import INFINIBAND, NUMALINK4, JobPlacement
+
+
+class TestPointToPoint:
+    def test_send_recv_array(self):
+        def body(comm):
+            if comm.rank == 0:
+                comm.send(np.arange(5.0), dest=1)
+                return None
+            return comm.recv(source=0)
+
+        results = SimMPI(2).run(body)
+        assert np.array_equal(results[1], np.arange(5.0))
+
+    def test_messages_are_copies(self):
+        """MPI copy semantics: mutating the sent buffer afterwards must
+        not corrupt the delivered message."""
+
+        def body(comm):
+            if comm.rank == 0:
+                data = np.ones(4)
+                comm.send(data, dest=1)
+                data[:] = -1.0
+                comm.barrier()
+                return None
+            comm.barrier()
+            return comm.recv(source=0)
+
+        # note: barrier before recv forces the mutation to happen first
+        results = SimMPI(2).run(body)
+        assert np.array_equal(results[1], np.ones(4))
+
+    def test_tags_disambiguate(self):
+        def body(comm):
+            if comm.rank == 0:
+                comm.send(np.array([1.0]), dest=1, tag=5)
+                comm.send(np.array([2.0]), dest=1, tag=9)
+                return None
+            second = comm.recv(source=0, tag=9)
+            first = comm.recv(source=0, tag=5)
+            return (first[0], second[0])
+
+        results = SimMPI(2).run(body)
+        assert results[1] == (1.0, 2.0)
+
+    def test_nonblocking(self):
+        def body(comm):
+            other = 1 - comm.rank
+            req = comm.irecv(other)
+            comm.isend(np.full(3, float(comm.rank)), other)
+            return req.wait()
+
+        results = SimMPI(2).run(body)
+        assert np.array_equal(results[0], np.ones(3))
+        assert np.array_equal(results[1], np.zeros(3))
+
+    def test_python_object_payload(self):
+        def body(comm):
+            if comm.rank == 0:
+                comm.send({"cl": 0.5, "cd": 0.02}, dest=1)
+                return None
+            return comm.recv(source=0)
+
+        results = SimMPI(2).run(body)
+        assert results[1] == {"cl": 0.5, "cd": 0.02}
+
+    def test_bad_rank_rejected(self):
+        def body(comm):
+            comm.send(np.zeros(1), dest=5)
+
+        with pytest.raises(RuntimeError, match="failed"):
+            SimMPI(2).run(body)
+
+
+class TestCollectives:
+    def test_allreduce_sum_scalar(self):
+        results = SimMPI(4).run(lambda comm: comm.allreduce(comm.rank + 1))
+        assert results == [10, 10, 10, 10]
+
+    def test_allreduce_max_array(self):
+        def body(comm):
+            return comm.allreduce(np.array([float(comm.rank), 1.0]), op="max")
+
+        results = SimMPI(3).run(body)
+        for r in results:
+            assert np.array_equal(r, np.array([2.0, 1.0]))
+
+    def test_allreduce_min(self):
+        results = SimMPI(3).run(lambda comm: comm.allreduce(comm.rank, op="min"))
+        assert results == [0, 0, 0]
+
+    def test_allreduce_unknown_op(self):
+        with pytest.raises(RuntimeError):
+            SimMPI(2).run(lambda comm: comm.allreduce(1, op="prod"))
+
+    def test_allgather(self):
+        results = SimMPI(3).run(lambda comm: comm.allgather(comm.rank * 2))
+        assert results == [[0, 2, 4]] * 3
+
+    def test_bcast(self):
+        def body(comm):
+            value = np.arange(3.0) if comm.rank == 1 else None
+            return comm.bcast(value, root=1)
+
+        results = SimMPI(3).run(body)
+        for r in results:
+            assert np.array_equal(r, np.arange(3.0))
+
+    def test_gather(self):
+        def body(comm):
+            return comm.gather(comm.rank**2, root=0)
+
+        results = SimMPI(3).run(body)
+        assert results[0] == [0, 1, 4]
+        assert results[1] is None
+
+    def test_collective_results_not_aliased(self):
+        def body(comm):
+            out = comm.allreduce(np.ones(2))
+            out += comm.rank  # mutation must stay rank-local
+            comm.barrier()
+            return out[0]
+
+        results = SimMPI(3).run(body)
+        assert results == [3.0, 4.0, 5.0]
+
+    def test_repeated_collectives(self):
+        def body(comm):
+            total = 0
+            for i in range(10):
+                total += comm.allreduce(i + comm.rank)
+            return total
+
+        results = SimMPI(2).run(body)
+        assert results[0] == results[1] == sum(2 * i + 1 for i in range(10))
+
+    def test_single_rank_world(self):
+        results = SimMPI(1).run(lambda comm: comm.allreduce(42))
+        assert results == [42]
+
+
+class TestVirtualTime:
+    def test_compute_advances_clock(self):
+        world = SimMPI(1)
+        world.run(lambda comm: comm.compute(seconds=2.5))
+        assert world.max_clock() == pytest.approx(2.5)
+
+    def test_compute_flops_uses_rate_curve(self):
+        world = SimMPI(1)
+        world.run(
+            lambda comm: comm.compute(
+                flops=2.0e9, working_set_bytes=1024, rate_cache=2.0e9, rate_mem=1e9
+            )
+        )
+        assert world.max_clock() == pytest.approx(1.0)
+
+    def test_compute_needs_an_amount(self):
+        # single-rank worlds run inline, so the error arrives unwrapped
+        with pytest.raises(ValueError):
+            SimMPI(1).run(lambda comm: comm.compute())
+
+    def test_message_time_charged_to_receiver(self):
+        def body(comm):
+            if comm.rank == 0:
+                comm.send(np.zeros(1 << 16), dest=1)
+            else:
+                comm.recv(source=0)
+            return comm.clock
+
+        world = SimMPI(2)
+        clocks = world.run(body)
+        assert clocks[1] > clocks[0] > 0
+
+    def test_collective_synchronizes_clocks(self):
+        def body(comm):
+            comm.compute(seconds=1.0 * (comm.rank + 1))
+            comm.barrier()
+            return comm.clock
+
+        clocks = SimMPI(3).run(body)
+        assert clocks[0] == clocks[1] == clocks[2]
+        assert clocks[0] > 3.0
+
+    def test_cross_box_costlier_than_same_box(self):
+        def body(comm):
+            other = 1 - comm.rank
+            req = comm.irecv(other)
+            comm.isend(np.zeros(1 << 14), other)
+            req.wait()
+            return comm.clock
+
+        same = SimMPI(2, placement=JobPlacement.pack(2, nboxes=1))
+        same.run(body)
+        cross = SimMPI(
+            2,
+            placement=JobPlacement(cpus_per_box=(1, 1), fabric=NUMALINK4),
+        )
+        cross.run(body)
+        assert cross.max_clock() > same.max_clock()
+
+    def test_infiniband_slower_than_numalink(self):
+        def body(comm):
+            other = 1 - comm.rank
+            req = comm.irecv(other)
+            comm.isend(np.zeros(1 << 16), other)
+            req.wait()
+
+        def clock_for(fabric):
+            world = SimMPI(
+                2, placement=JobPlacement(cpus_per_box=(1, 1), fabric=fabric)
+            )
+            world.run(body)
+            return world.max_clock()
+
+        assert clock_for(INFINIBAND) > clock_for(NUMALINK4)
+
+
+class TestStats:
+    def test_traffic_accounting(self):
+        def body(comm):
+            if comm.rank == 0:
+                comm.send(np.zeros(100), dest=1)
+            else:
+                comm.recv(source=0)
+
+        world = SimMPI(2)
+        world.run(body)
+        stats = world.total_stats()
+        assert stats.messages_sent == 1
+        assert stats.messages_received == 1
+        assert stats.bytes_sent == 800
+
+    def test_flops_accounted(self):
+        world = SimMPI(2)
+        world.run(lambda comm: comm.compute(flops=1e6))
+        assert world.total_stats().flops == pytest.approx(2e6)
+
+
+class TestErrors:
+    def test_rank_exception_propagates(self):
+        def body(comm):
+            if comm.rank == 1:
+                raise ValueError("boom")
+            comm.barrier()
+
+        with pytest.raises(RuntimeError, match="rank 1 failed"):
+            SimMPI(2).run(body)
+
+    def test_placement_rank_mismatch(self):
+        with pytest.raises(ValueError):
+            SimMPI(8, placement=JobPlacement.pack(4))
+
+    def test_zero_ranks(self):
+        with pytest.raises(ValueError):
+            SimMPI(0)

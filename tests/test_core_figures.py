@@ -1,0 +1,101 @@
+"""Tests for the figure registry — the paper's evaluation as assertions.
+
+These are the repository's headline integration tests: each figure
+generator must reproduce the qualitative claim the paper makes.  (The
+benchmarks print and persist the full tables; here we pin the claims.)
+"""
+
+import pytest
+
+from repro.core import (
+    ALL_FIGURES,
+    figure_14b,
+    figure_15,
+    figure_16a,
+    figure_16b,
+    figure_19,
+    figure_20b,
+    figure_21,
+    figure_22,
+    text_anchors,
+)
+
+
+class TestRegistry:
+    def test_all_figures_listed(self):
+        assert set(ALL_FIGURES) == {
+            "fig14a", "fig14b", "fig15", "fig16a", "fig16b",
+            "fig17_18", "fig19", "fig20b", "fig21", "fig22", "text",
+        }
+
+    @pytest.mark.parametrize(
+        "name", ["fig14b", "fig15", "fig16a", "fig16b", "fig19",
+                 "fig20b", "fig21", "fig22", "text"]
+    )
+    def test_virtual_figures_generate(self, name):
+        result = ALL_FIGURES[name]()
+        assert result.comparisons
+        assert result.summary()
+
+
+class TestFigureClaims:
+    def test_fig14b_superlinear_and_ordered(self):
+        r = figure_14b()
+        sp = {mg: s.speedup(128)[-1] for mg, s in r.series.items()}
+        assert sp[1] > sp[4] > sp[5] > sp[6] > 2008 * 0.95
+        assert sp[1] > 2008  # superlinear
+
+    def test_fig14b_within_10pct_of_paper(self):
+        r = figure_14b()
+        for name, paper, measured in r.comparisons:
+            if isinstance(paper, (int, float)):
+                assert measured == pytest.approx(paper, rel=0.12), name
+
+    def test_fig15_matches_paper_efficiencies(self):
+        r = figure_15()
+        for name, paper, measured in r.comparisons:
+            assert measured == pytest.approx(paper, abs=0.03), name
+
+    def test_fig16_contrast(self):
+        """Single grid: fabrics equivalent.  6-level MG: IB collapses."""
+        a = figure_16a()
+        b = figure_16b()
+
+        def ratio(r):
+            numa = r.series["NUMAlink:1thr"].speedup(128)[-1]
+            ib = r.series["Infiniband:2thr"].speedup(128)[-1]
+            return ib / numa
+
+        assert ratio(a) > 0.9
+        assert ratio(b) < ratio(a) - 0.1
+
+    def test_fig19_fabrics_similar_on_coarse_levels(self):
+        r = figure_19()
+        for name, _, measured in r.comparisons:
+            if "ratio" in name:
+                assert 0.7 < measured <= 1.05, name
+
+    def test_fig20b_openmp_break(self):
+        r = figure_20b()
+        mpi = r.series["MPI"].speedup(32)
+        omp = r.series["OpenMP"].speedup(32)
+        assert omp[-1] < mpi[-1]
+        assert omp[1] == pytest.approx(mpi[1], rel=0.01)  # pre-break
+
+    def test_fig21_multigrid_costs_scalability(self):
+        r = figure_21()
+        assert (
+            r.series["mg4"].speedup(32)[-1]
+            < r.series["single"].speedup(32)[-1]
+        )
+
+    def test_fig22_infiniband_dip_and_cap(self):
+        r = figure_22()
+        found = dict((n, m) for n, _, m in r.comparisons)
+        assert found["IB 508-CPU (2-box) underperforms 496-CPU (1-box)"]
+        assert found["IB curve limited to 1524 CPUs (eq. 1)"] == 1524
+
+    def test_text_anchor_30_minutes(self):
+        r = text_anchors()
+        values = {n: m for n, _, m in r.comparisons}
+        assert values["72M-pt solution (800 cycles) on 2008 CPUs [min]"] < 32

@@ -1,0 +1,206 @@
+"""Tests for the parameter-study / aero-database machinery."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.database import (
+    AeroDatabase,
+    Axis,
+    CaseRecord,
+    ParameterSpace,
+    StudyDefinition,
+    build_job_tree,
+    meshing_amortization,
+    schedule_fill,
+    standard_study,
+)
+
+
+class TestParameterSpaces:
+    def test_axis_linspace(self):
+        a = Axis.linspace("mach", 0.3, 0.8, 6)
+        assert len(a.values) == 6
+        assert a.values[0] == pytest.approx(0.3)
+        assert a.values[-1] == pytest.approx(0.8)
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError):
+            Axis("x", ())
+
+    def test_duplicate_axis_names_rejected(self):
+        with pytest.raises(ValueError):
+            ParameterSpace(axes=(Axis("m", (1,)), Axis("m", (2,))))
+
+    def test_case_count_is_product(self):
+        space = ParameterSpace(
+            axes=(Axis("a", (1, 2, 3)), Axis("b", (1, 2)))
+        )
+        assert space.ncases == 6
+        assert len(list(space.cases())) == 6
+
+    def test_paper_scale_arithmetic(self):
+        """'ten values of each parameter would require 10^6 CFD
+        simulations' in the 6-D study."""
+        study = standard_study(n_config=10, n_wind=10)
+        assert study.ncases == 10**6
+        assert study.config_space.ncases == 1000
+        assert study.wind_space.ncases == 1000
+
+    def test_hierarchy_shape(self):
+        study = standard_study(n_config=2, n_wind=3)
+        tops = list(study.hierarchy())
+        assert len(tops) == 8  # 2^3 config instances
+        config, winds = tops[0]
+        assert set(config) == {"aileron", "elevator", "rudder"}
+        assert len(list(winds)) == 27
+
+
+class TestJobTree:
+    def test_tree_counts(self):
+        study = standard_study(n_config=2, n_wind=2)
+        tree = build_job_tree(study)
+        assert len(tree) == 8
+        assert sum(g.ncases for g in tree) == study.ncases
+
+    def test_amortization(self):
+        """One mesh amortized over all wind cases of its instance."""
+        study = standard_study(n_config=2, n_wind=3)
+        tree = build_job_tree(study)
+        assert meshing_amortization(tree) == pytest.approx(27.0)
+
+    def test_flow_job_params_merge(self):
+        study = standard_study(n_config=2, n_wind=2)
+        job = build_job_tree(study)[0].flow_jobs[0]
+        assert set(job.params) == {
+            "aileron", "elevator", "rudder", "mach", "alpha", "beta"
+        }
+
+
+class TestScheduler:
+    def test_concurrent_cases_per_box(self):
+        """'3-10 million cell cases typically fit in memory on 32-128
+        CPUs, making it possible to run several cases simultaneously on
+        each 512 CPU node'."""
+        study = standard_study(n_config=2, n_wind=2)
+        plan = schedule_fill(build_job_tree(study), nnodes=1,
+                             cpus_per_case=32)
+        assert plan.concurrent_cases == 16
+
+    def test_makespan_scales_down_with_nodes(self):
+        study = standard_study(n_config=2, n_wind=3)
+        tree = build_job_tree(study)
+        t1 = schedule_fill(tree, nnodes=1).makespan_seconds
+        t4 = schedule_fill(tree, nnodes=4).makespan_seconds
+        assert t4 < t1
+
+    def test_all_jobs_assigned(self):
+        study = standard_study(n_config=2, n_wind=2)
+        tree = build_job_tree(study)
+        plan = schedule_fill(tree, nnodes=2)
+        assert len(plan.assignments) == study.ncases
+
+    def test_no_slot_overlap(self):
+        study = standard_study(n_config=2, n_wind=2)
+        plan = schedule_fill(build_job_tree(study), nnodes=1,
+                             cpus_per_case=256)
+        by_interval = sorted((s, e) for _, _, s, e in plan.assignments)
+        # 2 slots: at most 2 jobs overlapping any instant
+        events = []
+        for s, e in by_interval:
+            events.append((s, 1))
+            events.append((e, -1))
+        live = 0
+        for _, d in sorted(events):
+            live += d
+            assert live <= 2
+
+    def test_invalid_configs(self):
+        with pytest.raises(ValueError):
+            schedule_fill([], nnodes=0)
+        with pytest.raises(ValueError):
+            schedule_fill([], nnodes=1, cpus_per_case=4096)
+
+
+def make_record(mach, alpha, cl):
+    return CaseRecord(
+        params={"mach": mach, "alpha": alpha},
+        coefficients={"cl": cl, "cd": 0.01},
+        residual_history=[1.0, 1e-6],
+    )
+
+
+class TestDatabase:
+    def test_insert_and_get(self):
+        db = AeroDatabase()
+        db.insert(make_record(0.5, 1.0, 0.3))
+        rec = db.get({"mach": 0.5, "alpha": 1.0})
+        assert rec.coefficients["cl"] == 0.3
+        assert {"mach": 0.5, "alpha": 1.0} in db
+
+    def test_missing_without_solver_raises(self):
+        db = AeroDatabase()
+        with pytest.raises(KeyError):
+            db.get({"mach": 0.9, "alpha": 0.0})
+
+    def test_virtual_rerun(self):
+        """The paper's virtual database: missing cases re-run on demand."""
+        calls = []
+
+        def solver(params):
+            calls.append(params)
+            return make_record(params["mach"], params["alpha"], 0.42)
+
+        db = AeroDatabase(solver_callback=solver)
+        rec = db.get({"mach": 0.7, "alpha": 2.0})
+        assert rec.coefficients["cl"] == 0.42
+        assert db.reruns == 1
+        # second query hits the stored record
+        db.get({"mach": 0.7, "alpha": 2.0})
+        assert db.reruns == 1
+
+    def test_slice(self):
+        db = AeroDatabase()
+        for m in (0.4, 0.5):
+            for a in (0.0, 2.0):
+                db.insert(make_record(m, a, m + a))
+        subset = db.slice(mach=0.5)
+        assert len(subset) == 2
+        assert all(r.params["mach"] == 0.5 for r in subset)
+
+    def test_outliers_flagged(self):
+        db = AeroDatabase()
+        for i in range(20):
+            db.insert(make_record(0.4 + 0.01 * i, 0.0, 0.30))
+        db.insert(make_record(0.9, 0.0, 25.0))  # wild
+        bad = db.outliers("cl")
+        assert len(bad) == 1
+        assert bad[0].coefficients["cl"] == 25.0
+
+    def test_orders_converged(self):
+        rec = make_record(0.5, 0.0, 0.3)
+        assert rec.orders_converged == pytest.approx(6.0)
+
+    def test_unconverged_listing(self):
+        db = AeroDatabase()
+        rec = make_record(0.5, 0.0, 0.3)
+        rec.converged = False
+        db.insert(rec)
+        assert db.unconverged() == [rec]
+
+    @settings(max_examples=20, deadline=None)
+    @given(n=st.integers(1, 30), seed=st.integers(0, 99))
+    def test_roundtrip_property(self, n, seed):
+        rng = np.random.default_rng(seed)
+        db = AeroDatabase()
+        cases = []
+        for _ in range(n):
+            m = float(rng.integers(30, 90)) / 100
+            a = float(rng.integers(-40, 80)) / 10
+            cl = float(rng.normal())
+            db.insert(make_record(m, a, cl))
+            cases.append(((m, a), cl))
+        # last write wins per key; check every stored key retrievable
+        for (m, a), _ in cases:
+            assert db.get({"mach": m, "alpha": a}).params["mach"] == m

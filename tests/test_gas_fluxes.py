@@ -1,0 +1,174 @@
+"""Tests for gas relations, flux functions and limiters."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.solvers.fluxes import (
+    euler_flux,
+    roe_flux,
+    rusanov_flux,
+    van_leer_flux,
+    wall_flux,
+)
+from repro.solvers.gas import (
+    GAMMA,
+    apply_positivity_floors,
+    check_physical,
+    conservative_to_primitive,
+    freestream,
+    mach_number,
+    pressure,
+    primitive_to_conservative,
+    sound_speed,
+)
+from repro.solvers.limiters import minmod, van_albada
+
+
+def random_states(n, nvar, seed=0):
+    rng = np.random.default_rng(seed)
+    prim = np.empty((n, nvar))
+    prim[:, 0] = 0.5 + rng.random(n)
+    prim[:, 1:4] = rng.normal(scale=0.4, size=(n, 3))
+    prim[:, 4] = 0.4 + rng.random(n)
+    if nvar > 5:
+        prim[:, 5] = rng.random(n) * 1e-4
+    return primitive_to_conservative(prim), prim
+
+
+class TestGas:
+    @pytest.mark.parametrize("nvar", [5, 6])
+    def test_conversion_roundtrip(self, nvar):
+        q, prim = random_states(100, nvar)
+        assert np.allclose(conservative_to_primitive(q), prim)
+        assert np.allclose(primitive_to_conservative(prim), q)
+
+    def test_pressure_of_freestream(self):
+        q = freestream(0.75)
+        assert pressure(q[None, :])[0] == pytest.approx(1.0 / GAMMA)
+        assert sound_speed(q[None, :])[0] == pytest.approx(1.0)
+
+    def test_freestream_mach(self):
+        for mach in (0.3, 0.75, 2.6):
+            q = freestream(mach, alpha_deg=2.09, beta_deg=0.8)
+            assert mach_number(q[None, :])[0] == pytest.approx(mach)
+
+    def test_freestream_direction(self):
+        q = freestream(1.0, alpha_deg=90.0)
+        assert q[3] == pytest.approx(1.0)  # straight up
+        assert abs(q[1]) < 1e-12
+
+    def test_freestream_sa_seed_scales_with_viscosity(self):
+        mu = 1e-5
+        q = freestream(0.75, nvar=6, nu_lam=mu)
+        assert q[5] == pytest.approx(3.0 * mu)
+
+    def test_freestream_validation(self):
+        with pytest.raises(ValueError):
+            freestream(-1.0)
+        with pytest.raises(ValueError):
+            freestream(0.5, nvar=7)
+
+    def test_check_physical(self):
+        q, _ = random_states(10, 5)
+        assert check_physical(q)
+        q[3, 0] = -1.0
+        assert not check_physical(q)
+
+    def test_positivity_floors(self):
+        q, _ = random_states(10, 5)
+        q[2, 4] = 0.0  # negative pressure
+        fixed = apply_positivity_floors(q)
+        assert check_physical(fixed)
+        # untouched rows unchanged
+        assert np.array_equal(fixed[0], q[0])
+
+    def test_floors_noop_when_physical(self):
+        q, _ = random_states(10, 5)
+        assert apply_positivity_floors(q) is q
+
+
+class TestFluxConsistency:
+    @pytest.mark.parametrize("flux", [rusanov_flux, roe_flux, van_leer_flux])
+    @pytest.mark.parametrize("nvar", [5, 6])
+    def test_consistency(self, flux, nvar):
+        """F(q, q, S) must equal the physical flux f(q).S."""
+        q, _ = random_states(50, nvar)
+        rng = np.random.default_rng(1)
+        normal = rng.normal(size=(50, 3))
+        n = normal / np.linalg.norm(normal, axis=1, keepdims=True)
+        area = np.linalg.norm(normal, axis=1)
+        exact = euler_flux(q, n) * area[:, None]
+        assert np.allclose(flux(q, q, normal), exact, atol=1e-10)
+
+    @pytest.mark.parametrize("flux", [roe_flux, van_leer_flux])
+    def test_supersonic_upwinding(self, flux):
+        # (Rusanov is excluded: its single-wave dissipation is not
+        # exactly one-sided even for supersonic flow)
+        """Fully supersonic flow: the flux must be one-sided."""
+        prim_l = np.array([[1.0, 3.0, 0, 0, 1 / GAMMA]])
+        prim_r = np.array([[0.7, 3.0, 0, 0, 0.6 / GAMMA]])
+        ql, qr = primitive_to_conservative(prim_l), primitive_to_conservative(prim_r)
+        normal = np.array([[1.0, 0, 0]])
+        assert np.allclose(flux(ql, qr, normal), euler_flux(ql, normal), atol=1e-10)
+
+    def test_roe_captures_stationary_contact(self):
+        """Roe resolves a stationary contact exactly (zero mass flux)."""
+        prim_l = np.array([[1.0, 0, 0, 0, 0.5]])
+        prim_r = np.array([[0.3, 0, 0, 0, 0.5]])
+        ql, qr = primitive_to_conservative(prim_l), primitive_to_conservative(prim_r)
+        f = roe_flux(ql, qr, np.array([[1.0, 0, 0]]))
+        assert abs(f[0, 0]) < 1e-12
+
+    def test_rusanov_diffuses_contact(self):
+        prim_l = np.array([[1.0, 0, 0, 0, 0.5]])
+        prim_r = np.array([[0.3, 0, 0, 0, 0.5]])
+        ql, qr = primitive_to_conservative(prim_l), primitive_to_conservative(prim_r)
+        f = rusanov_flux(ql, qr, np.array([[1.0, 0, 0]]))
+        assert abs(f[0, 0]) > 1e-3
+
+    def test_wall_flux_is_pressure_only(self):
+        q, _ = random_states(20, 5)
+        normal = np.tile(np.array([[0.0, 0.0, 2.0]]), (20, 1))
+        f = wall_flux(q, normal)
+        assert np.allclose(f[:, 0], 0)
+        assert np.allclose(f[:, 4], 0)
+        assert np.allclose(f[:, 3], pressure(q) * 2.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 1000))
+    def test_flux_antisymmetry(self, seed):
+        """F(ql, qr, S) = -F(qr, ql, -S): what makes the edge loop
+        conservative."""
+        ql, _ = random_states(10, 5, seed=seed)
+        qr, _ = random_states(10, 5, seed=seed + 1)
+        rng = np.random.default_rng(seed + 2)
+        normal = rng.normal(size=(10, 3))
+        for flux in (rusanov_flux, roe_flux, van_leer_flux):
+            f1 = flux(ql, qr, normal)
+            f2 = flux(qr, ql, -normal)
+            assert np.allclose(f1, -f2, atol=1e-10), flux.__name__
+
+
+class TestLimiters:
+    def test_minmod_basics(self):
+        assert minmod(np.array([1.0]), np.array([2.0]))[0] == 1.0
+        assert minmod(np.array([-1.0]), np.array([2.0]))[0] == 0.0
+        assert minmod(np.array([-3.0]), np.array([-2.0]))[0] == -2.0
+
+    def test_van_albada_smooth(self):
+        out = van_albada(np.array([1.0]), np.array([1.0]))
+        assert out[0] == pytest.approx(1.0, rel=1e-6)
+
+    def test_van_albada_opposite_slopes_vanish(self):
+        assert van_albada(np.array([1.0]), np.array([-1.0]))[0] == 0.0
+
+    @given(
+        a=st.floats(-10, 10, allow_nan=False),
+        b=st.floats(-10, 10, allow_nan=False),
+    )
+    def test_limiters_bounded(self, a, b):
+        for lim in (minmod, van_albada):
+            out = lim(np.array([a]), np.array([b]))[0]
+            assert abs(out) <= max(abs(a), abs(b)) + 1e-9

@@ -1,0 +1,196 @@
+"""Tests for the implicit-solid component geometry."""
+
+import numpy as np
+import pytest
+
+from repro.mesh.cartesian import (
+    Assembly,
+    Box,
+    Component,
+    Cone,
+    Cylinder,
+    Rotated,
+    Sphere,
+    Union,
+    rotation_matrix,
+    shuttle_stack,
+    wing_body,
+)
+
+
+def _tri_area(verts, tris):
+    a = verts[tris[:, 1]] - verts[tris[:, 0]]
+    b = verts[tris[:, 2]] - verts[tris[:, 0]]
+    return 0.5 * np.linalg.norm(np.cross(a, b), axis=1).sum()
+
+
+class TestPrimitives:
+    def test_sphere_sign(self):
+        s = Sphere(center=[0, 0, 0], radius=1.0)
+        assert s.sdf(np.array([[0, 0, 0]]))[0] < 0
+        assert s.sdf(np.array([[2, 0, 0]]))[0] == pytest.approx(1.0)
+        assert s.sdf(np.array([[1, 0, 0]]))[0] == pytest.approx(0.0)
+
+    def test_box_sign_and_distance(self):
+        b = Box(lo=[0, 0, 0], hi=[1, 1, 1])
+        assert b.sdf(np.array([[0.5, 0.5, 0.5]]))[0] < 0
+        assert b.sdf(np.array([[2.0, 0.5, 0.5]]))[0] == pytest.approx(1.0)
+
+    def test_cylinder_sign(self):
+        c = Cylinder(p0=[0, 0, 0], p1=[1, 0, 0], radius=0.5)
+        assert c.sdf(np.array([[0.5, 0, 0]]))[0] < 0
+        assert c.sdf(np.array([[0.5, 1.0, 0]]))[0] == pytest.approx(0.5)
+        assert c.sdf(np.array([[-1.0, 0, 0]]))[0] == pytest.approx(1.0)
+
+    def test_cone_sign(self):
+        c = Cone(apex=[0, 0, 0], base_center=[1, 0, 0], base_radius=0.5)
+        assert c.sdf(np.array([[0.9, 0, 0]]))[0] < 0
+        assert c.sdf(np.array([[0.1, 0.4, 0]]))[0] > 0  # outside near apex
+        assert c.sdf(np.array([[2.0, 0, 0]]))[0] > 0
+
+    def test_invalid_primitives(self):
+        with pytest.raises(ValueError):
+            Sphere(center=[0, 0, 0], radius=-1)
+        with pytest.raises(ValueError):
+            Box(lo=[0, 0, 0], hi=[0, 1, 1])
+        with pytest.raises(ValueError):
+            Cylinder(p0=[0, 0, 0], p1=[0, 0, 0], radius=1)
+
+    def test_bounding_boxes_contain_surface(self):
+        for solid in (
+            Sphere(center=[1, 2, 3], radius=0.5),
+            Cylinder(p0=[0, 0, 0], p1=[1, 1, 1], radius=0.2),
+            Cone(apex=[0, 0, 0], base_center=[0, 0, 1], base_radius=0.3),
+        ):
+            lo, hi = solid.bounding_box()
+            verts, _ = solid.triangulate(8)
+            assert (verts >= lo - 1e-9).all() and (verts <= hi + 1e-9).all()
+
+    def test_sphere_triangulation_area(self):
+        s = Sphere(center=[0, 0, 0], radius=1.0)
+        verts, tris = s.triangulate(24)
+        area = _tri_area(verts, tris)
+        assert area == pytest.approx(4 * np.pi, rel=0.05)
+
+
+class TestCombinators:
+    def test_union_is_min(self):
+        u = Union(
+            (
+                Sphere(center=[0, 0, 0], radius=1.0),
+                Sphere(center=[3, 0, 0], radius=1.0),
+            )
+        )
+        pts = np.array([[0, 0, 0], [3, 0, 0], [1.5, 0, 0]])
+        phi = u.sdf(pts)
+        assert phi[0] < 0 and phi[1] < 0 and phi[2] > 0
+
+    def test_empty_union_rejected(self):
+        with pytest.raises(ValueError):
+            Union(())
+
+    def test_rotation_matrix_orthonormal(self):
+        r = rotation_matrix(np.array([0.3, -0.5, 0.8]), 1.1)
+        assert np.allclose(r @ r.T, np.eye(3), atol=1e-12)
+        assert np.linalg.det(r) == pytest.approx(1.0)
+
+    def test_rotated_sdf_follows_body(self):
+        box = Box(lo=[0, -0.1, -0.1], hi=[1, 0.1, 0.1])
+        rot = Rotated(box, axis=[0, 0, 1], angle_rad=np.pi / 2, origin=[0, 0, 0])
+        # the box now extends along +y
+        assert rot.sdf(np.array([[0, 0.9, 0]]))[0] < 0
+        assert rot.sdf(np.array([[0.9, 0, 0]]))[0] > 0
+
+    def test_rotation_preserves_distance_values(self):
+        s = Sphere(center=[1, 0, 0], radius=0.5)
+        rot = Rotated(s, axis=[0, 0, 1], angle_rad=0.7, origin=[0, 0, 0])
+        rng = np.random.default_rng(2)
+        pts = rng.normal(size=(50, 3))
+        r = rotation_matrix(np.array([0, 0, 1.0]), 0.7)
+        assert np.allclose(rot.sdf(pts @ r.T), s.sdf(pts), atol=1e-12)
+
+
+class TestComponentsAndAssemblies:
+    def test_deflection_moves_surface(self):
+        comp = Component(
+            "flap",
+            Box(lo=[0, -0.5, -0.01], hi=[0.3, 0.5, 0.01]),
+            hinge_origin=np.array([0.0, 0.0, 0.0]),
+            hinge_axis=np.array([0.0, 1.0, 0.0]),
+        )
+        undeflected = comp.deflected(0.0)
+        deflected = comp.deflected(20.0)
+        tip = np.array([[0.3, 0.0, 0.0]])
+        assert undeflected.sdf(tip)[0] <= 0.0 + 1e-12
+        assert deflected.sdf(tip)[0] > 0.0  # tip has rotated away
+
+    def test_zero_deflection_is_identity(self):
+        comp = Component(
+            "flap",
+            Box(lo=[0, 0, 0], hi=[1, 1, 1]),
+            hinge_origin=np.zeros(3),
+            hinge_axis=np.array([0, 1.0, 0]),
+        )
+        assert comp.deflected(0.0) is comp.solid
+
+    def test_assembly_deflection_validation(self):
+        with pytest.raises(ValueError):
+            Assembly(
+                components=(Component("a", Sphere(center=[0, 0, 0], radius=1)),),
+                deflections={"nope": 5.0},
+            )
+
+    def test_duplicate_names_rejected(self):
+        c = Component("x", Sphere(center=[0, 0, 0], radius=1))
+        with pytest.raises(ValueError):
+            Assembly(components=(c, c))
+
+    def test_with_deflections_returns_new_config(self):
+        wb = wing_body()
+        wb2 = wb.with_deflections(aileron=10.0)
+        assert wb.deflections["aileron"] == 0.0
+        assert wb2.deflections["aileron"] == 10.0
+
+
+class TestStudyGeometries:
+    def test_wing_body_has_expected_components(self):
+        names = {c.name for c in wing_body().components}
+        assert {"fuselage", "wing", "aileron", "elevator", "rudder"} <= names
+
+    def test_wing_body_nacelle_flag(self):
+        assert "nacelle" not in {c.name for c in wing_body().components}
+        assert "nacelle" in {c.name for c in wing_body(nacelle=True).components}
+
+    def test_shuttle_components(self):
+        """Figure 9: orbiter, SRBs, external tank, attach hardware, five
+        engines."""
+        names = {c.name for c in shuttle_stack().components}
+        assert {
+            "orbiter",
+            "external_tank",
+            "srb_left",
+            "srb_right",
+            "attach_fore",
+            "attach_aft",
+            "engines",
+            "elevon",
+        } <= names
+
+    def test_shuttle_fits_in_unit_box(self):
+        lo, hi = shuttle_stack().bounding_box()
+        assert (lo > 0).all() and (hi < 1).all()
+
+    def test_elevon_deflection_changes_sdf(self):
+        """Fig. 8: the mesh responds to elevon deflection because the
+        solid itself moves."""
+        probe = np.array([[0.745, 0.5, 0.605]])
+        phi0 = shuttle_stack(elevon_deg=0.0).sdf(probe)[0]
+        phi25 = shuttle_stack(elevon_deg=-25.0).sdf(probe)[0]
+        assert phi0 != pytest.approx(phi25)
+
+    def test_triangulation_counts_scale(self):
+        # curved components (cylinders, cones) add triangles with
+        # resolution; boxes stay at 12, so growth is sub-quadratic
+        v8, t8 = shuttle_stack().triangulate(8)
+        v16, t16 = shuttle_stack().triangulate(16)
+        assert len(t16) > 1.5 * len(t8)

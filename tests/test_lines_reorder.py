@@ -1,0 +1,155 @@
+"""Tests for implicit-line extraction and local reordering."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mesh.unstructured import (
+    build_dual,
+    bump_channel,
+    check_coloring,
+    color_edges,
+    edge_coupling,
+    extract_lines,
+    group_lines_by_length,
+    line_coverage,
+    rcm_order,
+    apply_vertex_order,
+    bandwidth,
+)
+
+
+@pytest.fixture(scope="module")
+def stretched_dual():
+    """Strongly stretched near-wall mesh (aspect ratios >> threshold)."""
+    return build_dual(
+        bump_channel(ni=10, nj=5, nk=10, wall_spacing=5e-4, ratio=1.5)
+    )
+
+
+@pytest.fixture(scope="module")
+def isotropic_dual():
+    """Unit-ish cells: no lines should form."""
+    return build_dual(
+        bump_channel(
+            ni=6, nj=6, nk=6, lengths=(1.0, 1.0, 1.0),
+            wall_spacing=1.0 / 6.5, ratio=1.02, bump_height=0.0,
+        )
+    )
+
+
+class TestLineExtraction:
+    def test_lines_found_in_stretched_region(self, stretched_dual):
+        lines = extract_lines(stretched_dual)
+        assert len(lines) > 0
+        assert line_coverage(lines, stretched_dual.npoints) > 0.3
+
+    def test_lines_are_disjoint(self, stretched_dual):
+        lines = extract_lines(stretched_dual)
+        seen = set()
+        for line in lines:
+            for v in line:
+                assert v not in seen
+                seen.add(v)
+
+    def test_lines_are_paths_in_the_graph(self, stretched_dual):
+        edge_set = set(map(tuple, np.sort(stretched_dual.edges, axis=1).tolist()))
+        for line in extract_lines(stretched_dual):
+            for a, b in zip(line[:-1], line[1:]):
+                assert (min(a, b), max(a, b)) in edge_set
+
+    def test_lines_run_wall_normal(self, stretched_dual):
+        """Stretching is in z, so lines must advance dominantly in z."""
+        pts = stretched_dual.points
+        for line in extract_lines(stretched_dual):
+            d = np.abs(np.diff(pts[line], axis=0)).sum(axis=0)
+            assert d[2] == pytest.approx(np.abs(d).max())
+
+    def test_isotropic_mesh_has_no_lines(self, isotropic_dual):
+        """Paper: 'In isotropic regions of the mesh, the line structure
+        reduces to a single point'."""
+        lines = extract_lines(isotropic_dual, anisotropy_threshold=4.0)
+        assert line_coverage(lines, isotropic_dual.npoints) < 0.05
+
+    def test_threshold_validation(self, stretched_dual):
+        with pytest.raises(ValueError):
+            extract_lines(stretched_dual, anisotropy_threshold=0.5)
+
+    def test_coupling_positive(self, stretched_dual):
+        w = edge_coupling(stretched_dual)
+        assert (w > 0).all()
+
+
+class TestLineGrouping:
+    def test_groups_of_64_sorted_by_length(self):
+        rng = np.random.default_rng(0)
+        lines = [np.arange(rng.integers(2, 40)) for _ in range(150)]
+        groups = group_lines_by_length(lines, group_size=64)
+        assert len(groups) == 3
+        flat = [len(l) for g in groups for l in g]
+        assert flat == sorted(flat, reverse=True)
+        assert all(len(g) <= 64 for g in groups)
+
+    def test_empty(self):
+        assert group_lines_by_length([]) == []
+
+    def test_bad_group_size(self):
+        with pytest.raises(ValueError):
+            group_lines_by_length([], group_size=0)
+
+
+def ladder_edges(n):
+    """A path graph: worst case for bandwidth under a random order."""
+    return np.column_stack([np.arange(n - 1), np.arange(1, n)])
+
+
+class TestRcm:
+    def test_is_permutation(self):
+        n = 30
+        perm = rcm_order(n, ladder_edges(n))
+        assert sorted(perm.tolist()) == list(range(n))
+
+    def test_reduces_bandwidth_of_shuffled_path(self):
+        n = 64
+        rng = np.random.default_rng(3)
+        shuffle = rng.permutation(n)
+        edges = shuffle[ladder_edges(n)]
+        before = bandwidth(n, edges)
+        perm = rcm_order(n, edges)
+        after = bandwidth(n, apply_vertex_order(perm, edges))
+        assert after <= 2
+        assert after < before
+
+    def test_handles_disconnected(self):
+        edges = np.array([[0, 1], [3, 4]])
+        perm = rcm_order(5, edges)
+        assert sorted(perm.tolist()) == list(range(5))
+
+    def test_on_real_mesh(self, stretched_dual):
+        perm = rcm_order(stretched_dual.npoints, stretched_dual.edges)
+        new_edges = apply_vertex_order(perm, stretched_dual.edges)
+        assert bandwidth(stretched_dual.npoints, new_edges) < bandwidth(
+            stretched_dual.npoints, stretched_dual.edges
+        )
+
+
+class TestEdgeColoring:
+    def test_valid_on_mesh(self, stretched_dual):
+        colors = color_edges(stretched_dual.npoints, stretched_dual.edges)
+        assert check_coloring(stretched_dual.edges, colors)
+
+    def test_color_count_bounded(self, stretched_dual):
+        colors = color_edges(stretched_dual.npoints, stretched_dual.edges)
+        deg = np.bincount(stretched_dual.edges.ravel())
+        assert colors.max() + 1 <= 2 * deg.max() - 1
+
+    @settings(max_examples=20, deadline=None)
+    @given(n=st.integers(4, 40), seed=st.integers(0, 999))
+    def test_valid_on_random_graphs(self, n, seed):
+        rng = np.random.default_rng(seed)
+        edges = rng.integers(0, n, size=(2 * n, 2))
+        edges = edges[edges[:, 0] != edges[:, 1]]
+        edges = np.unique(np.sort(edges, axis=1), axis=0)
+        colors = color_edges(n, edges)
+        assert check_coloring(edges, colors)

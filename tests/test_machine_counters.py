@@ -1,0 +1,83 @@
+"""Tests for the pfmon-style performance counters."""
+
+import pytest
+
+from repro.machine import PerfCounters
+
+
+class TestFlopCounting:
+    def test_plain_flops(self):
+        c = PerfCounters()
+        c.add_flops(100)
+        assert c.total_flops == 100
+
+    def test_madd_counts_as_two(self):
+        """The paper counts combined multiply-add as 2 FLOPs."""
+        c = PerfCounters()
+        c.add_flops(0, madds=50)
+        assert c.total_flops == 100
+
+    def test_madd_feature_disabled(self):
+        """With MADD counting disabled (the paper's FLOP-count runs)."""
+        c = PerfCounters(madd_as_two=False)
+        c.add_flops(0, madds=50)
+        assert c.total_flops == 50
+
+
+class TestRegions:
+    def test_region_attribution(self):
+        c = PerfCounters()
+        with c.region("flux"):
+            c.add_flops(10)
+        with c.region("smooth"):
+            c.add_flops(5)
+        assert c.regions["flux"].flops == 10
+        assert c.regions["smooth"].flops == 5
+
+    def test_nested_regions(self):
+        c = PerfCounters()
+        with c.region("cycle"):
+            c.add_flops(1)
+            with c.region("flux"):
+                c.add_flops(10)
+            c.add_flops(2)
+        assert c.regions["cycle"].flops == 3
+        assert c.regions["flux"].flops == 10
+
+    def test_explicit_region_overrides_stack(self):
+        c = PerfCounters()
+        with c.region("a"):
+            c.add_flops(7, region="b")
+        assert c.regions["b"].flops == 7
+
+    def test_calls_counted(self):
+        c = PerfCounters()
+        for _ in range(3):
+            with c.region("flux"):
+                pass
+        assert c.regions["flux"].calls == 3
+
+    def test_bytes(self):
+        c = PerfCounters()
+        with c.region("exchange"):
+            c.add_bytes(4096)
+        assert c.total_bytes == 4096
+
+
+class TestDifferencing:
+    def test_paper_protocol_five_vs_six_cycles(self):
+        """Run 5 'cycles', snapshot, run the 6th, difference — the paper's
+        per-cycle FLOP measurement protocol."""
+        c = PerfCounters()
+        for _ in range(5):
+            c.add_flops(1000, madds=200)
+        snap = c.snapshot()
+        c.add_flops(1000, madds=200)
+        assert c.diff_flops(snap) == pytest.approx(1400)
+
+    def test_reset(self):
+        c = PerfCounters()
+        c.add_flops(10)
+        c.reset()
+        assert c.total_flops == 0
+        assert not c.regions

@@ -1,0 +1,69 @@
+"""Tests for the Itanium2 CPU / cache-residency rate model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.machine import CPU_ITANIUM2_1500, CPU_ITANIUM2_1600
+from repro.util import MB
+
+
+class TestPeak:
+    def test_peak_is_4_flops_per_cycle(self):
+        """Paper: each CPU can deliver up to 4 FLOPs per cycle."""
+        assert CPU_ITANIUM2_1600.peak_flops == pytest.approx(6.4e9)
+        assert CPU_ITANIUM2_1500.peak_flops == pytest.approx(6.0e9)
+
+    def test_l3_size(self):
+        """Paper: each Vortex CPU has 9 MB of L3 cache."""
+        assert CPU_ITANIUM2_1600.l3_bytes == pytest.approx(9 * MB)
+
+
+class TestResidency:
+    def test_small_working_set_fully_resident(self):
+        assert CPU_ITANIUM2_1600.resident_fraction(1 * MB) == 1.0
+
+    def test_large_working_set_partially_resident(self):
+        h = CPU_ITANIUM2_1600.resident_fraction(90 * MB)
+        assert h == pytest.approx(0.1)
+
+    def test_zero_working_set(self):
+        assert CPU_ITANIUM2_1600.resident_fraction(0.0) == 1.0
+
+
+class TestSustainedRate:
+    def test_cache_resident_hits_cache_rate(self):
+        rate = CPU_ITANIUM2_1600.sustained_flops(1 * MB, 2.0e9, 0.8e9)
+        assert rate == pytest.approx(2.0e9)
+
+    def test_memory_bound_approaches_mem_rate(self):
+        rate = CPU_ITANIUM2_1600.sustained_flops(9000 * MB, 2.0e9, 0.8e9)
+        assert rate == pytest.approx(0.8e9, rel=0.01)
+
+    def test_rate_clipped_at_peak(self):
+        rate = CPU_ITANIUM2_1600.sustained_flops(1 * MB, 99e9, 99e9)
+        assert rate == pytest.approx(CPU_ITANIUM2_1600.peak_flops)
+
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(ValueError):
+            CPU_ITANIUM2_1600.sustained_flops(1 * MB, -1.0, 1e9)
+        with pytest.raises(ValueError):
+            CPU_ITANIUM2_1600.sustained_flops(1 * MB, 1e9, 0.0)
+
+    @given(
+        w1=st.floats(min_value=1e3, max_value=1e12),
+        w2=st.floats(min_value=1e3, max_value=1e12),
+    )
+    def test_rate_monotone_in_working_set(self, w1, w2):
+        """Shrinking the working set never slows the CPU down — the
+        mechanism behind the paper's superlinear speedups."""
+        if w1 > w2:
+            w1, w2 = w2, w1
+        r1 = CPU_ITANIUM2_1600.sustained_flops(w1, 2.0e9, 0.8e9)
+        r2 = CPU_ITANIUM2_1600.sustained_flops(w2, 2.0e9, 0.8e9)
+        assert r1 >= r2 - 1e-3
+
+    @given(w=st.floats(min_value=1e3, max_value=1e12))
+    def test_rate_bounded_by_endpoints(self, w):
+        r = CPU_ITANIUM2_1600.sustained_flops(w, 2.0e9, 0.8e9)
+        assert 0.8e9 - 1e-3 <= r <= 2.0e9 + 1e-3

@@ -1,0 +1,104 @@
+"""Tests for the NUMAlink4 / InfiniBand / 10GigE fabric models."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.machine import (
+    INFINIBAND,
+    NUMALINK4,
+    SHARED_MEMORY,
+    TENGIGE,
+    fabric_by_name,
+    message_time,
+)
+
+
+class TestFabricLookup:
+    def test_by_name(self):
+        assert fabric_by_name("NUMAlink4") is NUMALINK4
+        assert fabric_by_name("InfiniBand") is INFINIBAND
+        assert fabric_by_name("10GigE") is TENGIGE
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            fabric_by_name("Myrinet")
+
+
+class TestFabricOrdering:
+    """The paper's qualitative fabric hierarchy must hold."""
+
+    def test_latency_ordering(self):
+        assert NUMALINK4.latency < INFINIBAND.latency < TENGIGE.latency
+
+    def test_bandwidth_ordering(self):
+        assert NUMALINK4.bandwidth > INFINIBAND.bandwidth > TENGIGE.bandwidth
+
+    def test_shared_memory_fastest(self):
+        assert SHARED_MEMORY.latency <= NUMALINK4.latency
+        assert SHARED_MEMORY.bandwidth >= NUMALINK4.bandwidth
+
+    def test_numalink_spans_at_most_4_boxes(self):
+        assert NUMALINK4.max_span_boxes == 4
+        with pytest.raises(ValueError):
+            NUMALINK4.cross_box_time(1024, nboxes=5)
+
+    def test_infiniband_spans_whole_machine(self):
+        assert INFINIBAND.max_span_boxes >= 20
+
+
+class TestMessageTime:
+    def test_same_box_ignores_fabric(self):
+        t_nl = message_time(8192, same_box=True, fabric=NUMALINK4)
+        t_ib = message_time(8192, same_box=True, fabric=INFINIBAND)
+        assert t_nl == pytest.approx(t_ib)
+
+    def test_cross_box_slower_than_same_box(self):
+        t_in = message_time(65536, same_box=True, fabric=NUMALINK4)
+        t_out = message_time(65536, same_box=False, fabric=NUMALINK4, nboxes=2)
+        assert t_out > t_in
+
+    def test_infiniband_slower_than_numalink_cross_box(self):
+        t_nl = message_time(65536, same_box=False, fabric=NUMALINK4, nboxes=4)
+        t_ib = message_time(65536, same_box=False, fabric=INFINIBAND, nboxes=4)
+        assert t_ib > t_nl
+
+    def test_irregular_pattern_penalty_hits_infiniband_hardest(self):
+        """The random-ring effect: InfiniBand's irregular-pattern penalty
+        (driving the multigrid inter-grid transfer degradation of figs
+        16b-18) must far exceed NUMAlink's."""
+        def penalty(fabric):
+            reg = fabric.cross_box_time(65536, 4, irregular=False)
+            irr = fabric.cross_box_time(65536, 4, irregular=True)
+            return irr / reg
+
+        assert penalty(INFINIBAND) > 2.0
+        assert penalty(INFINIBAND) > 2.0 * penalty(NUMALINK4)
+
+    def test_infiniband_contention_grows_with_boxes(self):
+        """Reference [4] predicts an increasing penalty when spanning 4
+        nodes vs 2 — fig. 22's 1024-2016 CPU cases."""
+        t2 = INFINIBAND.cross_box_time(65536, 2)
+        t4 = INFINIBAND.cross_box_time(65536, 4)
+        assert t4 > t2
+
+    def test_cross_box_requires_two_boxes(self):
+        with pytest.raises(ValueError):
+            NUMALINK4.cross_box_time(1024, nboxes=1)
+
+    @given(nbytes=st.floats(min_value=0, max_value=1e9))
+    def test_time_monotone_in_bytes(self, nbytes):
+        t1 = message_time(nbytes, same_box=False, fabric=INFINIBAND, nboxes=2)
+        t2 = message_time(nbytes + 1024, same_box=False, fabric=INFINIBAND, nboxes=2)
+        assert t2 > t1
+
+    @given(
+        nbytes=st.floats(min_value=0, max_value=1e8),
+        nboxes=st.integers(min_value=2, max_value=4),
+        irregular=st.booleans(),
+    )
+    def test_time_positive(self, nbytes, nboxes, irregular):
+        for fabric in (NUMALINK4, INFINIBAND, TENGIGE):
+            assert (
+                fabric.cross_box_time(nbytes, nboxes, irregular=irregular) > 0
+            )

@@ -1,0 +1,71 @@
+"""Tests for the InfiniBand MPI connection limit — paper eq. (1)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.machine import (
+    PAPER_LIMIT_4_NODES,
+    infiniband_feasible,
+    max_mpi_processes_infiniband,
+    min_omp_threads_for_infiniband,
+)
+
+
+class TestEquationOne:
+    def test_paper_anchor_4_nodes_is_1524(self):
+        """'a pure MPI code run on 4 nodes of Columbia can have no more
+        than 1524 MPI processes'."""
+        assert max_mpi_processes_infiniband(4) == PAPER_LIMIT_4_NODES == 1524
+
+    def test_single_box_unconstrained_by_cards(self):
+        assert max_mpi_processes_infiniband(1) == 512
+
+    def test_limit_for_two_boxes_admits_1000_cpu_runs(self):
+        """Figure 22 runs 508-1000 CPU pure-MPI IB cases over two boxes."""
+        assert max_mpi_processes_infiniband(2) >= 1000
+
+    def test_invalid_nboxes(self):
+        with pytest.raises(ValueError):
+            max_mpi_processes_infiniband(0)
+
+    @given(n=st.integers(min_value=2, max_value=20))
+    def test_limit_positive_and_bounded(self, n):
+        lim = max_mpi_processes_infiniband(n)
+        assert 0 < lim < 10240
+
+
+class TestFeasibility:
+    def test_1524_feasible_1525_not(self):
+        assert infiniband_feasible(1524, 4)
+        assert not infiniband_feasible(1525, 4)
+
+    def test_2016_pure_mpi_infeasible_on_4_boxes(self):
+        """Why fig. 22's InfiniBand curve stops at 1524 CPUs."""
+        assert not infiniband_feasible(2016, 4)
+
+    def test_2016_with_2_threads_feasible(self):
+        """Fig. 16: 'on 2008 CPUs, the InfiniBand case can only be run
+        using 2 OpenMP threads per MPI process'."""
+        assert infiniband_feasible(2008 // 2, 4)
+        assert not infiniband_feasible(2008, 4)
+
+
+class TestHybridRequirement:
+    def test_2008_cpus_need_2_threads(self):
+        assert min_omp_threads_for_infiniband(2008, 4) == 2
+
+    def test_4016_cpus_over_8_boxes(self):
+        """Section VI: 4016 CPUs require 4 OpenMP threads per MPI process
+        'as dictated by the available number of MPI processes under
+        InfiniBand'."""
+        threads = min_omp_threads_for_infiniband(4016, 8)
+        assert threads >= 3  # 4016/3 = 1339 ranks; model may allow 3 or 4
+        assert 4016 // threads <= max_mpi_processes_infiniband(8)
+
+    def test_small_runs_pure_mpi(self):
+        assert min_omp_threads_for_infiniband(128, 4) == 1
+
+    def test_invalid_cpus(self):
+        with pytest.raises(ValueError):
+            min_omp_threads_for_infiniband(0, 4)

@@ -1,0 +1,121 @@
+"""Tests for MPI x OpenMP job placement onto Columbia boxes."""
+
+import pytest
+
+from repro.machine import (
+    INFINIBAND,
+    NUMALINK4,
+    TENGIGE,
+    JobPlacement,
+    even_spread,
+)
+
+
+class TestEvenSpread:
+    def test_exact(self):
+        assert even_spread(128, 4) == (32, 32, 32, 32)
+
+    def test_remainder(self):
+        assert even_spread(130, 4) == (33, 33, 32, 32)
+
+    def test_single_box(self):
+        assert even_spread(504, 1) == (504,)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            even_spread(10, 0)
+
+
+class TestPack:
+    def test_pack_fills_boxes(self):
+        p = JobPlacement.pack(1004)
+        assert p.cpus_per_box == (512, 492)
+        assert p.nboxes == 2
+
+    def test_pack_2008(self):
+        p = JobPlacement.pack(2008)
+        assert p.nboxes == 4
+        assert p.ncpus == 2008
+
+    def test_pack_explicit_boxes(self):
+        """The paper's 128-CPU hybrid study: 1x128, 2x64, 4x32."""
+        for nboxes in (1, 2, 4):
+            p = JobPlacement.pack(128, nboxes=nboxes)
+            assert p.nboxes == nboxes
+            assert p.ncpus == 128
+
+    def test_hybrid_rank_count(self):
+        p = JobPlacement.pack(128, omp_threads=4, nboxes=4)
+        assert p.nranks == 32
+        assert p.ranks_per_box() == (8, 8, 8, 8)
+
+    def test_threads_must_divide(self):
+        with pytest.raises(ValueError):
+            JobPlacement(cpus_per_box=(30,), omp_threads=4)
+
+    def test_empty_placement_rejected(self):
+        with pytest.raises(ValueError):
+            JobPlacement(cpus_per_box=(0,))
+
+
+class TestRankGeometry:
+    def test_box_of_rank(self):
+        p = JobPlacement.pack(128, nboxes=2)
+        boxes = p.box_of_rank()
+        assert list(boxes[:64]) == [0] * 64
+        assert list(boxes[64:]) == [1] * 64
+
+    def test_same_box(self):
+        p = JobPlacement.pack(128, nboxes=2)
+        assert p.same_box(0, 63)
+        assert not p.same_box(0, 64)
+
+    def test_spans_bricks(self):
+        assert JobPlacement.pack(256, nboxes=1).spans_bricks()
+        assert not JobPlacement.pack(128, nboxes=1).spans_bricks()
+        assert not JobPlacement.pack(256, nboxes=4).spans_bricks()
+
+
+class TestEffectiveFabric:
+    def test_numalink_unchanged(self):
+        p = JobPlacement.pack(2008, fabric=NUMALINK4)
+        assert p.effective_fabric() is NUMALINK4
+
+    def test_infiniband_within_limit(self):
+        p = JobPlacement.pack(1000, fabric=INFINIBAND)
+        assert p.effective_fabric() is INFINIBAND
+
+    def test_infiniband_overflow_drops_to_10gige(self):
+        """Paper: beyond 1524 MPI processes 'the system will give a
+        warning message, and then drop down to the 10Gig-E network'."""
+        p = JobPlacement.pack(2016, fabric=INFINIBAND)
+        assert p.effective_fabric() is TENGIGE
+
+    def test_hybrid_rescues_infiniband(self):
+        p = JobPlacement.pack(2016, omp_threads=2, fabric=INFINIBAND)
+        assert p.effective_fabric() is INFINIBAND
+
+    def test_single_box_never_falls_back(self):
+        p = JobPlacement.pack(504, fabric=INFINIBAND)
+        assert p.effective_fabric() is INFINIBAND
+
+
+class TestValidate:
+    def test_numalink_cannot_span_5_boxes(self):
+        full = JobPlacement(
+            cpus_per_box=(512, 512, 512, 512),
+            fabric=NUMALINK4,
+        )
+        full.validate()  # 4 boxes fine
+        from repro.machine import Columbia
+
+        nodes = Columbia.build().nodes[:5]
+        too_many = JobPlacement(
+            cpus_per_box=(512,) * 5, fabric=NUMALINK4, nodes=tuple(nodes)
+        )
+        with pytest.raises(ValueError):
+            too_many.validate()
+
+    def test_more_boxes_than_nodes(self):
+        with pytest.raises(ValueError):
+            JobPlacement(cpus_per_box=(64,) * 5)  # vortex has only 4

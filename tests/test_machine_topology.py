@@ -1,0 +1,82 @@
+"""Tests for the Columbia supercluster topology model."""
+
+import pytest
+
+from repro.machine import (
+    BRICKS_PER_NODE,
+    CPUS_PER_BRICK,
+    CPUS_PER_NODE,
+    Columbia,
+    vortex_subcluster,
+)
+
+
+class TestColumbia:
+    def test_full_machine_has_20_nodes_10240_cpus(self):
+        machine = Columbia.build()
+        assert len(machine.nodes) == 20
+        assert machine.total_cpus == 10240
+
+    def test_node_names(self):
+        machine = Columbia.build()
+        assert [n.name for n in machine.nodes][:3] == ["c1", "c2", "c3"]
+        assert machine.nodes[-1].name == "c20"
+
+    def test_bx2_split(self):
+        """c1-c12 are Altix 3700, c13-c20 are 3700BX2."""
+        machine = Columbia.build()
+        for node in machine.nodes:
+            number = int(node.name[1:])
+            assert node.bx2 == (number >= 13)
+
+    def test_clock_speeds(self):
+        machine = Columbia.build()
+        assert machine["c1"].cpu.clock_hz == pytest.approx(1.5e9)
+        assert machine["c17"].cpu.clock_hz == pytest.approx(1.6e9)
+
+    def test_lookup_unknown_node(self):
+        with pytest.raises(KeyError):
+            Columbia.build()["c99"]
+
+    def test_node_memory_is_1tb(self):
+        """2 GB per CPU -> 1 TB per 512-CPU node."""
+        node = Columbia.build()["c17"]
+        assert node.memory_bytes == pytest.approx(1024**4)
+
+    def test_numalink_reach_is_2048(self):
+        assert Columbia.build().numalink_reach() == 2048
+
+
+class TestVortex:
+    def test_vortex_is_c17_to_c20(self):
+        names = [n.name for n in vortex_subcluster().nodes]
+        assert names == ["c17", "c18", "c19", "c20"]
+
+    def test_vortex_cpus(self):
+        assert vortex_subcluster().total_cpus == 2048
+
+    def test_all_vortex_nodes_are_bx2_at_1600(self):
+        for node in vortex_subcluster().nodes:
+            assert node.bx2
+            assert node.cpu.clock_hz == pytest.approx(1.6e9)
+
+
+class TestBricks:
+    def test_brick_layout(self):
+        assert CPUS_PER_NODE == 512
+        assert CPUS_PER_BRICK == 128
+        assert BRICKS_PER_NODE == 4
+
+    def test_brick_of(self):
+        node = Columbia.build()["c18"]
+        assert node.brick_of(0) == 0
+        assert node.brick_of(127) == 0
+        assert node.brick_of(128) == 1
+        assert node.brick_of(511) == 3
+
+    def test_brick_of_out_of_range(self):
+        node = Columbia.build()["c18"]
+        with pytest.raises(ValueError):
+            node.brick_of(512)
+        with pytest.raises(ValueError):
+            node.brick_of(-1)

@@ -1,0 +1,173 @@
+"""Tests for the adaptive Cartesian (linear octree) mesh."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mesh.cartesian import CartesianMesh
+
+
+class TestUniform:
+    def test_cell_count(self):
+        assert CartesianMesh.uniform(2, 3).ncells == 64
+        assert CartesianMesh.uniform(3, 2).ncells == 64
+
+    def test_volumes_sum_to_domain(self):
+        m = CartesianMesh.uniform(3, 3, lo=[0, 0, 0], hi=[2.0, 1.0, 1.0])
+        assert m.volumes().sum() == pytest.approx(2.0)
+
+    def test_centers_inside_domain(self):
+        m = CartesianMesh.uniform(2, 4)
+        c = m.centers()
+        assert (c > 0).all() and (c < 1).all()
+
+    def test_bad_dim(self):
+        with pytest.raises(ValueError):
+            CartesianMesh.uniform(4, 2)
+
+    def test_bad_bounds(self):
+        with pytest.raises(ValueError):
+            CartesianMesh.uniform(2, 2, lo=[0, 0], hi=[0, 1])
+
+    def test_face_area(self):
+        m = CartesianMesh.uniform(3, 1, hi=[2.0, 1.0, 1.0])
+        # cell is 1.0 x 0.5 x 0.5: x-face area 0.25, y-face 0.5
+        assert m.face_area(0)[0] == pytest.approx(0.25)
+        assert m.face_area(1)[0] == pytest.approx(0.5)
+
+
+class TestRefine:
+    def test_refine_replaces_with_children(self):
+        m = CartesianMesh.uniform(2, 1)  # 4 cells
+        mark = np.array([True, False, False, False])
+        m2 = m.refine(mark)
+        assert m2.ncells == 7
+        assert (m2.level == 2).sum() == 4
+
+    def test_volume_conserved(self):
+        m = CartesianMesh.uniform(3, 1)
+        rng = np.random.default_rng(0)
+        for _ in range(3):
+            mark = rng.random(m.ncells) < 0.3
+            m = m.refine(mark).balance_2to1()
+        assert m.volumes().sum() == pytest.approx(1.0)
+
+    def test_mark_length_checked(self):
+        m = CartesianMesh.uniform(2, 1)
+        with pytest.raises(ValueError):
+            m.refine(np.array([True]))
+
+    def test_children_cover_parent(self):
+        m = CartesianMesh.uniform(2, 0)
+        m2 = m.refine(np.array([True]))
+        assert m2.ncells == 4
+        assert m2.centers().mean(axis=0) == pytest.approx([0.5, 0.5])
+
+
+class TestBalance:
+    def test_two_level_jump_fixed(self):
+        m = CartesianMesh.uniform(2, 1)
+        # refine one cell, then its child that touches the coarse cells
+        # -> level-3 leaves face level-1 leaves: a 2-level jump
+        m = m.refine(np.array([True, False, False, False]))
+        mark = np.zeros(m.ncells, dtype=bool)
+        lvl2 = np.flatnonzero(m.level == 2)
+        inner = lvl2[np.argmax(m.ijk[lvl2].sum(axis=1))]
+        mark[inner] = True
+        m = m.refine(mark)
+        assert m._grading_violations().any()
+        balanced = m.balance_2to1()
+        assert not balanced._grading_violations().any()
+        assert balanced.ncells > m.ncells
+
+    def test_balanced_mesh_untouched(self):
+        m = CartesianMesh.uniform(2, 2)
+        assert m.balance_2to1().ncells == m.ncells
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 100), dim=st.sampled_from([2, 3]))
+    def test_random_refinement_balances(self, seed, dim):
+        rng = np.random.default_rng(seed)
+        m = CartesianMesh.uniform(dim, 1)
+        for _ in range(3):
+            mark = rng.random(m.ncells) < 0.25
+            m = m.refine(mark)
+        b = m.balance_2to1()
+        assert not b._grading_violations().any()
+        assert b.volumes().sum() == pytest.approx(1.0)
+
+
+class TestFaces:
+    def test_uniform_2d_face_count(self):
+        m = CartesianMesh.uniform(2, 2)  # 4x4
+        f = m.build_faces()
+        assert f.ninterior == 2 * 4 * 3
+        assert f.nboundary == 16
+
+    def test_uniform_3d_face_count(self):
+        m = CartesianMesh.uniform(3, 2)  # 4x4x4
+        f = m.build_faces()
+        assert f.ninterior == 3 * 16 * 3
+        assert f.nboundary == 6 * 16
+
+    def test_face_areas_sum(self):
+        """Interior + boundary face area along one axis must tile the
+        domain cross-section once per cell column crossing."""
+        m = CartesianMesh.uniform(2, 2)
+        f = m.build_faces()
+        x_faces = f.axis == 0
+        assert f.area[x_faces].sum() == pytest.approx(3.0)  # 3 interior planes
+
+    def test_hanging_faces(self):
+        m = CartesianMesh.uniform(2, 1)
+        m = m.refine(np.array([True, False, False, False])).balance_2to1()
+        f = m.build_faces()
+        # each face pairs distinct cells, normals along +axis
+        assert (f.left != f.right).all()
+        # every fine-coarse face area equals the fine cell's face area
+        fine = m.level[f.left] != m.level[f.right]
+        for idx in np.flatnonzero(fine):
+            finer = (
+                f.left[idx]
+                if m.level[f.left[idx]] > m.level[f.right[idx]]
+                else f.right[idx]
+            )
+            assert f.area[idx] == pytest.approx(m.face_area(f.axis[idx])[finer])
+
+    def test_closed_surface_per_cell(self):
+        """Sum of signed face areas around every cell must vanish
+        (discrete divergence of a constant field is zero)."""
+        rng = np.random.default_rng(5)
+        m = CartesianMesh.uniform(2, 2)
+        m = m.refine(rng.random(m.ncells) < 0.3).balance_2to1()
+        f = m.build_faces()
+        div = np.zeros((m.ncells, m.dim))
+        for axis in range(m.dim):
+            sel = f.axis == axis
+            np.add.at(div[:, axis], f.left[sel], f.area[sel])
+            np.add.at(div[:, axis], f.right[sel], -f.area[sel])
+            bsel = f.baxis == axis
+            np.add.at(div[:, axis], f.bcell[bsel], f.bsign[bsel] * f.barea[bsel])
+        assert np.abs(div).max() < 1e-12
+
+
+class TestSfcOrdering:
+    def test_order_is_permutation(self):
+        m = CartesianMesh.uniform(2, 3)
+        order = m.sfc_order()
+        assert sorted(order.tolist()) == list(range(m.ncells))
+
+    def test_reorder_preserves_geometry(self):
+        m = CartesianMesh.uniform(2, 2)
+        m2 = m.reorder(m.sfc_order())
+        assert m2.volumes().sum() == pytest.approx(m.volumes().sum())
+        assert m2.ncells == m.ncells
+
+    def test_adapted_mesh_keys_strictly_increase(self):
+        rng = np.random.default_rng(1)
+        m = CartesianMesh.uniform(2, 2)
+        m = m.refine(rng.random(m.ncells) < 0.4).balance_2to1()
+        m = m.reorder(m.sfc_order())
+        keys = m.sfc_keys().astype(np.int64)
+        assert (np.diff(keys) > 0).all()

@@ -1,0 +1,166 @@
+"""Tests for CSR graphs, contraction and line collapsing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.partition import Graph, contract_lines, project_partition
+
+
+def path_graph(n):
+    return Graph.from_edges(n, np.column_stack([np.arange(n - 1), np.arange(1, n)]))
+
+
+class TestGraph:
+    def test_from_edges_counts(self):
+        g = path_graph(5)
+        assert g.nvert == 5
+        assert g.nedges == 4
+        assert g.degree(0) == 1
+        assert g.degree(2) == 2
+
+    def test_neighbors(self):
+        g = path_graph(4)
+        assert sorted(g.neighbors(1)) == [0, 2]
+
+    def test_weights_default_to_one(self):
+        g = path_graph(3)
+        assert g.total_edge_weight() == pytest.approx(2.0)
+        assert g.vwgt.sum() == pytest.approx(3.0)
+
+    def test_explicit_weights(self):
+        g = Graph.from_edges(
+            3,
+            np.array([[0, 1], [1, 2]]),
+            vwgt=np.array([1.0, 2.0, 3.0]),
+            ewgt=np.array([5.0, 7.0]),
+        )
+        assert g.total_edge_weight() == pytest.approx(12.0)
+        assert list(g.neighbor_weights(1)) in ([5.0, 7.0], [7.0, 5.0])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            Graph.from_edges(2, np.array([[1, 1]]))
+
+    def test_weight_length_validation(self):
+        with pytest.raises(ValueError):
+            Graph.from_edges(3, np.array([[0, 1]]), vwgt=np.ones(2))
+        with pytest.raises(ValueError):
+            Graph.from_edges(3, np.array([[0, 1]]), ewgt=np.ones(2))
+
+    def test_edge_list_roundtrip(self):
+        g = path_graph(6)
+        edges, wgts = g.edge_list()
+        assert len(edges) == 5
+        assert np.all(edges[:, 0] < edges[:, 1])
+        g2 = Graph.from_edges(6, edges, ewgt=wgts)
+        assert g2.nedges == g.nedges
+
+
+class TestContract:
+    def test_contract_pairs(self):
+        # path 0-1-2-3, clusters {0,1} and {2,3}
+        g = path_graph(4)
+        c = g.contract(np.array([0, 0, 1, 1]), 2)
+        assert c.nvert == 2
+        assert c.nedges == 1
+        assert c.vwgt.tolist() == [2.0, 2.0]
+
+    def test_parallel_edges_merge_weights(self):
+        # square 0-1-2-3-0; clusters {0,3}, {1,2} -> two parallel edges
+        g = Graph.from_edges(4, np.array([[0, 1], [1, 2], [2, 3], [3, 0]]))
+        c = g.contract(np.array([0, 1, 1, 0]), 2)
+        assert c.nvert == 2
+        assert c.nedges == 1
+        assert c.total_edge_weight() == pytest.approx(2.0)
+
+    def test_total_weight_conserved_minus_internal(self):
+        g = path_graph(6)
+        cluster = np.array([0, 0, 1, 1, 2, 2])
+        c = g.contract(cluster, 3)
+        assert c.vwgt.sum() == pytest.approx(g.vwgt.sum())
+        # 2 internal edges vanish
+        assert c.total_edge_weight() == pytest.approx(g.total_edge_weight() - 3)
+
+    def test_bad_cluster_ids(self):
+        g = path_graph(3)
+        with pytest.raises(ValueError):
+            g.contract(np.array([0, 5, 0]), 2)
+        with pytest.raises(ValueError):
+            g.contract(np.array([0, 0]), 2)
+
+    @settings(max_examples=25, deadline=None)
+    @given(n=st.integers(4, 30), seed=st.integers(0, 999))
+    def test_contract_conserves_vertex_weight(self, n, seed):
+        rng = np.random.default_rng(seed)
+        edges = np.column_stack([np.arange(n - 1), np.arange(1, n)])
+        extra = rng.integers(0, n, size=(n, 2))
+        extra = extra[extra[:, 0] != extra[:, 1]]
+        all_edges = np.unique(
+            np.sort(np.vstack([edges, extra]), axis=1), axis=0
+        )
+        g = Graph.from_edges(n, all_edges, vwgt=rng.random(n) + 0.1)
+        ncluster = max(1, n // 3)
+        cluster = rng.integers(0, ncluster, size=n)
+        c = g.contract(cluster, ncluster)
+        assert c.vwgt.sum() == pytest.approx(g.vwgt.sum())
+        for cid in range(ncluster):
+            assert c.vwgt[cid] == pytest.approx(g.vwgt[cluster == cid].sum())
+
+
+class TestSubgraph:
+    def test_subgraph_of_path(self):
+        g = path_graph(5)
+        sub, ids = g.subgraph(np.array([True, True, True, False, False]))
+        assert sub.nvert == 3
+        assert sub.nedges == 2
+        assert list(ids) == [0, 1, 2]
+
+    def test_subgraph_drops_cross_edges(self):
+        g = path_graph(4)
+        sub, _ = g.subgraph(np.array([True, False, True, False]))
+        assert sub.nedges == 0
+
+
+class TestLineContraction:
+    def test_lines_become_single_vertices(self):
+        # 2x3 grid; columns are "lines"
+        edges = np.array([[0, 1], [2, 3], [4, 5], [0, 2], [2, 4], [1, 3], [3, 5]])
+        g = Graph.from_edges(6, edges)
+        lines = [np.array([0, 1]), np.array([2, 3]), np.array([4, 5])]
+        cg, cluster = contract_lines(g, lines)
+        assert cg.nvert == 3
+        assert cg.vwgt.tolist() == [2.0, 2.0, 2.0]
+        assert len(np.unique(cluster)) == 3
+
+    def test_singletons_kept(self):
+        g = path_graph(4)
+        cg, cluster = contract_lines(g, [np.array([1, 2])])
+        assert cg.nvert == 3
+        assert sorted(cg.vwgt.tolist()) == [1.0, 1.0, 2.0]
+
+    def test_overlapping_lines_rejected(self):
+        g = path_graph(4)
+        with pytest.raises(ValueError):
+            contract_lines(g, [np.array([0, 1]), np.array([1, 2])])
+
+    def test_projection_never_splits_lines(self):
+        """The central invariant of fig. 6(b): a partition of the
+        contracted graph, projected back, keeps every line whole."""
+        edges = []
+        # 4 lines of 5 vertices each, laddered
+        for line in range(4):
+            base = line * 5
+            for i in range(4):
+                edges.append([base + i, base + i + 1])
+            if line:
+                for i in range(5):
+                    edges.append([base + i - 5, base + i])
+        g = Graph.from_edges(20, np.array(edges))
+        lines = [np.arange(5) + 5 * k for k in range(4)]
+        cg, cluster = contract_lines(g, lines)
+        coarse_part = np.array([0, 0, 1, 1])
+        fine_part = project_partition(cluster, coarse_part)
+        for line in lines:
+            assert len(np.unique(fine_part[line])) == 1

@@ -1,0 +1,149 @@
+"""Tests for the multilevel k-way partitioner (METIS substitute)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.partition import (
+    Graph,
+    contract_lines,
+    edge_cut,
+    imbalance,
+    partition_graph,
+    project_partition,
+)
+
+
+def grid2d(nx, ny):
+    def vid(i, j):
+        return i * ny + j
+
+    edges = []
+    for i in range(nx):
+        for j in range(ny):
+            if i + 1 < nx:
+                edges.append((vid(i, j), vid(i + 1, j)))
+            if j + 1 < ny:
+                edges.append((vid(i, j), vid(i, j + 1)))
+    return Graph.from_edges(nx * ny, np.array(edges))
+
+
+class TestBasics:
+    def test_every_vertex_assigned(self):
+        g = grid2d(10, 10)
+        part = partition_graph(g, 4)
+        assert len(part) == 100
+        assert set(np.unique(part)) == {0, 1, 2, 3}
+
+    def test_single_part(self):
+        g = grid2d(4, 4)
+        assert np.all(partition_graph(g, 1) == 0)
+
+    def test_too_many_parts(self):
+        with pytest.raises(ValueError):
+            partition_graph(grid2d(2, 2), 10)
+
+    def test_zero_parts(self):
+        with pytest.raises(ValueError):
+            partition_graph(grid2d(2, 2), 0)
+
+    def test_empty_graph(self):
+        g = Graph.from_edges(0, np.empty((0, 2), dtype=np.int64))
+        assert len(partition_graph(g, 1)) == 0
+
+    def test_deterministic_for_seed(self):
+        g = grid2d(12, 12)
+        p1 = partition_graph(g, 4, seed=7)
+        p2 = partition_graph(g, 4, seed=7)
+        assert np.array_equal(p1, p2)
+
+
+class TestQuality:
+    def test_balance_within_tolerance(self):
+        g = grid2d(16, 16)
+        for k in (2, 3, 4, 7, 8):
+            part = partition_graph(g, k, imbalance=0.05)
+            assert imbalance(g, part, k) < 0.10, f"k={k}"
+
+    def test_cut_beats_random(self):
+        """The partitioner must do far better than a random assignment."""
+        g = grid2d(20, 20)
+        k = 8
+        part = partition_graph(g, k)
+        rng = np.random.default_rng(0)
+        random_part = rng.integers(0, k, g.nvert)
+        assert edge_cut(g, part) < 0.4 * edge_cut(g, random_part)
+
+    def test_cut_near_strip_baseline(self):
+        """On an nx x ny grid, k vertical strips cut (k-1) * ny edges; a
+        multilevel partitioner should be in that ballpark or better."""
+        nx = ny = 24
+        g = grid2d(nx, ny)
+        k = 4
+        part = partition_graph(g, k)
+        strip_cut = (k - 1) * ny
+        assert edge_cut(g, part) <= 1.8 * strip_cut
+
+    def test_parts_mostly_connected(self):
+        """Multilevel partitions of a connected grid should be compact:
+        the overwhelming majority of vertices sit in their part's largest
+        connected component."""
+        import networkx as nx
+
+        g = grid2d(16, 16)
+        k = 4
+        part = partition_graph(g, k)
+        edges, _ = g.edge_list()
+        gx = nx.Graph(edges.tolist())
+        gx.add_nodes_from(range(g.nvert))
+        ok = 0
+        for p in range(k):
+            members = set(np.flatnonzero(part == p).tolist())
+            comps = list(nx.connected_components(gx.subgraph(members)))
+            ok += max(len(c) for c in comps)
+        assert ok >= 0.9 * g.nvert
+
+
+class TestWeighted:
+    def test_vertex_weights_respected(self):
+        """One heavy vertex should sit alone-ish: balance is on weight."""
+        n = 64
+        edges = np.column_stack([np.arange(n - 1), np.arange(1, n)])
+        vwgt = np.ones(n)
+        vwgt[0] = n  # as heavy as everything else combined
+        g = Graph.from_edges(n, edges, vwgt=vwgt)
+        part = partition_graph(g, 2, imbalance=0.10)
+        w = [g.vwgt[part == p].sum() for p in (0, 1)]
+        assert max(w) / (g.vwgt.sum() / 2) < 1.25
+
+    def test_line_contracted_partition_keeps_lines_whole(self):
+        """End-to-end fig. 6(b) workflow on a stretched-grid stand-in."""
+        nx_, ny_ = 12, 8
+        g = grid2d(nx_, ny_)
+        # treat each column (j-direction) as an implicit line
+        lines = [np.arange(i * ny_, (i + 1) * ny_) for i in range(nx_)]
+        cg, cluster = contract_lines(g, lines)
+        cpart = partition_graph(cg, 4)
+        fpart = project_partition(cluster, cpart)
+        for line in lines:
+            assert len(np.unique(fpart[line])) == 1
+        assert imbalance(g, fpart, 4) < 0.35  # lines quantize balance
+
+
+class TestProperty:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        nx=st.integers(6, 14),
+        ny=st.integers(6, 14),
+        k=st.integers(2, 6),
+        seed=st.integers(0, 99),
+    )
+    def test_partition_valid_on_random_grids(self, nx, ny, k, seed):
+        g = grid2d(nx, ny)
+        part = partition_graph(g, k, seed=seed)
+        assert len(part) == g.nvert
+        assert part.min() >= 0 and part.max() < k
+        counts = np.bincount(part, minlength=k)
+        assert (counts > 0).all()
+        assert imbalance(g, part, k) < 0.4

@@ -1,0 +1,146 @@
+"""Tests for the SFC segment partitioner and coarse/fine matching."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.partition import (
+    CUT_CELL_WEIGHT,
+    cell_weights,
+    greedy_match,
+    match_coarse_partition,
+    overlap_fraction,
+    overlap_matrix,
+    partition_bounds,
+    sfc_partition,
+)
+
+
+class TestSfcPartition:
+    def test_uniform_weights_split_evenly(self):
+        part = sfc_partition(np.ones(100), 4)
+        counts = np.bincount(part)
+        assert counts.tolist() == [25, 25, 25, 25]
+
+    def test_contiguous_along_curve(self):
+        part = sfc_partition(np.ones(97), 5)
+        assert (np.diff(part) >= 0).all()
+
+    def test_weighted_split_balances_weight_not_count(self):
+        w = np.ones(100)
+        w[:10] = 10.0  # first 10 cells as heavy as the other 90
+        part = sfc_partition(w, 2)
+        w0 = w[part == 0].sum()
+        assert abs(w0 - w.sum() / 2) <= w.max()
+
+    def test_cut_cells_weighted_2_1(self):
+        is_cut = np.zeros(50, dtype=bool)
+        is_cut[::5] = True
+        w = cell_weights(is_cut)
+        assert w[0] == pytest.approx(CUT_CELL_WEIGHT) == pytest.approx(2.1)
+        assert w[1] == 1.0
+
+    def test_every_part_nonempty(self):
+        w = np.zeros(10)
+        w[0] = 1.0  # pathological: all weight up front
+        part = sfc_partition(w, 5)
+        assert (np.bincount(part, minlength=5) > 0).all()
+        assert (np.diff(part) >= 0).all()
+
+    def test_single_part(self):
+        assert np.all(sfc_partition(np.ones(7), 1) == 0)
+
+    def test_too_many_parts(self):
+        with pytest.raises(ValueError):
+            sfc_partition(np.ones(3), 5)
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ValueError):
+            sfc_partition(np.array([1.0, -1.0]), 1)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n=st.integers(10, 400),
+        k=st.integers(1, 10),
+        seed=st.integers(0, 99),
+        cut_frac=st.floats(0.0, 0.5),
+    )
+    def test_balance_property(self, n, k, seed, cut_frac):
+        """Imbalance never exceeds one max-weight cell per part."""
+        if k > n:
+            k = n
+        rng = np.random.default_rng(seed)
+        is_cut = rng.random(n) < cut_frac
+        w = cell_weights(is_cut)
+        part = sfc_partition(w, k)
+        assert (np.diff(part) >= 0).all()
+        weights = np.bincount(part, weights=w, minlength=k)
+        ideal = w.sum() / k
+        assert weights.max() <= ideal + 2 * w.max() + 1e-9
+
+    def test_partition_bounds(self):
+        part = sfc_partition(np.ones(10), 2)
+        bounds = partition_bounds(part, 2)
+        assert list(bounds) == [0, 5, 10]
+
+    def test_partition_bounds_rejects_noncontiguous(self):
+        with pytest.raises(ValueError):
+            partition_bounds(np.array([0, 1, 0]), 2)
+
+
+class TestGreedyMatch:
+    def test_identity_overlap(self):
+        m = np.eye(3) * 5.0
+        relabel = greedy_match(m)
+        assert list(relabel) == [0, 1, 2]
+
+    def test_permuted_overlap(self):
+        # coarse part 0 overlaps fine part 2 most, etc.
+        m = np.array([[0.0, 1.0, 9.0], [8.0, 0.0, 1.0], [1.0, 7.0, 0.0]])
+        relabel = greedy_match(m)
+        assert list(relabel) == [2, 0, 1]
+
+    def test_relabel_is_permutation(self):
+        rng = np.random.default_rng(3)
+        m = rng.random((6, 6))
+        relabel = greedy_match(m)
+        assert sorted(relabel) == list(range(6))
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            greedy_match(np.ones((2, 3)))
+
+
+class TestCoarseFineMatching:
+    def _setup(self):
+        """8 fine vertices, agglomerated in pairs, partitions misaligned."""
+        fine_part = np.array([0, 0, 0, 0, 1, 1, 1, 1])
+        agglomerate_of = np.array([0, 0, 1, 1, 2, 2, 3, 3])
+        coarse_part = np.array([1, 1, 0, 0])  # labels flipped vs fine
+        return fine_part, agglomerate_of, coarse_part
+
+    def test_overlap_matrix(self):
+        fp, ag, cp = self._setup()
+        m = overlap_matrix(fp, ag, cp, 2)
+        # coarse part 1 holds fine vertices 0-3 (fine part 0)
+        assert m[1, 0] == 4 and m[0, 1] == 4
+
+    def test_matching_fixes_labels(self):
+        fp, ag, cp = self._setup()
+        before = overlap_fraction(fp, ag, cp)
+        matched = match_coarse_partition(fp, ag, cp, 2)
+        after = overlap_fraction(fp, ag, matched)
+        assert before == 0.0
+        assert after == 1.0
+
+    def test_matching_never_hurts(self):
+        rng = np.random.default_rng(11)
+        for _ in range(10):
+            nfine, ncoarse, k = 60, 20, 4
+            fp = rng.integers(0, k, nfine)
+            ag = rng.integers(0, ncoarse, nfine)
+            cp = rng.integers(0, k, ncoarse)
+            before = overlap_fraction(fp, ag, cp)
+            after = overlap_fraction(fp, ag, match_coarse_partition(fp, ag, cp, k))
+            assert after >= before - 1e-12

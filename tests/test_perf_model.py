@@ -1,0 +1,184 @@
+"""Tests for the calibrated Columbia performance model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import INFINIBAND, NUMALINK4, TENGIGE
+from repro.perf import (
+    CART3D_WORK,
+    NSU3D_POINTS_72M,
+    NSU3D_WORK,
+    CommScenario,
+    calibrate_nsu3d_flops,
+    collective_time,
+    cycle_time,
+    halo_exchange_time,
+    intergrid_transfer_time,
+    project_run_time,
+    scaling_series,
+)
+
+
+class TestWorkModel:
+    def test_nsu3d_rate_anchors(self):
+        """Single-grid anchors: 1.69 GF/s/CPU at 2008 CPUs, 19% faster
+        than at 128 CPUs (the superlinear ratio 2395/2008)."""
+        r_small = NSU3D_WORK.sustained_rate(NSU3D_POINTS_72M / 2008)
+        r_big = NSU3D_WORK.sustained_rate(NSU3D_POINTS_72M / 128)
+        assert r_small == pytest.approx(3.4e12 / 2008, rel=1e-6)
+        assert r_small / r_big == pytest.approx(2395 / 2008, rel=1e-6)
+
+    def test_calibrated_flops_matches_constant(self):
+        assert calibrate_nsu3d_flops() == pytest.approx(
+            NSU3D_WORK.flops_per_unit, rel=0.01
+        )
+
+    def test_cart3d_rate_near_paper(self):
+        """'somewhat better than 1.5 GFLOP/s on each CPU'."""
+        r = CART3D_WORK.sustained_rate(25e6 / 496)
+        assert 1.4e9 < r < 1.7e9
+
+    @given(n=st.floats(min_value=1.0, max_value=1e7))
+    def test_halo_below_partition_size(self, n):
+        for work in (NSU3D_WORK, CART3D_WORK):
+            assert work.halo_units(n) <= n + 1e-9
+
+    @given(
+        n1=st.floats(min_value=1.0, max_value=1e7),
+        n2=st.floats(min_value=1.0, max_value=1e7),
+    )
+    def test_imbalance_monotone(self, n1, n2):
+        """Smaller partitions are worse balanced (empty coarse-level
+        partitions being the extreme the paper reports)."""
+        if n1 > n2:
+            n1, n2 = n2, n1
+        f1 = NSU3D_WORK.imbalance_factor(n1)
+        f2 = NSU3D_WORK.imbalance_factor(n2)
+        assert f1 >= f2 - 1e-12
+        assert 1.0 <= f2 and f1 <= 4.0
+
+
+class TestCommModel:
+    def _scen(self, fabric, nboxes=4, omp=1, nranks=128):
+        return CommScenario(
+            fabric=fabric, nboxes=nboxes, omp_threads=omp, nranks=nranks
+        )
+
+    def test_single_box_fabric_independent(self):
+        """Figures 20b/22: below 512 CPUs fabrics are indistinguishable."""
+        t_n = halo_exchange_time(1e4, CART3D_WORK, self._scen(NUMALINK4, 1))
+        t_i = halo_exchange_time(1e4, CART3D_WORK, self._scen(INFINIBAND, 1))
+        assert t_n == pytest.approx(t_i)
+
+    def test_cross_box_fabric_ordering(self):
+        ts = [
+            halo_exchange_time(1e4, NSU3D_WORK, self._scen(f))
+            for f in (NUMALINK4, INFINIBAND, TENGIGE)
+        ]
+        assert ts[0] < ts[1] < ts[2]
+
+    def test_irregular_pattern_hurts_infiniband_most(self):
+        def pen(fabric):
+            reg = halo_exchange_time(1e4, NSU3D_WORK, self._scen(fabric))
+            irr = halo_exchange_time(
+                1e4, NSU3D_WORK, self._scen(fabric), irregular=True
+            )
+            return irr / reg
+
+        assert pen(INFINIBAND) > 1.5 * pen(NUMALINK4)
+
+    def test_irregular_rank_contention(self):
+        """Random-Ring endpoint contention: more ranks, worse (IB)."""
+        t_small = halo_exchange_time(
+            1e4, NSU3D_WORK, self._scen(INFINIBAND, nranks=64),
+            irregular=True,
+        )
+        t_big = halo_exchange_time(
+            1e4, NSU3D_WORK, self._scen(INFINIBAND, nranks=2008),
+            irregular=True,
+        )
+        assert t_big > 3 * t_small
+
+    def test_intergrid_locality(self):
+        """Cart3D's SFC-nested levels pay far less inter-grid traffic
+        than NSU3D's independently partitioned ones."""
+        t_n = intergrid_transfer_time(1e4, NSU3D_WORK, self._scen(INFINIBAND))
+        t_c = intergrid_transfer_time(1e4, CART3D_WORK, self._scen(INFINIBAND))
+        assert t_c < 0.25 * t_n
+
+    def test_collective_grows_with_ranks(self):
+        s = self._scen(NUMALINK4)
+        assert collective_time(2048, s) > collective_time(16, s)
+
+
+class TestCycleTime:
+    def test_breakdown_components_positive(self):
+        b = cycle_time(NSU3D_POINTS_72M, 512, mg_levels=6)
+        assert b.compute > 0
+        assert b.halo_comm > 0
+        assert b.intergrid_comm > 0
+        assert b.total == pytest.approx(
+            b.compute + b.halo_comm + b.intergrid_comm + b.collectives
+        )
+
+    def test_compute_dominates_at_128(self):
+        """The paper's 31.3 s cycles are compute-bound."""
+        b = cycle_time(NSU3D_POINTS_72M, 128, mg_levels=6, nboxes=1)
+        assert b.comm_fraction < 0.05
+
+    def test_w_cycle_costlier_than_v(self):
+        w = cycle_time(NSU3D_POINTS_72M, 512, mg_levels=6, cycle="W")
+        v = cycle_time(NSU3D_POINTS_72M, 512, mg_levels=6, cycle="V")
+        assert w.total > v.total
+
+    def test_more_levels_cost_more_per_cycle(self):
+        totals = [
+            cycle_time(NSU3D_POINTS_72M, 512, mg_levels=mg).total
+            for mg in (1, 2, 4, 6)
+        ]
+        assert all(a < b for a, b in zip(totals, totals[1:]))
+
+    def test_invalid_cycle(self):
+        with pytest.raises(ValueError):
+            cycle_time(1e6, 64, cycle="F")
+
+    def test_useful_flops_independent_of_fabric(self):
+        f1 = cycle_time(NSU3D_POINTS_72M, 1004, mg_levels=6,
+                        fabric=NUMALINK4).useful_flops
+        f2 = cycle_time(NSU3D_POINTS_72M, 1004, mg_levels=6,
+                        fabric=INFINIBAND).useful_flops
+        assert f1 == pytest.approx(f2)
+
+
+class TestScalingSeries:
+    def test_speedup_base_is_identity(self):
+        s = scaling_series("x", NSU3D_POINTS_72M, [128, 2008], NSU3D_WORK)
+        assert s.speedup(128)[0] == pytest.approx(128)
+
+    def test_paper_anchor_seconds(self):
+        s = scaling_series("x", NSU3D_POINTS_72M, [128, 2008], NSU3D_WORK,
+                           mg_levels=6)
+        assert s.seconds_per_cycle[0] == pytest.approx(31.3, rel=0.02)
+        assert s.seconds_per_cycle[1] == pytest.approx(1.95, rel=0.05)
+
+    def test_tenge_fallback_beyond_eq1(self):
+        """Pure MPI on InfiniBand beyond 1524 ranks is pushed to 10GigE
+        and collapses (the fig. 16b cliff)."""
+        s_ib = scaling_series("ib", NSU3D_POINTS_72M, [128, 2008],
+                              NSU3D_WORK, mg_levels=6, fabric=INFINIBAND)
+        s_nl = scaling_series("nl", NSU3D_POINTS_72M, [128, 2008],
+                              NSU3D_WORK, mg_levels=6, fabric=NUMALINK4)
+        assert s_ib.speedup(128)[-1] < 0.5 * s_nl.speedup(128)[-1]
+
+    def test_project_run_time_under_30_minutes(self):
+        t = project_run_time(NSU3D_POINTS_72M, 2008, cycles=800)
+        assert t < 32 * 60
+
+    @settings(max_examples=10, deadline=None)
+    @given(ncpus=st.sampled_from([64, 128, 256, 502, 1004]))
+    def test_time_decreases_with_cpus(self, ncpus):
+        t1 = cycle_time(NSU3D_POINTS_72M, ncpus, mg_levels=4).total
+        t2 = cycle_time(NSU3D_POINTS_72M, 2 * ncpus, mg_levels=4).total
+        assert t2 < t1

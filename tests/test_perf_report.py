@@ -1,0 +1,90 @@
+"""Tests for the report formatting helpers."""
+
+import pytest
+
+from repro.perf import (
+    NSU3D_POINTS_72M,
+    NSU3D_WORK,
+    ScalingSeries,
+    convergence_table,
+    format_comparison,
+    format_series_table,
+    scaling_series,
+)
+
+
+class TestSeriesTable:
+    def _series(self):
+        return scaling_series(
+            "mg6", NSU3D_POINTS_72M, [128, 2008], NSU3D_WORK, mg_levels=6
+        )
+
+    def test_table_contains_cpu_rows(self):
+        text = format_series_table([self._series()], base_cpus=128)
+        assert "128" in text and "2008" in text
+        assert "mg6" in text
+
+    def test_tflops_column_optional(self):
+        s = self._series()
+        with_tf = format_series_table([s], base_cpus=128, show_tflops=True)
+        without = format_series_table([s], base_cpus=128)
+        assert "TF" in with_tf
+        assert "TF" not in without
+
+    def test_mismatched_cpu_counts_rejected(self):
+        a = self._series()
+        b = scaling_series("x", NSU3D_POINTS_72M, [128], NSU3D_WORK)
+        with pytest.raises(ValueError):
+            format_series_table([a, b])
+
+    def test_empty_list(self):
+        assert format_series_table([]) == ""
+
+    def test_title_included(self):
+        text = format_series_table([self._series()], title="Figure 14b")
+        assert text.startswith("Figure 14b")
+
+
+class TestComparison:
+    def test_numeric_ratio(self):
+        line = format_comparison("speedup", 2044, 2031)
+        assert "2044" in line and "2031" in line
+        assert "x0.99" in line
+
+    def test_non_numeric_paper_value(self):
+        line = format_comparison("shape", "superlinear", 2288)
+        assert "superlinear" in line
+        assert "x" not in line.split("measured")[1].split()[1]
+
+    def test_zero_paper_value_no_ratio(self):
+        line = format_comparison("x", 0, 5)
+        assert "of paper" not in line
+
+
+class TestConvergenceTable:
+    def test_columns_and_sampling(self):
+        hist = {
+            "4-level": [1.0, 0.5, 0.25, 0.125],
+            "6-level": [1.0, 0.25, 0.06],
+        }
+        text = convergence_table(hist, every=2)
+        assert "4-level" in text and "6-level" in text
+        assert "1.000e+00" in text
+        # shorter histories padded with '-'
+        assert "-" in text.splitlines()[-1]
+
+
+class TestScalingSeriesMethods:
+    def test_speedup_requires_known_base(self):
+        s = ScalingSeries(label="x", cpus=[64, 128],
+                          seconds_per_cycle=[2.0, 1.0],
+                          useful_flops=[1e12, 1e12])
+        assert s.speedup(64) == [64.0, 128.0]
+        with pytest.raises(ValueError):
+            s.speedup(999)
+
+    def test_tflops(self):
+        s = ScalingSeries(label="x", cpus=[64],
+                          seconds_per_cycle=[2.0],
+                          useful_flops=[4e12])
+        assert s.tflops() == [pytest.approx(2.0)]

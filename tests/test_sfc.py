@@ -1,0 +1,139 @@
+"""Tests for Morton and Peano-Hilbert space-filling curves."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mesh.cartesian import (
+    hilbert_decode,
+    hilbert_key,
+    morton_decode,
+    morton_key,
+    sfc_key,
+    sfc_sort,
+)
+
+
+def full_grid(dim, bits):
+    n = 1 << bits
+    axes = [np.arange(n, dtype=np.uint64)] * dim
+    grids = np.meshgrid(*axes, indexing="ij")
+    return np.column_stack([g.ravel() for g in grids])
+
+
+class TestMorton:
+    @pytest.mark.parametrize("dim,bits", [(2, 3), (2, 5), (3, 2), (3, 4)])
+    def test_bijective(self, dim, bits):
+        coords = full_grid(dim, bits)
+        keys = morton_key(coords, bits)
+        assert len(np.unique(keys)) == len(coords)
+        assert np.array_equal(morton_decode(keys, dim, bits), coords)
+
+    def test_known_2d_values(self):
+        # Z-order: (0,0)=0 (1,0)=1 (0,1)=2 (1,1)=3 with x in bit 0
+        coords = np.array([[0, 0], [1, 0], [0, 1], [1, 1]], dtype=np.uint64)
+        keys = morton_key(coords, 1)
+        assert sorted(keys.tolist()) == [0, 1, 2, 3]
+
+    def test_hierarchical(self):
+        """All keys within a quadrant are contiguous — the property the
+        mesh coarsener relies on."""
+        coords = full_grid(2, 3)
+        keys = morton_key(coords, 3)
+        quadrant = (coords[:, 0] < 4) & (coords[:, 1] < 4)
+        qkeys = np.sort(keys[quadrant])
+        assert qkeys[-1] - qkeys[0] == len(qkeys) - 1
+
+    def test_range_check(self):
+        with pytest.raises(ValueError):
+            morton_key(np.array([[8, 0]], dtype=np.uint64), 3)
+
+    def test_shape_check(self):
+        with pytest.raises(ValueError):
+            morton_key(np.array([1, 2, 3], dtype=np.uint64), 3)
+
+    def test_large_coordinates_3d(self):
+        coords = np.array([[2**20 - 1, 0, 2**20 - 1]], dtype=np.uint64)
+        keys = morton_key(coords, 21)
+        assert np.array_equal(morton_decode(keys, 3, 21), coords)
+
+
+class TestHilbert:
+    @pytest.mark.parametrize("dim,bits", [(2, 3), (2, 5), (3, 2), (3, 3)])
+    def test_bijective(self, dim, bits):
+        coords = full_grid(dim, bits)
+        keys = hilbert_key(coords, bits)
+        assert len(np.unique(keys)) == len(coords)
+        assert np.array_equal(hilbert_decode(keys, dim, bits), coords)
+
+    @pytest.mark.parametrize("dim,bits", [(2, 4), (3, 3)])
+    def test_unit_steps(self, dim, bits):
+        """The Hilbert property: consecutive curve positions are face
+        neighbors (Manhattan distance exactly 1) — the locality that
+        makes SFC segments good partitions."""
+        coords = full_grid(dim, bits)
+        keys = hilbert_key(coords, bits)
+        walk = coords[np.argsort(keys)].astype(np.int64)
+        steps = np.abs(np.diff(walk, axis=0)).sum(axis=1)
+        assert (steps == 1).all()
+
+    def test_morton_is_not_unit_step(self):
+        """Contrast: Morton jumps — why Cart3D prefers Peano-Hilbert in 3-D."""
+        coords = full_grid(2, 4)
+        keys = morton_key(coords, 4)
+        walk = coords[np.argsort(keys)].astype(np.int64)
+        steps = np.abs(np.diff(walk, axis=0)).sum(axis=1)
+        assert steps.max() > 1
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        bits=st.integers(1, 10),
+        x=st.integers(0, 2**10 - 1),
+        y=st.integers(0, 2**10 - 1),
+    )
+    def test_roundtrip_2d_property(self, bits, x, y):
+        mask = (1 << bits) - 1
+        coords = np.array([[x & mask, y & mask]], dtype=np.uint64)
+        keys = hilbert_key(coords, bits)
+        assert np.array_equal(hilbert_decode(keys, 2, bits), coords)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        bits=st.integers(1, 7),
+        x=st.integers(0, 2**7 - 1),
+        y=st.integers(0, 2**7 - 1),
+        z=st.integers(0, 2**7 - 1),
+    )
+    def test_roundtrip_3d_property(self, bits, x, y, z):
+        mask = (1 << bits) - 1
+        coords = np.array([[x & mask, y & mask, z & mask]], dtype=np.uint64)
+        keys = hilbert_key(coords, bits)
+        assert np.array_equal(hilbert_decode(keys, 3, bits), coords)
+
+    def test_hierarchical(self):
+        """Hilbert keys are hierarchical like Morton: quadrant keys are
+        contiguous (needed for the single-pass coarsener)."""
+        coords = full_grid(2, 3)
+        keys = hilbert_key(coords, 3)
+        for qx in (0, 1):
+            for qy in (0, 1):
+                quadrant = (coords[:, 0] // 4 == qx) & (coords[:, 1] // 4 == qy)
+                qkeys = np.sort(keys[quadrant])
+                assert qkeys[-1] - qkeys[0] == len(qkeys) - 1
+
+
+class TestDispatch:
+    def test_sfc_key_dispatch(self):
+        coords = full_grid(2, 2)
+        assert np.array_equal(sfc_key(coords, 2, "morton"), morton_key(coords, 2))
+        assert np.array_equal(sfc_key(coords, 2, "hilbert"), hilbert_key(coords, 2))
+
+    def test_unknown_curve(self):
+        with pytest.raises(ValueError):
+            sfc_key(full_grid(2, 1), 1, "peano")
+
+    def test_sfc_sort_is_permutation(self):
+        coords = full_grid(3, 2)
+        order = sfc_sort(coords, 2)
+        assert sorted(order.tolist()) == list(range(len(coords)))

@@ -1,0 +1,205 @@
+"""Tests for hybrid meshes, generation and median-dual metrics."""
+
+import numpy as np
+import pytest
+
+from repro.mesh.unstructured import (
+    ELEMENT_TYPES,
+    BoundaryPatch,
+    HybridMesh,
+    build_dual,
+    bump_channel,
+    geometric_distribution,
+    to_prism_tet,
+    wing_mesh,
+    with_pyramid_band,
+)
+
+
+class TestElements:
+    def test_families_present(self):
+        assert set(ELEMENT_TYPES) == {"tet", "pyramid", "prism", "hex"}
+
+    @pytest.mark.parametrize("name", ["tet", "pyramid", "prism", "hex"])
+    def test_face_vertex_counts(self, name):
+        et = ELEMENT_TYPES[name]
+        for f in et.faces:
+            assert len(f) in (3, 4)
+            assert max(f) < et.nvert
+
+    @pytest.mark.parametrize("name", ["tet", "pyramid", "prism", "hex"])
+    def test_edges_appear_in_exactly_two_faces(self, name):
+        et = ELEMENT_TYPES[name]
+        for a, b in et.edges:
+            count = 0
+            for f in et.faces:
+                ring = set(
+                    frozenset((f[i], f[(i + 1) % len(f)])) for i in range(len(f))
+                )
+                if frozenset((a, b)) in ring:
+                    count += 1
+            assert count == 2, f"{name} edge ({a},{b}) in {count} faces"
+
+    @pytest.mark.parametrize("name,nedges", [
+        ("tet", 6), ("pyramid", 8), ("prism", 9), ("hex", 12)
+    ])
+    def test_edge_counts(self, name, nedges):
+        assert ELEMENT_TYPES[name].nedges == nedges
+
+
+class TestGeometricDistribution:
+    def test_endpoints(self):
+        x = geometric_distribution(10, 1.3, 0.01)
+        assert x[0] == 0.0 and x[-1] == pytest.approx(1.0)
+
+    def test_growth_ratio(self):
+        x = geometric_distribution(8, 1.5, 0.01)
+        steps = np.diff(x)
+        assert np.allclose(steps[1:] / steps[:-1], 1.5)
+
+    def test_monotone(self):
+        x = geometric_distribution(20, 1.2, 1e-4)
+        assert (np.diff(x) > 0).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            geometric_distribution(0, 1.2, 0.1)
+        with pytest.raises(ValueError):
+            geometric_distribution(5, -1.0, 0.1)
+
+
+class TestHybridMesh:
+    def test_counts(self):
+        m = bump_channel(ni=6, nj=4, nk=5)
+        assert m.npoints == 7 * 5 * 6
+        assert m.element_counts() == {"hex": 6 * 4 * 5}
+
+    def test_validate_catches_degenerate(self):
+        pts = np.zeros((4, 3))
+        pts[1, 0] = 1; pts[2, 1] = 1; pts[3, 2] = 1
+        m = HybridMesh(points=pts, elements={"tet": np.array([[0, 1, 2, 2]])})
+        with pytest.raises(ValueError):
+            m.validate()
+
+    def test_bad_connectivity_rejected(self):
+        with pytest.raises(ValueError):
+            HybridMesh(
+                points=np.zeros((2, 3)),
+                elements={"tet": np.array([[0, 1, 2, 3]])},
+            )
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError):
+            HybridMesh(points=np.zeros((8, 3)), elements={"wedge": np.zeros((1, 6))})
+
+    def test_patch_kind_checked(self):
+        with pytest.raises(ValueError):
+            BoundaryPatch(name="x", kind="inlet", faces=np.zeros((1, 4)))
+
+    def test_all_edges_unique(self):
+        m = bump_channel(ni=3, nj=3, nk=3)
+        e = m.all_edges()
+        assert len(np.unique(e, axis=0)) == len(e)
+        assert (e[:, 0] < e[:, 1]).all()
+
+
+class TestDualMetrics:
+    @pytest.fixture(scope="class")
+    def hex_dual(self):
+        return build_dual(bump_channel(ni=8, nj=4, nk=8, wall_spacing=2e-3))
+
+    def test_closure_machine_zero(self, hex_dual):
+        """Every dual CV must be watertight — the conservation property
+        the whole finite-volume scheme rests on."""
+        assert hex_dual.closure_error() < 1e-12
+
+    def test_volumes_positive_and_sum_to_domain(self, hex_dual):
+        assert (hex_dual.volumes > 0).all()
+        # domain = 3x1x1 channel minus the bump's volume (small)
+        assert 2.8 < hex_dual.volumes.sum() < 3.0
+
+    def test_every_point_in_some_edge(self, hex_dual):
+        used = np.unique(hex_dual.edges)
+        assert len(used) == hex_dual.npoints
+
+    def test_wall_vertices_on_wall(self, hex_dual):
+        wall = hex_dual.wall_vertices()
+        z = hex_dual.points[wall, 2]
+        assert (z < 0.2).all()  # bump height + wall
+
+    def test_boundary_normals_point_outward(self, hex_dual):
+        """Wall-patch aggregate normal must point downward (out of the
+        channel)."""
+        wall_idx = hex_dual.patch_names.index("wall")
+        sel = hex_dual.bpatch == wall_idx
+        total = hex_dual.bnormal[sel].sum(axis=0)
+        assert total[2] < 0
+
+    def test_boundary_area_closes_domain(self, hex_dual):
+        """Sum of ALL outward boundary areas of a closed domain is zero."""
+        assert np.abs(hex_dual.bnormal.sum(axis=0)).max() < 1e-10
+
+
+class TestHybridConversion:
+    def test_prism_tet_closure(self):
+        m = bump_channel(ni=6, nj=4, nk=8)
+        h = to_prism_tet(m, prism_layers=3, nk=8)
+        counts = h.element_counts()
+        assert counts["prism"] == 2 * 6 * 4 * 3
+        assert counts["tet"] == 6 * 6 * 4 * 5
+        d = build_dual(h)
+        assert d.closure_error() < 1e-12
+
+    def test_prism_tet_volume_conserved(self):
+        m = bump_channel(ni=5, nj=3, nk=6)
+        v_hex = build_dual(m).volumes.sum()
+        v_hyb = build_dual(to_prism_tet(m, prism_layers=2, nk=6)).volumes.sum()
+        assert v_hyb == pytest.approx(v_hex)
+
+    def test_all_tets(self):
+        m = bump_channel(ni=4, nj=3, nk=4)
+        h = to_prism_tet(m, prism_layers=0, nk=4)
+        assert "prism" not in h.element_counts()
+        assert build_dual(h).closure_error() < 1e-12
+
+    def test_all_prisms(self):
+        m = bump_channel(ni=4, nj=3, nk=4)
+        h = to_prism_tet(m, prism_layers=4, nk=4)
+        assert "tet" not in h.element_counts()
+        assert build_dual(h).closure_error() < 1e-12
+
+    def test_pyramid_band_closure(self):
+        m = bump_channel(ni=5, nj=4, nk=6)
+        p = with_pyramid_band(m, 2, 4, nk=6)
+        counts = p.element_counts()
+        assert counts["pyramid"] == 6 * 5 * 4 * 2
+        d = build_dual(p)
+        assert d.closure_error() < 1e-12
+        assert d.volumes.sum() == pytest.approx(build_dual(m).volumes.sum())
+
+    def test_bad_layer_counts(self):
+        m = bump_channel(ni=3, nj=3, nk=4)
+        with pytest.raises(ValueError):
+            to_prism_tet(m, prism_layers=9, nk=4)
+        with pytest.raises(ValueError):
+            with_pyramid_band(m, 3, 2, nk=4)
+
+    def test_requires_all_hex(self):
+        m = bump_channel(ni=3, nj=3, nk=4)
+        h = to_prism_tet(m, prism_layers=1, nk=4)
+        with pytest.raises(ValueError):
+            to_prism_tet(h, prism_layers=1, nk=4)
+
+
+class TestWingMesh:
+    def test_wing_mesh_builds_and_closes(self):
+        d = build_dual(wing_mesh(ni=10, nj=6, nk=8))
+        assert d.closure_error() < 1e-12
+        assert (d.volumes > 0).all()
+
+    def test_wing_is_spanwise_tapered(self):
+        m = wing_mesh(ni=12, nj=8, nk=6, bump_height=0.1)
+        pts = m.points.reshape(13, 9, 7, 3)
+        root_height = pts[5, 0, 0, 2]
+        tip_height = pts[5, -1, 0, 2]
+        assert root_height > tip_height
