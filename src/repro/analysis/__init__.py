@@ -1,0 +1,56 @@
+"""Communication-correctness and code-quality analyzers.
+
+Three tools, one diagnostic vocabulary (:class:`Diagnostic`):
+
+* :mod:`~repro.analysis.plancheck` — statically verify the pairwise
+  consistency and schedule liveness of ``build_halos`` exchange plans;
+* :mod:`~repro.analysis.tracecheck` — vector-clock happens-before
+  analysis over an opt-in SimMPI event trace: deadlocks, tag mismatches,
+  divergent collectives, and shared-buffer races, explained immediately
+  instead of hanging out the receive timeout;
+* :mod:`~repro.analysis.lint` — repo-specific AST rules (wall-clock in
+  virtual-time modules, silent broad excepts, Python-level mesh loops,
+  dtype-implicit kernel allocations), runnable as
+  ``python -m repro.analysis``.
+"""
+
+from .diagnostics import Diagnostic, errors, format_report
+from .lint import RULES, lint_file, lint_paths, lint_source
+from .plancheck import (
+    check_ownership,
+    check_pairwise,
+    check_plans,
+    check_schedule,
+)
+from .tracecheck import (
+    check_collectives,
+    check_matching,
+    check_races,
+    check_trace,
+    check_world,
+    concurrent,
+    happens_before,
+    vector_clocks,
+)
+
+__all__ = [
+    "Diagnostic",
+    "errors",
+    "format_report",
+    "check_plans",
+    "check_ownership",
+    "check_pairwise",
+    "check_schedule",
+    "check_trace",
+    "check_world",
+    "check_matching",
+    "check_collectives",
+    "check_races",
+    "vector_clocks",
+    "happens_before",
+    "concurrent",
+    "RULES",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+]

@@ -1,0 +1,73 @@
+"""Run the repo lint pass from the command line.
+
+``python -m repro.analysis`` lints the installed ``repro`` package;
+pass explicit files or directories to lint something else.  Exits
+nonzero when any error-severity diagnostic is found, so it slots
+directly into CI next to pytest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .diagnostics import errors, format_report
+from .lint import RULES, lint_paths
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Repo-specific correctness lint for the repro codebase.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the repro package)",
+    )
+    parser.add_argument(
+        "--select",
+        help="comma-separated rule ids/names to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in RULES.values():
+            scope = (
+                ", ".join(rule.segments) if rule.segments else "entire tree"
+            )
+            print(f"{rule.id} {rule.name} [{scope}]\n    {rule.description}")
+        return 0
+
+    if args.paths:
+        paths = [Path(p) for p in args.paths]
+    else:
+        paths = [Path(__file__).resolve().parent.parent]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        parser.error(f"no such file or directory: {missing[0]}")
+
+    select = None
+    if args.select:
+        select = set(args.select.split(","))
+        known = set(RULES) | {r.name for r in RULES.values()}
+        unknown = sorted(select - known)
+        if unknown:
+            parser.error(
+                f"unknown rule(s) {', '.join(unknown)}; "
+                "see --list-rules for the catalog"
+            )
+
+    diags = lint_paths(paths, select=select)
+    print(format_report(diags))
+    return 1 if errors(diags) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,299 @@
+"""Repo-specific AST lint rules for the reproduction codebase.
+
+Generic linters cannot know that SimMPI time is *virtual*, that solver
+inner loops must be vectorized to hit the paper's throughput, or that
+kernel allocations must pin their dtype to keep working sets predictable.
+These rules encode exactly those house invariants:
+
+* **R001 wall-clock-in-virtual-time** — ``time.time``/``perf_counter``
+  and friends are forbidden inside the virtual-time packages (``comm``,
+  ``perf``): mixing wall clock into the ledger silently corrupts every
+  scaling prediction calibrated from it.
+* **R002 silent-except** — a broad ``except Exception`` (or bare
+  ``except``) whose body never raises hides real failures behind
+  fallback values (the original ``_payload_bytes`` bug: unpicklable
+  payloads were silently billed 64 bytes).
+* **R003 python-mesh-loop** — ``for i in range(len(arr))`` /
+  ``range(arr.shape[0])`` in solver hot modules is a Python-level loop
+  over a mesh-sized array; vectorize it.
+* **R004 implicit-dtype-alloc** — ``np.zeros``/``empty``/``ones``/
+  ``full`` without an explicit dtype in solver kernels; implicit float64
+  defaults hide precision and memory-footprint decisions.
+
+A finding on a line containing ``noqa`` is suppressed (same idiom as
+ruff); :data:`RULES` documents each rule and the path segments it
+applies to.  Run the pass with ``python -m repro.analysis``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+
+from .diagnostics import Diagnostic
+
+#: Calls that read the wall clock, by dotted module path.
+WALL_CLOCK_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.process_time",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+}
+
+#: numpy allocators that must be dtype-explicit in kernels, mapped to the
+#: positional index where dtype may legally appear instead of a keyword.
+DTYPE_ALLOCATORS = {"empty": 1, "zeros": 1, "ones": 1, "full": 2}
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One lint rule: identity, rationale, and the path segments (package
+    directory names) it applies to — ``None`` means the whole tree."""
+
+    id: str
+    name: str
+    description: str
+    segments: tuple | None
+
+
+RULES = {
+    "R001": Rule(
+        id="R001",
+        name="wall-clock-in-virtual-time",
+        description=(
+            "wall-clock call inside a virtual-time package; SimMPI clocks "
+            "are virtual and must never mix with time.time()/perf_counter()"
+        ),
+        segments=("comm", "perf"),
+    ),
+    "R002": Rule(
+        id="R002",
+        name="silent-except",
+        description=(
+            "broad except handler that never raises; failures are silently "
+            "converted into fallback behavior"
+        ),
+        segments=None,
+    ),
+    "R003": Rule(
+        id="R003",
+        name="python-mesh-loop",
+        description=(
+            "Python-level for loop over a mesh-sized array in a solver hot "
+            "module; vectorize with numpy instead"
+        ),
+        segments=("solvers",),
+    ),
+    "R004": Rule(
+        id="R004",
+        name="implicit-dtype-alloc",
+        description=(
+            "numpy allocation without an explicit dtype in a kernel module; "
+            "pin the dtype so precision and memory footprint are deliberate"
+        ),
+        segments=("solvers",),
+    ),
+}
+
+
+def active_rules(path: Path, select=None) -> list[Rule]:
+    """Rules applying to ``path``, by its directory segments."""
+    parts = set(Path(path).parts)
+    rules = [
+        r
+        for r in RULES.values()
+        if r.segments is None or parts.intersection(r.segments)
+    ]
+    if select is not None:
+        rules = [r for r in rules if r.id in select or r.name in select]
+    return rules
+
+
+def lint_source(text: str, path, select=None) -> list[Diagnostic]:
+    """Lint one module's source text; ``path`` scopes which rules apply."""
+    path = Path(path)
+    rules = {r.id for r in active_rules(path, select)}
+    if not rules:
+        return []
+    try:
+        tree = ast.parse(text, filename=str(path))
+    except SyntaxError as exc:
+        return [
+            Diagnostic(
+                rule="lint/syntax-error",
+                severity="error",
+                message=f"cannot parse: {exc.msg}",
+                path=str(path),
+                line=exc.lineno or 1,
+            )
+        ]
+    lines = text.splitlines()
+    visitor = _LintVisitor(rules, str(path))
+    visitor.visit(tree)
+    return [
+        d
+        for d in visitor.diagnostics
+        if not (
+            d.line is not None
+            and d.line - 1 < len(lines)
+            and "noqa" in lines[d.line - 1]
+        )
+    ]
+
+
+def lint_file(path, select=None) -> list[Diagnostic]:
+    path = Path(path)
+    return lint_source(path.read_text(), path, select)
+
+
+def lint_paths(paths, select=None) -> list[Diagnostic]:
+    """Lint every ``*.py`` under the given files/directories."""
+    diags: list[Diagnostic] = []
+    for path in paths:
+        path = Path(path)
+        files = sorted(path.rglob("*.py")) if path.is_dir() else [path]
+        for f in files:
+            diags.extend(lint_file(f, select))
+    return diags
+
+
+class _LintVisitor(ast.NodeVisitor):
+    def __init__(self, rules: set, path: str):
+        self.rules = rules
+        self.path = path
+        self.diagnostics: list[Diagnostic] = []
+        self._aliases: dict = {}  # local name -> dotted module/attr path
+
+    def _report(self, rule_id: str, node: ast.AST, message: str) -> None:
+        self.diagnostics.append(
+            Diagnostic(
+                rule=rule_id,
+                severity="error",
+                message=message,
+                path=self.path,
+                line=getattr(node, "lineno", 1),
+            )
+        )
+
+    # -- alias tracking (import time as t; from time import perf_counter) ----
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self._aliases[alias.asname or alias.name.split(".")[0]] = alias.name
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module:
+            for alias in node.names:
+                self._aliases[alias.asname or alias.name] = (
+                    f"{node.module}.{alias.name}"
+                )
+        self.generic_visit(node)
+
+    def _qualname(self, func: ast.expr) -> str | None:
+        parts: list = []
+        node = func
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        base = self._aliases.get(node.id, node.id)
+        return ".".join([base] + list(reversed(parts)))
+
+    # -- R001 / R004: calls ---------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        qual = self._qualname(node.func)
+        if "R001" in self.rules and qual in WALL_CLOCK_CALLS:
+            self._report(
+                "R001",
+                node,
+                f"wall-clock call {qual}() inside a virtual-time module; "
+                "advance virtual clocks via Comm.compute()/transfer costs",
+            )
+        if "R004" in self.rules and qual is not None:
+            root, _, attr = qual.rpartition(".")
+            if root in ("numpy", "np") and attr in DTYPE_ALLOCATORS:
+                dtype_pos = DTYPE_ALLOCATORS[attr]
+                explicit = any(k.arg == "dtype" for k in node.keywords) or (
+                    len(node.args) > dtype_pos
+                )
+                if not explicit:
+                    self._report(
+                        "R004",
+                        node,
+                        f"np.{attr}(...) without an explicit dtype in a "
+                        "kernel module",
+                    )
+        self.generic_visit(node)
+
+    # -- R002: silent broad except --------------------------------------------
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if "R002" in self.rules and self._is_broad(node.type):
+            if not any(isinstance(n, ast.Raise) for n in ast.walk(node)):
+                caught = "bare except" if node.type is None else (
+                    f"except {ast.unparse(node.type)}"
+                )
+                self._report(
+                    "R002",
+                    node,
+                    f"{caught} swallows all failures without re-raising; "
+                    "catch specific exceptions or raise a typed error",
+                )
+        self.generic_visit(node)
+
+    @staticmethod
+    def _is_broad(expr) -> bool:
+        if expr is None:
+            return True
+        names = expr.elts if isinstance(expr, ast.Tuple) else [expr]
+        return any(
+            isinstance(n, ast.Name) and n.id in ("Exception", "BaseException")
+            for n in names
+        )
+
+    # -- R003: mesh-sized Python loops ----------------------------------------
+
+    def visit_For(self, node: ast.For) -> None:
+        if "R003" in self.rules and self._is_mesh_range(node.iter):
+            self._report(
+                "R003",
+                node,
+                f"Python for loop over {ast.unparse(node.iter)} in a solver "
+                "hot module iterates a mesh-sized array element by element",
+            )
+        self.generic_visit(node)
+
+    @staticmethod
+    def _is_mesh_range(expr) -> bool:
+        """range(...) whose bound is len(x) or x.shape[i]."""
+        if not (
+            isinstance(expr, ast.Call)
+            and isinstance(expr.func, ast.Name)
+            and expr.func.id == "range"
+            and expr.args
+        ):
+            return False
+
+        def mesh_sized(arg) -> bool:
+            if (
+                isinstance(arg, ast.Call)
+                and isinstance(arg.func, ast.Name)
+                and arg.func.id == "len"
+            ):
+                return True
+            return (
+                isinstance(arg, ast.Subscript)
+                and isinstance(arg.value, ast.Attribute)
+                and arg.value.attr == "shape"
+            )
+
+        return any(mesh_sized(a) for a in expr.args)

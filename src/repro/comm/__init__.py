@@ -21,13 +21,14 @@ from .patterns import (
     random_ring_slowdown,
     random_ring_time,
 )
-from .simmpi import Comm, CommStats, Request, SimMPI
+from .simmpi import Comm, CommStats, Request, SimMPI, TraceEvent
 
 __all__ = [
     "SimMPI",
     "Comm",
     "CommStats",
     "Request",
+    "TraceEvent",
     "ExchangePlan",
     "LocalHalo",
     "build_halos",

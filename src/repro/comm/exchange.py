@@ -31,23 +31,29 @@ import numpy as np
 class ExchangePlan:
     """One rank's halo communication schedule.
 
-    ``ghost_slots[q]`` are local slots holding ghosts of vertices owned by
-    rank ``q``; ``owned_slots[q]`` are local owned slots that rank ``q``
-    mirrors as ghosts.  The orderings are constructed identically on both
-    sides (ascending global id), so buffers need no index metadata.
+    ``ghost_slots[q]`` is an int64 index array of local slots holding
+    ghosts of vertices owned by rank ``q``; ``owned_slots[q]`` is an
+    int64 index array of local owned slots that rank ``q`` mirrors as
+    ghosts.  The orderings are constructed identically on both sides
+    (ascending global id), so buffers need no index metadata.
+    :func:`repro.analysis.plancheck.check_plans` verifies these
+    invariants statically.
     """
 
     rank: int
-    ghost_slots: dict = field(default_factory=dict)
-    owned_slots: dict = field(default_factory=dict)
+    ghost_slots: dict[int, np.ndarray] = field(default_factory=dict)
+    owned_slots: dict[int, np.ndarray] = field(default_factory=dict)
 
     @property
-    def neighbors(self) -> list:
+    def neighbors(self) -> list[int]:
+        """Sorted ranks this rank exchanges with, in either direction —
+        the union of ``ghost_slots`` and ``owned_slots`` keys."""
         return sorted(set(self.ghost_slots) | set(self.owned_slots))
 
     def degree(self) -> int:
-        """Number of communication partners (paper: max fine-grid degree
-        observed was 18)."""
+        """Number of distinct communication partners, counting a rank
+        once even when traffic flows both ways (paper: max fine-grid
+        degree observed was 18)."""
         return len(self.neighbors)
 
     def halo_bytes(self, itemsize: int = 8, nvar: int = 1) -> float:

@@ -129,7 +129,19 @@ class HybridProcess:
 
         ``arrays`` maps partition id -> local array (owned+ghost layout
         of that partition's plan).
+
+        When ``comm`` traces (``SimMPI(..., trace=True)``), every
+        pack/copy/unpack work item records its buffer accesses tagged
+        with a per-call phase token and a per-item thread token: within
+        one phase the work items are conceptually thread-parallel OpenMP
+        iterations, so the trace race detector treats them as unordered
+        even though this simulation runs them sequentially.
         """
+        trace = getattr(comm, "trace_access", None)
+        # per-call phase serial: accesses from different exchange_copy
+        # calls are program-ordered, so they must not share phase tokens
+        token = getattr(self, "_xchg_serial", 0)
+        self._xchg_serial = token + 1
         remote = self._remote_procs()
         reqs = {q: comm.irecv(q, tag) for q in remote}
         # master thread: pack one buffer per remote process and send.
@@ -146,6 +158,15 @@ class HybridProcess:
                 np.ascontiguousarray(arrays[src][self.plans[src].owned_slots[dst]])
                 for dst, src in pairs
             ]
+            if trace is not None:
+                for item, (dst, src) in enumerate(pairs):
+                    trace(
+                        f"part{src}",
+                        self.plans[src].owned_slots[dst],
+                        write=False,
+                        phase=f"pack@{token}",
+                        thread=item,
+                    )
             buf = (
                 np.concatenate(chunks)
                 if chunks
@@ -153,14 +174,31 @@ class HybridProcess:
             )
             comm.isend(buf, q, tag)
         # OpenMP phase, overlapped with MPI transit: intra-process copies
+        item = 0
         for pid in self.part_ids:
             plan = self.plans[pid]
             for nbr in plan.neighbors:
                 if self.proc_of[nbr] == self.rank and nbr in plan.ghost_slots:
                     src_plan = self.plans[nbr]
+                    if trace is not None:
+                        trace(
+                            f"part{nbr}",
+                            src_plan.owned_slots[pid],
+                            write=False,
+                            phase=f"copy@{token}",
+                            thread=item,
+                        )
+                        trace(
+                            f"part{pid}",
+                            plan.ghost_slots[nbr],
+                            write=True,
+                            phase=f"copy@{token}",
+                            thread=item,
+                        )
                     arrays[pid][plan.ghost_slots[nbr]] = arrays[nbr][
                         src_plan.owned_slots[pid]
                     ]
+                    item += 1
         # master waits, threads unpack (same canonical order as the sender)
         for q in remote:
             buf = reqs[q].wait()
@@ -171,9 +209,17 @@ class HybridProcess:
                 for nbr in self.plans[pid].neighbors
                 if self.proc_of[nbr] == q and nbr in self.plans[pid].ghost_slots
             )
-            for dst, src in pairs:
+            for item, (dst, src) in enumerate(pairs):
                 slots = self.plans[dst].ghost_slots[src]
                 n = len(slots)
+                if trace is not None:
+                    trace(
+                        f"part{dst}",
+                        slots,
+                        write=True,
+                        phase=f"unpack@{token}:{q}",
+                        thread=item,
+                    )
                 arrays[dst][slots] = buf[offset : offset + n]
                 offset += n
 

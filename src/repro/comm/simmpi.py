@@ -24,6 +24,12 @@ Two things distinguish SimMPI from a toy queue wrapper:
 
 The runtime is deterministic for deterministic rank functions: reduction
 results are combined in rank order regardless of thread scheduling.
+
+An opt-in structured trace (``SimMPI(..., trace=True)``) records every
+send/recv/collective/compute as a :class:`TraceEvent`; the analyzers in
+:mod:`repro.analysis.tracecheck` run a vector-clock happens-before pass
+over it to explain deadlocks, tag mismatches, divergent collectives, and
+buffer races instead of letting a run wait out the receive timeout.
 """
 
 from __future__ import annotations
@@ -46,7 +52,12 @@ MPI_CALL_OVERHEAD = 0.5e-6
 
 
 def _payload_bytes(obj) -> int:
-    """Estimated wire size of a message payload."""
+    """Estimated wire size of a message payload.
+
+    Unpicklable payloads are a caller bug (the runtime must copy them to
+    honor MPI semantics), so they raise rather than being silently
+    charged a placeholder size.
+    """
     if isinstance(obj, np.ndarray):
         return obj.nbytes
     if isinstance(obj, (bytes, bytearray)):
@@ -55,8 +66,11 @@ def _payload_bytes(obj) -> int:
         return 8
     try:
         return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
-    except Exception:
-        return 64
+    except Exception as exc:
+        raise TypeError(
+            f"message payload of type {type(obj).__qualname__} is not "
+            f"picklable and cannot be sent through SimMPI: {exc}"
+        ) from exc
 
 
 def _copy_payload(obj):
@@ -80,6 +94,36 @@ class CommStats:
     comm_seconds: float = 0.0
 
 
+@dataclass(frozen=True)
+class TraceEvent:
+    """One entry in a SimMPI structured trace (``SimMPI(..., trace=True)``).
+
+    ``eid`` is a world-global id assigned in recording order; ``seq`` is
+    the per-rank program order the happens-before analysis relies on.
+    ``matched`` links a completed ``recv`` to the ``eid`` of the send it
+    consumed, giving the trace checker exact cross-rank edges.  Buffer
+    ``access`` events carry the logical buffer name, touched ``indices``,
+    and the concurrency ``phase``/``thread`` tokens used to model the
+    hybrid (fig. 7b) thread-parallel pack/copy/unpack phases.
+    """
+
+    eid: int
+    rank: int
+    seq: int
+    op: str  # send | recv_post | recv | collective | compute | access
+    peer: int | None = None
+    tag: int | None = None
+    nbytes: float = 0.0
+    clock: float = 0.0
+    detail: str = ""
+    matched: int | None = None
+    buffer: str | None = None
+    indices: tuple = ()
+    write: bool = False
+    phase: str | None = None
+    thread: int | None = None
+
+
 @dataclass
 class _Message:
     src: int
@@ -87,6 +131,7 @@ class _Message:
     nbytes: int
     send_clock: float
     irregular: bool
+    trace_eid: int | None = None
 
 
 class Request:
@@ -138,6 +183,45 @@ class Comm:
         self.size = world.nranks
         self.clock = 0.0
         self.stats = CommStats()
+        self._seq = 0
+
+    # -- tracing ------------------------------------------------------------
+
+    def _record(self, op: str, **fields) -> int | None:
+        """Append a :class:`TraceEvent` when tracing is on; returns its eid."""
+        if not self._world.trace_enabled:
+            return None
+        event_seq = self._seq
+        self._seq += 1
+        return self._world._append_event(
+            rank=self.rank, seq=event_seq, op=op, clock=self.clock, **fields
+        )
+
+    def trace_access(
+        self,
+        buffer: str,
+        indices,
+        write: bool = True,
+        phase: str | None = None,
+        thread: int | None = None,
+    ) -> None:
+        """Record a shared-buffer access for the trace race detector.
+
+        ``phase``/``thread`` model conceptually thread-parallel work (the
+        hybrid pack/copy/unpack phases): two accesses in the same phase
+        from different threads are treated as unordered even though the
+        simulation executes them sequentially.  No-op unless tracing.
+        """
+        if not self._world.trace_enabled:
+            return
+        self._record(
+            "access",
+            buffer=buffer,
+            indices=tuple(int(i) for i in np.atleast_1d(indices)),
+            write=write,
+            phase=phase,
+            thread=thread,
+        )
 
     # -- virtual time -------------------------------------------------------
 
@@ -164,6 +248,7 @@ class Comm:
             self.stats.flops += flops
         self.clock += seconds
         self.stats.compute_seconds += seconds
+        self._record("compute", nbytes=0.0, detail=f"{seconds:.3e}s")
 
     # -- point to point -----------------------------------------------------
 
@@ -177,12 +262,20 @@ class Comm:
         nbytes = _payload_bytes(payload)
         self.clock += MPI_CALL_OVERHEAD
         self.stats.comm_seconds += MPI_CALL_OVERHEAD
+        eid = self._record(
+            "send",
+            peer=dest,
+            tag=tag,
+            nbytes=nbytes,
+            detail=type(payload).__qualname__,
+        )
         msg = _Message(
             src=self.rank,
             payload=_copy_payload(payload),
             nbytes=nbytes,
             send_clock=self.clock,
             irregular=irregular,
+            trace_eid=eid,
         )
         self._world._mailbox(dest, self.rank, tag).put(msg)
         self.stats.messages_sent += 1
@@ -197,14 +290,22 @@ class Comm:
         if not 0 <= source < self.size:
             raise ValueError(f"bad source rank {source}")
         box = self._world._mailbox(self.rank, source, tag)
+        self._record("recv_post", peer=source, tag=tag)
 
         def complete():
             try:
-                msg = box.get(timeout=_RECV_TIMEOUT)
+                msg = box.get(timeout=self._world.recv_timeout)
             except queue.Empty:
+                hint = (
+                    " (trace recorded: run repro.analysis.tracecheck."
+                    "check_trace(world.trace, world.nranks) for the full "
+                    "explanation)"
+                    if self._world.trace_enabled
+                    else ""
+                )
                 raise RuntimeError(
                     f"rank {self.rank} deadlocked waiting for rank {source} "
-                    f"tag {tag}"
+                    f"tag {tag}{hint}"
                 ) from None
             transit = self._world.transfer_time(
                 msg.src, self.rank, msg.nbytes, irregular=msg.irregular
@@ -215,6 +316,13 @@ class Comm:
             self.stats.comm_seconds += self.clock - before
             self.stats.messages_received += 1
             self.stats.bytes_received += msg.nbytes
+            self._record(
+                "recv",
+                peer=source,
+                tag=tag,
+                nbytes=msg.nbytes,
+                matched=msg.trace_eid,
+            )
             return msg.payload
 
         return Request(complete)
@@ -227,8 +335,9 @@ class Comm:
 
     # -- collectives ----------------------------------------------------------
 
-    def _collective(self, value, combine, nbytes: float):
+    def _collective(self, value, combine, nbytes: float, kind: str = "collective"):
         before = self.clock
+        self._record("collective", nbytes=nbytes, detail=kind)
         ctx = self._world._collectives
         result, sync = ctx.round(self.rank, (value, self.clock), _make_sync(combine))
         cost = self._world.collective_time(nbytes)
@@ -238,7 +347,7 @@ class Comm:
         return result
 
     def barrier(self) -> None:
-        self._collective(None, lambda vals: None, nbytes=8)
+        self._collective(None, lambda vals: None, nbytes=8, kind="barrier")
 
     def allreduce(self, value, op: str = "sum"):
         """Reduce scalars or same-shape arrays across ranks; all get it."""
@@ -247,11 +356,16 @@ class Comm:
             return _reduce(vals, op)
 
         nbytes = _payload_bytes(value)
-        return _copy_result(self._collective(value, combine, nbytes))
+        return _copy_result(
+            self._collective(value, combine, nbytes, kind=f"allreduce:{op}")
+        )
 
     def allgather(self, value) -> list:
         return _copy_result(
-            self._collective(value, lambda vals: list(vals), _payload_bytes(value))
+            self._collective(
+                value, lambda vals: list(vals), _payload_bytes(value),
+                kind="allgather",
+            )
         )
 
     def bcast(self, value, root: int = 0):
@@ -259,6 +373,7 @@ class Comm:
             value if self.rank == root else None,
             lambda vals: vals[root],
             _payload_bytes(value) if self.rank == root else 8,
+            kind=f"bcast:{root}",
         )
         return _copy_result(result)
 
@@ -326,6 +441,15 @@ class SimMPI:
     fabric:
         Box-to-box fabric used when no placement is given but callers
         still ask for cross-box costs.
+    trace:
+        Record a structured :class:`TraceEvent` log of every operation
+        (``self.trace``) for the :mod:`repro.analysis.tracecheck`
+        deadlock/race analyzers.  Off by default: tracing costs memory
+        proportional to message count.
+    recv_timeout:
+        Wall-clock seconds a blocking receive waits before declaring
+        deadlock.  Tests exercising failure paths should pass a small
+        value instead of waiting out the 120 s default.
     """
 
     def __init__(
@@ -333,6 +457,8 @@ class SimMPI:
         nranks: int,
         placement: JobPlacement | None = None,
         fabric: FabricModel = NUMALINK4,
+        trace: bool = False,
+        recv_timeout: float | None = None,
     ):
         if nranks < 1:
             raise ValueError("nranks must be >= 1")
@@ -346,6 +472,12 @@ class SimMPI:
         self._mailboxes: dict = {}
         self._mailbox_lock = threading.Lock()
         self._collectives = _CollectiveContext(nranks)
+        self.trace_enabled = trace
+        self.trace: list[TraceEvent] = []
+        self._trace_lock = threading.Lock()
+        self.recv_timeout = (
+            _RECV_TIMEOUT if recv_timeout is None else float(recv_timeout)
+        )
         if placement is not None:
             self._box_of = placement.box_of_rank()
             self._nboxes = placement.nboxes
@@ -360,6 +492,13 @@ class SimMPI:
             self.cpu = CPU_ITANIUM2_1600
 
     # -- plumbing -------------------------------------------------------------
+
+    def _append_event(self, **fields) -> int:
+        """Record one trace event; returns its world-global eid."""
+        with self._trace_lock:
+            eid = len(self.trace)
+            self.trace.append(TraceEvent(eid=eid, **fields))
+            return eid
 
     def _mailbox(self, dst: int, src: int, tag: int) -> queue.Queue:
         key = (dst, src, tag)

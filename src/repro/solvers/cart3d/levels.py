@@ -53,7 +53,7 @@ class Cart3DLevel:
 
     def spectral_area(self) -> np.ndarray:
         """Per-cell accumulated face area (for local time steps)."""
-        area = np.zeros(self.nflow)
+        area = np.zeros(self.nflow, dtype=np.float64)
         a = np.linalg.norm(self.face_normal, axis=1)
         np.add.at(area, self.face_left, a)
         np.add.at(area, self.face_right, a)
@@ -63,8 +63,8 @@ class Cart3DLevel:
 
 
 def _axis_normal(axis: np.ndarray, area: np.ndarray, sign=None) -> np.ndarray:
-    out = np.zeros((len(axis), 3))
-    s = np.ones(len(axis)) if sign is None else np.asarray(sign, dtype=float)
+    out = np.zeros((len(axis), 3), dtype=np.float64)
+    s = np.ones(len(axis), dtype=np.float64) if sign is None else np.asarray(sign, dtype=float)
     out[np.arange(len(axis)), axis] = s * area
     return out
 
@@ -96,12 +96,12 @@ class TransferOp:
 
     def restrict_solution(self, q: np.ndarray, vol_f: np.ndarray,
                           vol_c: np.ndarray) -> np.ndarray:
-        out = np.zeros((self.nflow_coarse, q.shape[1]))
+        out = np.zeros((self.nflow_coarse, q.shape[1]), dtype=np.float64)
         np.add.at(out, self.parent, q * vol_f[:, None])
         return out / vol_c[:, None]
 
     def restrict_residual(self, r: np.ndarray) -> np.ndarray:
-        out = np.zeros((self.nflow_coarse, r.shape[1]))
+        out = np.zeros((self.nflow_coarse, r.shape[1]), dtype=np.float64)
         np.add.at(out, self.parent, r)
         return out
 

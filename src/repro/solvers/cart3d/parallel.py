@@ -108,7 +108,7 @@ def _local_time_step(comm, dom: LocalCartDomain, q, cfl):
     p = pressure(q)
     c = np.sqrt(GAMMA * p / q[:, 0])
     u = q[:, 1:4] / q[:, 0:1]
-    acc = np.zeros((dom.nlocal, 1))
+    acc = np.zeros((dom.nlocal, 1), dtype=np.float64)
 
     def term(cells, normals):
         area = np.linalg.norm(normals, axis=1)
@@ -183,7 +183,7 @@ class ParallelCart3D:
             return dom.halo.owned_global, q[: dom.nowned], history
 
         results = world.run(body)
-        q_global = np.empty((self.level.nflow, len(qinf)))
+        q_global = np.empty((self.level.nflow, len(qinf)), dtype=np.float64)
         for gids, q_owned, history in results:
             q_global[gids] = q_owned
         return q_global, results[0][2]

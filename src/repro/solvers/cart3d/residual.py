@@ -32,7 +32,7 @@ def ls_gradient_setup(level: Cart3DLevel) -> tuple[np.ndarray, np.ndarray]:
     """
     centers = level.cut.mesh.centers()[level.cut.flow_cells]
     dim = centers.shape[1]
-    a = np.zeros((level.nflow, dim, dim))
+    a = np.zeros((level.nflow, dim, dim), dtype=np.float64)
     dr = centers[level.face_right] - centers[level.face_left]
     outer = dr[:, :, None] * dr[:, None, :]
     np.add.at(a, level.face_left, outer)
@@ -49,7 +49,7 @@ def ls_gradients(
 ) -> np.ndarray:
     """(nflow, dim, nvar) least-squares gradients of all variables."""
     dim = centers.shape[1]
-    rhs = np.zeros((level.nflow, dim, q.shape[1]))
+    rhs = np.zeros((level.nflow, dim, q.shape[1]), dtype=np.float64)
     dr = centers[level.face_right] - centers[level.face_left]
     dq = q[level.face_right] - q[level.face_left]
     contrib = dr[:, :, None] * dq[:, None, :]
@@ -124,7 +124,7 @@ def spectral_radius(level: Cart3DLevel, q: np.ndarray) -> np.ndarray:
     p = pressure(q)
     c = np.sqrt(GAMMA * p / q[:, 0])
     u = q[:, 1:4] / q[:, 0:1]
-    out = np.zeros(level.nflow)
+    out = np.zeros(level.nflow, dtype=np.float64)
 
     def face_term(cells, normals, other=None):
         area = np.linalg.norm(normals, axis=1)

@@ -172,7 +172,7 @@ class Cart3DSolver:
         ]
         if centers.shape[1] == 2:  # 2-D meshes live in the z=const plane
             centers = np.column_stack(
-                [centers, np.full(len(centers), 0.5)]
+                [centers, np.full(len(centers), 0.5, dtype=np.float64)]
             )
         ref = centers.mean(axis=0)
         arm = centers - ref

@@ -122,7 +122,7 @@ def roe_flux(
                       + eps[small]) * 0.5
 
     nvar = ql.shape[-1]
-    diss = np.zeros(ql.shape[:-1] + (5,))
+    diss = np.zeros(ql.shape[:-1] + (5,), dtype=np.float64)
 
     def add_wave(strength, lam, r0, r13, r4):
         diss[..., 0] += strength * lam * r0

@@ -95,7 +95,7 @@ def freestream(
     direction = np.array(
         [np.cos(a) * np.cos(b), np.sin(b), np.sin(a) * np.cos(b)]
     )
-    prim = np.zeros(nvar)
+    prim = np.zeros(nvar, dtype=np.float64)
     prim[0] = 1.0
     prim[1:4] = mach * direction
     prim[4] = 1.0 / GAMMA

@@ -68,7 +68,7 @@ def coarsen_context(ctx: FlowContext, cluster: np.ndarray) -> FlowContext:
     """Build the agglomerated coarse-level context (telescoping metrics)."""
     ncoarse = int(cluster.max()) + 1
     vol = np.bincount(cluster, weights=ctx.volumes, minlength=ncoarse)
-    pts = np.zeros((ncoarse, 3))
+    pts = np.zeros((ncoarse, 3), dtype=np.float64)
     for d in range(3):
         pts[:, d] = np.bincount(
             cluster, weights=ctx.volumes * ctx.points[:, d], minlength=ncoarse
@@ -89,16 +89,16 @@ def coarsen_context(ctx: FlowContext, cluster: np.ndarray) -> FlowContext:
     hi = np.maximum(ca, cb)
     key = lo * ncoarse + hi
     uniq, inv = np.unique(key, return_inverse=True)
-    face_vectors = np.zeros((len(uniq), 3))
+    face_vectors = np.zeros((len(uniq), 3), dtype=np.float64)
     np.add.at(face_vectors, inv, s)
     edges = np.column_stack([uniq // ncoarse, uniq % ncoarse])
 
     def agg_boundary(verts, normals):
         if len(verts) == 0:
-            return np.empty(0, dtype=np.int64), np.empty((0, 3))
+            return np.empty(0, dtype=np.int64), np.empty((0, 3), dtype=np.float64)
         cv = cluster[verts]
         u, inv2 = np.unique(cv, return_inverse=True)
-        agg = np.zeros((len(u), 3))
+        agg = np.zeros((len(u), 3), dtype=np.float64)
         np.add.at(agg, inv2, normals)
         return u, agg
 

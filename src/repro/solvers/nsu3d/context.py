@@ -34,11 +34,11 @@ class FlowContext:
     mu_lam: float
     # boundary vertex groups (aggregated outward normals)
     wall_vert: np.ndarray = field(default_factory=lambda: np.empty(0, np.int64))
-    wall_normal: np.ndarray = field(default_factory=lambda: np.empty((0, 3)))
+    wall_normal: np.ndarray = field(default_factory=lambda: np.empty((0, 3), dtype=np.float64))
     far_vert: np.ndarray = field(default_factory=lambda: np.empty(0, np.int64))
-    far_normal: np.ndarray = field(default_factory=lambda: np.empty((0, 3)))
+    far_normal: np.ndarray = field(default_factory=lambda: np.empty((0, 3), dtype=np.float64))
     sym_vert: np.ndarray = field(default_factory=lambda: np.empty(0, np.int64))
-    sym_normal: np.ndarray = field(default_factory=lambda: np.empty((0, 3)))
+    sym_normal: np.ndarray = field(default_factory=lambda: np.empty((0, 3), dtype=np.float64))
     lines: list = field(default_factory=list)
     dual: DualMesh | None = None  # fine level keeps its dual for gradients
 

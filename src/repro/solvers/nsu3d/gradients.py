@@ -25,7 +25,7 @@ def green_gauss(dual: DualMesh, fields: np.ndarray) -> np.ndarray:
     if fields.ndim == 1:
         fields = fields[:, None]
     n, k = fields.shape
-    grad = np.zeros((n, 3, k))
+    grad = np.zeros((n, 3, k), dtype=np.float64)
     a = dual.edges[:, 0]
     b = dual.edges[:, 1]
     mid = 0.5 * (fields[a] + fields[b])  # (E, k)

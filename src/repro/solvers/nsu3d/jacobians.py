@@ -44,7 +44,7 @@ def euler_jacobian(q: np.ndarray, normal: np.ndarray) -> np.ndarray:
     phi = 0.5 * GM1 * np.sum(u * u, axis=1)
     h = (q[:, 4] + prim[:, 4]) / prim[:, 0]
 
-    a = np.zeros((len(q), nvar, nvar))
+    a = np.zeros((len(q), nvar, nvar), dtype=np.float64)
     a[:, 0, 1:4] = n
     for i in range(3):
         a[:, 1 + i, 0] = phi * n[:, i] - u[:, i] * vn
@@ -81,12 +81,12 @@ def edge_spectral_radius(q: np.ndarray, edges, face_vectors) -> np.ndarray:
 def viscous_edge_coefficient(ctx: FlowContext, q: np.ndarray) -> np.ndarray:
     """Scalar viscous stiffness per edge, mu_eff |S| / d."""
     if ctx.mu_lam <= 0.0:
-        return np.zeros(ctx.nedges)
+        return np.zeros(ctx.nedges, dtype=np.float64)
     prim = conservative_to_primitive(q)
     mu_t = (
         eddy_viscosity(prim[:, 0], prim[:, 5], ctx.mu_lam)
         if q.shape[1] > 5
-        else np.zeros(ctx.npoints)
+        else np.zeros(ctx.npoints, dtype=np.float64)
     )
     a = ctx.edges[:, 0]
     b = ctx.edges[:, 1]
@@ -113,7 +113,7 @@ def assemble_diagonal(
     kv = viscous_edge_coefficient(ctx, q)
     scal = 0.5 * lam + kv  # identity part, both endpoints
 
-    scal_acc = np.zeros(n)
+    scal_acc = np.zeros(n, dtype=np.float64)
     np.add.at(scal_acc, a, scal)
     np.add.at(scal_acc, b, scal)
     if include_convective_jacobian:
@@ -175,7 +175,7 @@ def local_time_step(ctx: FlowContext, q: np.ndarray, cfl: float) -> np.ndarray:
     """CFL-scaled local pseudo-time step per vertex."""
     lam = edge_spectral_radius(q, ctx.edges, ctx.face_vectors)
     kv = viscous_edge_coefficient(ctx, q)
-    acc = np.zeros(ctx.npoints)
+    acc = np.zeros(ctx.npoints, dtype=np.float64)
     np.add.at(acc, ctx.edges[:, 0], lam + 2 * kv)
     np.add.at(acc, ctx.edges[:, 1], lam + 2 * kv)
     for verts, normals in (

@@ -25,7 +25,7 @@ def limit_correction(q, dq, max_change: float = 0.2):
     """Per-point scaling so density, total energy and the turbulence
     variable change boundedly per step — the standard guard against
     violent startup corrections from coarse levels."""
-    s = np.ones(len(q))
+    s = np.ones(len(q), dtype=np.float64)
     for var in (0, 4):
         allowed = max_change * np.abs(q[:, var]) + 1e-300
         s = np.minimum(s, allowed / np.maximum(np.abs(dq[:, var]), 1e-300))
@@ -108,8 +108,8 @@ def block_thomas(
     strategy); the recursion runs over the m stations.
     """
     L, m, k, _ = diag.shape
-    cprime = np.empty((L, max(m - 1, 0), k, k))
-    dprime = np.empty((L, m, k))
+    cprime = np.empty((L, max(m - 1, 0), k, k), dtype=np.float64)
+    dprime = np.empty((L, m, k), dtype=np.float64)
     dmat = diag[:, 0]
     if m > 1:
         cprime[:, 0] = np.linalg.solve(dmat, upper[:, 0])
@@ -124,7 +124,7 @@ def block_thomas(
             "lab,lb->la", lower[:, i - 1], dprime[:, i - 1]
         )
         dprime[:, i] = np.linalg.solve(dmat, rhs_i[..., None])[..., 0]
-    out = np.empty((L, m, k))
+    out = np.empty((L, m, k), dtype=np.float64)
     out[:, m - 1] = dprime[:, m - 1]
     for i in range(m - 2, -1, -1):
         out[:, i] = dprime[:, i] - np.einsum(

@@ -22,13 +22,13 @@ from .residual import apply_wall_bc, residual
 
 
 def restrict_solution(q, cluster, vol_f, vol_c):
-    out = np.zeros((len(vol_c), q.shape[1]))
+    out = np.zeros((len(vol_c), q.shape[1]), dtype=np.float64)
     np.add.at(out, cluster, q * vol_f[:, None])
     return out / vol_c[:, None]
 
 
 def restrict_residual(r, cluster, ncoarse):
-    out = np.zeros((ncoarse, r.shape[1]))
+    out = np.zeros((ncoarse, r.shape[1]), dtype=np.float64)
     np.add.at(out, cluster, r)
     return out
 

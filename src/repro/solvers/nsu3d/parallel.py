@@ -131,7 +131,7 @@ def _exchanged_time_step(comm, dom: LocalDomain, q, cfl):
     from .jacobians import viscous_edge_coefficient
 
     kv = viscous_edge_coefficient(ctx, q)
-    acc = np.zeros((ctx.npoints, 1))
+    acc = np.zeros((ctx.npoints, 1), dtype=np.float64)
     np.add.at(acc[:, 0], ctx.edges[:, 0], lam + 2 * kv)
     np.add.at(acc[:, 0], ctx.edges[:, 1], lam + 2 * kv)
     for verts, normals in (
@@ -258,7 +258,7 @@ class ParallelNSU3D:
             return dom.halo.owned_global, q[: dom.nowned], history
 
         results = world.run(body)
-        q_global = np.empty((self.ctx.npoints, len(qinf)))
+        q_global = np.empty((self.ctx.npoints, len(qinf)), dtype=np.float64)
         for gids, q_owned, history in results:
             q_global[gids] = q_owned
         return q_global, results[0][2]

@@ -133,7 +133,7 @@ def residual(
         coef = mu_f * area / dist  # (E,)
 
         dvel = vel[b_idx] - vel[a_idx]
-        fv = np.zeros((ctx.nedges, nvar))
+        fv = np.zeros((ctx.nedges, nvar), dtype=np.float64)
         fv[:, 1:4] = -coef[:, None] * dvel
         # energy: shear work + heat conduction (edge-normal forms)
         vbar = 0.5 * (vel[a_idx] + vel[b_idx])
@@ -166,7 +166,7 @@ def residual(
             else:
                 # coarse levels: estimate vorticity from edge differences
                 vort = _edge_vorticity_estimate(ctx, vel)
-                grad_nu = np.zeros((ctx.npoints, 3))
+                grad_nu = np.zeros((ctx.npoints, 3), dtype=np.float64)
             prod, dest = source_terms(rho, nu_hat, vort, ctx.dist, ctx.mu_lam)
             prod = prod + cb2_term(grad_nu, rho)
             r[:, 5] += (dest - prod) * ctx.volumes
@@ -212,8 +212,8 @@ def _edge_vorticity_estimate(ctx: FlowContext, vel: np.ndarray) -> np.ndarray:
     a = ctx.edges[:, 0]
     b = ctx.edges[:, 1]
     rate = np.linalg.norm(vel[b] - vel[a], axis=1) / ctx.edge_distances()
-    acc = np.zeros(ctx.npoints)
-    cnt = np.zeros(ctx.npoints)
+    acc = np.zeros(ctx.npoints, dtype=np.float64)
+    cnt = np.zeros(ctx.npoints, dtype=np.float64)
     np.add.at(acc, a, rate)
     np.add.at(acc, b, rate)
     np.add.at(cnt, a, 1.0)

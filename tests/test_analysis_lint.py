@@ -1,0 +1,168 @@
+"""Tests for the repo-specific AST lint pass."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.analysis import RULES, lint_paths, lint_source
+from repro.analysis.__main__ import main as lint_main
+
+
+def diags_for(text, path, select=None):
+    return lint_source(text, Path(path), select=select)
+
+
+class TestWallClockRule:
+    def test_time_time_flagged_in_comm(self):
+        src = "import time\n\ndef f():\n    return time.time()\n"
+        diags = diags_for(src, "src/repro/comm/bad.py")
+        assert [d.rule for d in diags] == ["R001"]
+        assert diags[0].line == 4
+        assert "time.time" in diags[0].message
+
+    def test_perf_counter_from_import_and_alias(self):
+        src = (
+            "from time import perf_counter as pc\n"
+            "import time as t\n"
+            "x = pc()\n"
+            "y = t.monotonic()\n"
+        )
+        diags = diags_for(src, "src/repro/perf/bad.py")
+        assert [d.rule for d in diags] == ["R001", "R001"]
+
+    def test_not_flagged_outside_virtual_time_modules(self):
+        src = "import time\nx = time.time()\n"
+        assert diags_for(src, "src/repro/database/store.py") == []
+
+    def test_noqa_suppresses(self):
+        src = "import time\nx = time.time()  # noqa: wall clock for logs\n"
+        assert diags_for(src, "src/repro/comm/ok.py") == []
+
+
+class TestSilentExceptRule:
+    def test_silent_fallback_flagged(self):
+        src = (
+            "def f(obj):\n"
+            "    try:\n"
+            "        return len(obj)\n"
+            "    except Exception:\n"
+            "        return 64\n"
+        )
+        diags = diags_for(src, "src/repro/anywhere/mod.py")
+        assert [d.rule for d in diags] == ["R002"]
+
+    def test_bare_except_flagged(self):
+        src = "try:\n    pass\nexcept:\n    pass\n"
+        diags = diags_for(src, "src/repro/x.py")
+        assert [d.rule for d in diags] == ["R002"]
+
+    def test_reraising_handler_passes(self):
+        src = (
+            "def f(obj):\n"
+            "    try:\n"
+            "        return len(obj)\n"
+            "    except Exception as exc:\n"
+            "        raise TypeError(str(exc)) from exc\n"
+        )
+        assert diags_for(src, "src/repro/x.py") == []
+
+    def test_specific_exception_passes(self):
+        src = "try:\n    pass\nexcept ValueError:\n    pass\n"
+        assert diags_for(src, "src/repro/x.py") == []
+
+    def test_comm_package_passes_after_payload_fix(self):
+        """Satellite: the _payload_bytes silent-64 fallback is gone, so
+        R002 is clean over the whole comm package."""
+        comm_dir = Path(__file__).parent.parent / "src" / "repro" / "comm"
+        assert lint_paths([comm_dir], select={"R002"}) == []
+
+
+class TestMeshLoopRule:
+    def test_range_len_flagged_in_solvers(self):
+        src = "def f(arr):\n    for i in range(len(arr)):\n        pass\n"
+        diags = diags_for(src, "src/repro/solvers/nsu3d/kern.py")
+        assert [d.rule for d in diags] == ["R003"]
+
+    def test_range_shape_flagged(self):
+        src = "def f(arr):\n    for i in range(arr.shape[0]):\n        pass\n"
+        diags = diags_for(src, "src/repro/solvers/cart3d/kern.py")
+        assert [d.rule for d in diags] == ["R003"]
+
+    def test_bounded_range_passes(self):
+        src = "def f(nlevels):\n    for i in range(nlevels):\n        pass\n"
+        assert diags_for(src, "src/repro/solvers/kern.py") == []
+
+    def test_not_flagged_outside_solvers(self):
+        src = "def f(arr):\n    for i in range(len(arr)):\n        pass\n"
+        assert diags_for(src, "src/repro/mesh/unstructured/dual.py") == []
+
+
+class TestDtypeRule:
+    def test_implicit_dtype_flagged(self):
+        src = "import numpy as np\nx = np.zeros((10, 3))\n"
+        diags = diags_for(src, "src/repro/solvers/kern.py")
+        assert [d.rule for d in diags] == ["R004"]
+
+    def test_keyword_dtype_passes(self):
+        src = "import numpy as np\nx = np.zeros(10, dtype=np.float64)\n"
+        assert diags_for(src, "src/repro/solvers/kern.py") == []
+
+    def test_positional_dtype_passes(self):
+        src = "import numpy as np\nx = np.zeros(10, np.int64)\n"
+        assert diags_for(src, "src/repro/solvers/kern.py") == []
+
+    def test_full_needs_third_argument(self):
+        src = "import numpy as np\nx = np.full(10, 0.5)\n"
+        diags = diags_for(src, "src/repro/solvers/kern.py")
+        assert [d.rule for d in diags] == ["R004"]
+
+    def test_alias_resolved(self):
+        src = "import numpy\nx = numpy.empty(4)\n"
+        diags = diags_for(src, "src/repro/solvers/kern.py")
+        assert [d.rule for d in diags] == ["R004"]
+
+
+class TestRunner:
+    def test_select_filters_rules(self):
+        src = (
+            "import numpy as np\n"
+            "x = np.zeros(4)\n"
+            "for i in range(len(x)):\n"
+            "    pass\n"
+        )
+        diags = diags_for(src, "src/repro/solvers/kern.py", select={"R004"})
+        assert [d.rule for d in diags] == ["R004"]
+
+    def test_syntax_error_reported_not_raised(self):
+        diags = diags_for("def f(:\n", "src/repro/solvers/kern.py")
+        assert [d.rule for d in diags] == ["lint/syntax-error"]
+
+    def test_main_exit_codes(self, tmp_path, capsys):
+        clean = tmp_path / "solvers" / "good.py"
+        clean.parent.mkdir()
+        clean.write_text("import numpy as np\nx = np.zeros(3, dtype=float)\n")
+        assert lint_main([str(clean)]) == 0
+        dirty = tmp_path / "solvers" / "bad.py"
+        dirty.write_text("import numpy as np\nx = np.zeros(3)\n")
+        assert lint_main([str(dirty)]) == 1
+        out = capsys.readouterr().out
+        assert "R004" in out and "bad.py" in out
+
+    def test_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in RULES:
+            assert rule_id in out
+
+    def test_module_invocation_on_repo(self):
+        """python -m repro.analysis over the shipped package is clean."""
+        repo = Path(__file__).parent.parent
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.analysis"],
+            capture_output=True,
+            text=True,
+            cwd=repo,
+            env={"PYTHONPATH": str(repo / "src"), "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "0 error(s)" in proc.stdout

@@ -1,0 +1,22 @@
+"""Tier-1 enforcement: the repo's own source passes its own analyzers.
+
+This is the CI wiring for the lint pass — any future commit that adds a
+wall-clock call to a virtual-time module, a silent broad except, a
+Python-level mesh loop, or a dtype-implicit kernel allocation fails
+pytest, not just an optional side tool.
+"""
+
+from pathlib import Path
+
+from repro.analysis import errors, format_report, lint_paths
+
+SRC = Path(__file__).parent.parent / "src" / "repro"
+
+
+def test_repo_source_passes_custom_lint():
+    diags = lint_paths([SRC])
+    assert diags == [], "\n" + format_report(diags)
+
+
+def test_no_error_severity_anywhere():
+    assert errors(lint_paths([SRC])) == []

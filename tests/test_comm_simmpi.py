@@ -259,3 +259,13 @@ class TestErrors:
     def test_zero_ranks(self):
         with pytest.raises(ValueError):
             SimMPI(0)
+
+    def test_unpicklable_payload_raises_typeerror(self):
+        """No silent 64-byte fallback: the offending type is named."""
+        import threading
+
+        def body(comm):
+            comm.send(threading.Lock(), dest=1)
+
+        with pytest.raises(RuntimeError, match="lock"):
+            SimMPI(2).run(body)
