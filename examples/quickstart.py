@@ -1,5 +1,9 @@
 """Quickstart: both solvers of the paper in a few lines each.
 
+Everything comes from the :mod:`repro.api` facade — one import site,
+solvers built through the blessed factories, both exposing the same
+``solve -> history / forces() / counters / size`` surface.
+
 1. Cart3D side — automated inviscid analysis: implicit geometry in, an
    adapted cut-cell Cartesian mesh and multigrid Euler solve out.
 2. NSU3D side — high-fidelity RANS: a boundary-layer-stretched mesh,
@@ -9,18 +13,13 @@
 Run:  python examples/quickstart.py
 """
 
-import numpy as np
-
-from repro.mesh.cartesian import Sphere
-from repro.mesh.unstructured import bump_channel
-from repro.solvers.cart3d import Cart3DSolver
-from repro.solvers.nsu3d import NSU3DSolver
+from repro.api import Sphere, bump_channel, make_cart3d_solver, make_nsu3d_solver
 
 
 def cart3d_demo():
     print("=== Cart3D-style inviscid analysis ===")
     body = Sphere(center=[0.5, 0.5, 0.5], radius=0.15)
-    solver = Cart3DSolver(
+    solver = make_cart3d_solver(
         body,
         dim=2,              # 2-D cylinder section: quick to run
         base_level=4,
@@ -29,7 +28,7 @@ def cart3d_demo():
         mach=0.4,
         alpha_deg=0.0,
     )
-    print(f"  adapted mesh: {solver.ncells} flow cells, "
+    print(f"  adapted mesh: {solver.size} flow cells, "
           f"{solver.mg_levels} multigrid levels "
           f"({[l.nflow for l in solver.levels]})")
     history = solver.solve(ncycles=60, tol_orders=5.0, cycle="W")
@@ -48,7 +47,7 @@ def nsu3d_demo():
         ratio=1.4,
         bump_height=0.03,
     )
-    solver = NSU3DSolver(
+    solver = make_nsu3d_solver(
         mesh=mesh,
         mach=0.5,
         reynolds=1e5,
@@ -56,7 +55,7 @@ def nsu3d_demo():
         turbulence=True,    # coupled Spalart-Allmaras (6 DOF/point)
         cfl=8.0,
     )
-    print(f"  {solver.npoints} points, {solver.ndof} degrees of freedom, "
+    print(f"  {solver.size} points, {solver.ndof} degrees of freedom, "
           f"{len(solver.contexts[0].lines)} implicit lines, "
           f"levels {[c.npoints for c in solver.contexts]}")
     history = solver.solve(ncycles=40, tol_orders=3.0, cycle="W")

@@ -3,25 +3,30 @@
 Builds the Space-Shuttle-Launch-Vehicle assembly (orbiter, external
 tank, twin SRBs, attach hardware, engines), deflects the elevon through
 a configuration sweep, meshes each instance automatically (the mesh
-responds to the deflection, fig. 8), fills a small wind-space database
-per configuration, and demonstrates the "virtual database": an
-un-stored case is re-run on demand.
+responds to the deflection, fig. 8), then fills a small wind-space
+database per configuration through the executing
+:class:`~repro.api.FillRuntime` — cases packed onto node slots, each
+mesh amortized over its wind cases, the planner's schedule cross-checked
+against the realized packing.  A second identical fill is all cache
+hits; the virtual database re-runs an un-stored case on demand.
 
 Run:  python examples/shuttle_database.py
 """
 
 import numpy as np
 
-from repro.database import (
+from repro.api import (
     Axis,
     ParameterSpace,
     StudyDefinition,
+    VariableFidelityStudy,
     build_job_tree,
+    fill_summary_table,
+    make_cart3d_solver,
     meshing_amortization,
     schedule_fill,
+    shuttle_stack,
 )
-from repro.core import VariableFidelityStudy
-from repro.mesh.cartesian import shuttle_stack
 from repro.partition import cell_weights, sfc_partition
 
 
@@ -54,7 +59,8 @@ def main():
           f"concurrently; estimated fill makespan "
           f"{plan.makespan_seconds / 60:.1f} min")
 
-    # real (small) fill: 3-D shuttle meshes, multigrid Euler per case
+    # real (small) fill: 3-D shuttle meshes, multigrid Euler per case,
+    # executed through the runtime's bounded worker pool
     runner = VariableFidelityStudy(
         geometry=geometry,
         study=study,
@@ -65,17 +71,28 @@ def main():
         cycles=12,
     )
     db = runner.fill()
-    print(f"filled {len(db)} cases with {runner.meshes_built} meshes")
+    first = runner.last_report
+    print(f"filled {len(db)} cases with {runner.meshes_built} meshes "
+          f"on {first.slots} node slots "
+          f"(realized concurrency {first.max_concurrent}, "
+          f"plan issues: {first.plan_issues or 'none'})")
     params, cd = db.coefficients("cd")
     print(f"  cd range over the envelope: {np.nanmin(cd):.5f} .. "
           f"{np.nanmax(cd):.5f}")
 
+    # identical re-fill: every case is a content-keyed cache hit
+    runner.fill()
+    print()
+    print(fill_summary_table(
+        {"fill": first.summary(), "re-fill": runner.last_report.summary()},
+        title="SSLV elevon database fill (runtime event-stream summaries)",
+    ))
+    print()
+
     # mesh/partition stats for one instance (fig. 12's 2.1x cut weights)
     solver_case = runner._configure({"elevon": 10.0})
-    from repro.solvers.cart3d import Cart3DSolver
-
-    s = Cart3DSolver(solver_case, dim=3, base_level=3, max_level=5,
-                     mg_levels=1)
+    s = make_cart3d_solver(solver_case, dim=3, base_level=3, max_level=5,
+                           mg_levels=1)
     level = s.levels[0]
     w = cell_weights(level.cut.is_cut_flow())
     part = sfc_partition(w, 16)

@@ -45,11 +45,20 @@ The package contains:
     The variable-fidelity analysis workflow tying the two solvers together,
     and the registry mapping every paper figure to the code that
     regenerates it.
+
+``repro.api``
+    The curated facade: every public entry point re-exported from one
+    module, plus the ``make_cart3d_solver``/``make_nsu3d_solver``
+    factories all database-side solver construction goes through.
+    Start there: ``from repro.api import FillRuntime, wing_body``.
 """
+
+import importlib
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "api",
     "machine",
     "comm",
     "mesh",
@@ -60,3 +69,11 @@ __all__ = [
     "core",
     "util",
 ]
+
+
+def __getattr__(name: str):
+    # Lazy submodule access: `import repro; repro.api.wing_body()` works
+    # without eagerly importing every subsystem at package import time.
+    if name in __all__:
+        return importlib.import_module(f".{name}", __name__)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

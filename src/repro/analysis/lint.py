@@ -19,6 +19,11 @@ These rules encode exactly those house invariants:
 * **R004 implicit-dtype-alloc** — ``np.zeros``/``empty``/``ones``/
   ``full`` without an explicit dtype in solver kernels; implicit float64
   defaults hide precision and memory-footprint decisions.
+* **R005 solver-construction-outside-facade** — direct
+  ``Cart3DSolver(...)``/``NSU3DSolver(...)`` construction inside
+  ``repro.database``; the fill runtime must build solvers through the
+  :mod:`repro.api` factories so submission, caching and counter wiring
+  stay uniform.
 
 A finding on a line containing ``noqa`` is suppressed (same idiom as
 ruff); :data:`RULES` documents each rule and the path segments it
@@ -99,6 +104,22 @@ RULES = {
         ),
         segments=("solvers",),
     ),
+    "R005": Rule(
+        id="R005",
+        name="solver-construction-outside-facade",
+        description=(
+            "direct solver construction inside the database package; build "
+            "through repro.api.make_cart3d_solver/make_nsu3d_solver"
+        ),
+        segments=("database",),
+    ),
+}
+
+#: Solver classes whose construction R005 routes through the facade,
+#: mapped to the blessed factory.
+FACADE_SOLVERS = {
+    "Cart3DSolver": "repro.api.make_cart3d_solver",
+    "NSU3DSolver": "repro.api.make_nsu3d_solver",
 }
 
 
@@ -232,6 +253,16 @@ class _LintVisitor(ast.NodeVisitor):
                         f"np.{attr}(...) without an explicit dtype in a "
                         "kernel module",
                     )
+        if "R005" in self.rules and qual is not None:
+            cls = qual.rpartition(".")[2]
+            if cls in FACADE_SOLVERS:
+                self._report(
+                    "R005",
+                    node,
+                    f"direct {cls}(...) construction inside the database "
+                    f"package; go through {FACADE_SOLVERS[cls]} so every "
+                    "runtime-built solver shares the audited facade path",
+                )
         self.generic_visit(node)
 
     # -- R002: silent broad except --------------------------------------------

@@ -1,0 +1,200 @@
+"""The blessed entry point: one curated facade over the whole package.
+
+Everything a user of the reproduction needs — geometry builders, the two
+solvers behind the unified :class:`~repro.solvers.interface.SolverProtocol`
+surface, the parameter-study machinery, the executing fill runtime and
+the variable-fidelity workflow — re-exported from one module::
+
+    from repro.api import (
+        Cart3DSolver, FillRuntime, Cart3DCaseRunner,
+        StudyDefinition, ParameterSpace, Axis,
+        build_job_tree, schedule_fill, wing_body,
+    )
+
+The facade also owns the *factory* functions
+(:func:`make_cart3d_solver` / :func:`make_nsu3d_solver`) through which
+all solver construction inside :mod:`repro.database` must go — lint rule
+R005 enforces that, so submission, caching and counter wiring stay
+uniform no matter which code path builds the solver.
+
+Migration from the historical deep imports:
+
+==============================================  ================================
+old call                                        facade call
+==============================================  ================================
+``repro.solvers.cart3d.Cart3DSolver(...)``      ``repro.api.make_cart3d_solver(...)``
+``repro.solvers.nsu3d.NSU3DSolver(...)``        ``repro.api.make_nsu3d_solver(...)``
+``solver.ncells`` / ``solver.npoints``          ``solver.size``
+``repro.solvers.nsu3d.NSU3DHistory``            ``repro.api.ConvergenceHistory``
+serial loop over ``study.run_case(...)``        ``repro.api.FillRuntime`` /
+                                                ``study.fill(...)``
+==============================================  ================================
+"""
+
+from __future__ import annotations
+
+from .core.design import DesignHistory, DesignOptimizer, trim_objective
+from .core.flightenv import AeroInterpolant, FlightState, fly_through
+from .core.workflow import VariableFidelityStudy
+from .database import (
+    AeroDatabase,
+    Axis,
+    Cart3DCaseRunner,
+    CaseExecutionError,
+    CaseHandle,
+    CaseRecord,
+    CaseTimeout,
+    FillEvent,
+    FillReport,
+    FillRuntime,
+    FlowJob,
+    GeometryJob,
+    JobOutcome,
+    ParameterSpace,
+    ResultStore,
+    SchedulePlan,
+    StudyDefinition,
+    build_job_tree,
+    cross_check_plan,
+    meshing_amortization,
+    schedule_fill,
+    standard_study,
+)
+from .machine import CPUS_PER_NODE, Columbia, node_slots, vortex_subcluster
+from .mesh.cartesian import (
+    CartesianMesh,
+    Sphere,
+    adapt_to_geometry,
+    shuttle_stack,
+    wing_body,
+)
+from .mesh.unstructured import HybridMesh, bump_channel, wing_mesh
+from .perf import fill_summary_table, format_comparison, format_series_table
+from .solvers import (
+    CaseResult,
+    CaseSpec,
+    ConvergenceHistory,
+    SolverProtocol,
+    case_result,
+)
+from .solvers.cart3d import Cart3DSolver
+from .solvers.nsu3d import NSU3DSolver
+
+__all__ = [
+    # solvers — unified surface
+    "Cart3DSolver",
+    "NSU3DSolver",
+    "make_cart3d_solver",
+    "make_nsu3d_solver",
+    "SolverProtocol",
+    "ConvergenceHistory",
+    "CaseSpec",
+    "CaseResult",
+    "case_result",
+    # geometry / meshes
+    "Sphere",
+    "wing_body",
+    "shuttle_stack",
+    "adapt_to_geometry",
+    "CartesianMesh",
+    "HybridMesh",
+    "bump_channel",
+    "wing_mesh",
+    # parameter studies + runtime
+    "Axis",
+    "ParameterSpace",
+    "StudyDefinition",
+    "standard_study",
+    "FlowJob",
+    "GeometryJob",
+    "build_job_tree",
+    "meshing_amortization",
+    "SchedulePlan",
+    "schedule_fill",
+    "FillRuntime",
+    "FillReport",
+    "FillEvent",
+    "JobOutcome",
+    "CaseHandle",
+    "CaseExecutionError",
+    "CaseTimeout",
+    "Cart3DCaseRunner",
+    "ResultStore",
+    "cross_check_plan",
+    "AeroDatabase",
+    "CaseRecord",
+    # workflow + envelope
+    "VariableFidelityStudy",
+    "AeroInterpolant",
+    "FlightState",
+    "fly_through",
+    "DesignOptimizer",
+    "DesignHistory",
+    "trim_objective",
+    # machine + reporting
+    "Columbia",
+    "vortex_subcluster",
+    "CPUS_PER_NODE",
+    "node_slots",
+    "fill_summary_table",
+    "format_series_table",
+    "format_comparison",
+]
+
+
+def make_cart3d_solver(
+    solid,
+    mesh: CartesianMesh | None = None,
+    *,
+    dim: int = 3,
+    base_level: int = 3,
+    max_level: int = 5,
+    mg_levels: int = 4,
+    mach: float = 0.5,
+    alpha_deg: float = 0.0,
+    beta_deg: float = 0.0,
+    **kwargs,
+) -> Cart3DSolver:
+    """Construct the inviscid Cart3D-style solver (the blessed path).
+
+    Thin by design: it exists so every construction site — the fill
+    runtime, the workflow, user scripts — goes through one audited
+    function, which is what lint rule R005 checks inside
+    ``repro.database``.
+    """
+    return Cart3DSolver(
+        solid,
+        mesh=mesh,
+        dim=dim,
+        base_level=base_level,
+        max_level=max_level,
+        mg_levels=mg_levels,
+        mach=mach,
+        alpha_deg=alpha_deg,
+        beta_deg=beta_deg,
+        **kwargs,
+    )
+
+
+def make_nsu3d_solver(
+    mesh=None,
+    *,
+    mach: float = 0.75,
+    alpha_deg: float = 0.0,
+    beta_deg: float = 0.0,
+    reynolds: float = 1.0e5,
+    mg_levels: int = 4,
+    turbulence: bool = True,
+    **kwargs,
+) -> NSU3DSolver:
+    """Construct the high-fidelity NSU3D-style RANS solver."""
+    return NSU3DSolver(
+        mesh=mesh,
+        mach=mach,
+        alpha_deg=alpha_deg,
+        beta_deg=beta_deg,
+        reynolds=reynolds,
+        mg_levels=mg_levels,
+        turbulence=turbulence,
+        **kwargs,
+    )

@@ -15,17 +15,31 @@ configuration/wind space; NSU3D anchors selected design points with the
 high-fidelity model; anchor corrections calibrate the inviscid database
 ("large numbers of inviscid solutions can often be corrected using the
 results of a relatively few full Navier-Stokes simulations").
+
+Since the fill-runtime redesign, both :meth:`VariableFidelityStudy.fill`
+and :meth:`VariableFidelityStudy.run_case` route through one
+:class:`~repro.database.runtime.FillRuntime`: cases execute on a bounded
+worker pool sized from the machine model, geometry instances are meshed
+once and shared (the paper's amortization), and identical re-submissions
+are content-keyed cache hits.  ``fill`` also cross-checks the retained
+:func:`~repro.database.scheduler.schedule_fill` plan against the
+realized packing and keeps the report on :attr:`last_report`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
-from ..database import AeroDatabase, CaseRecord, StudyDefinition, build_job_tree
+from ..database import (
+    AeroDatabase,
+    CaseRecord,
+    StudyDefinition,
+    build_job_tree,
+    schedule_fill,
+)
+from ..database.runtime import Cart3DCaseRunner, FillReport, FillRuntime
 from ..mesh.cartesian.geometry import Assembly
-from ..solvers.cart3d import Cart3DSolver
+from ..solvers.interface import CaseSpec
 
 
 @dataclass
@@ -41,6 +55,9 @@ class VariableFidelityStudy:
     base_level, max_level, mg_levels, cycles:
         Cart3D meshing/solver settings per case (kept small — this runs
         real solves).
+    nnodes, cpus_per_case:
+        Fill concurrency: the runtime packs ``(512 // cpus_per_case) *
+        nnodes`` simultaneous cases, the paper's node-slot arithmetic.
     """
 
     geometry: Assembly
@@ -50,57 +67,79 @@ class VariableFidelityStudy:
     max_level: int = 5
     mg_levels: int = 3
     cycles: int = 25
+    nnodes: int = 1
+    cpus_per_case: int = 32
     database: AeroDatabase = field(default_factory=AeroDatabase)
     meshes_built: int = 0
     cases_run: int = 0
+    last_report: FillReport | None = field(default=None, repr=False)
+    _runtime: FillRuntime | None = field(default=None, repr=False, compare=False)
+    _runner: Cart3DCaseRunner | None = field(
+        default=None, repr=False, compare=False
+    )
+
+    # -- the unified submission path ---------------------------------------------
+
+    def runner(self) -> Cart3DCaseRunner:
+        """The facade-built Cart3D case runner this study submits through."""
+        if self._runner is None:
+            self._runner = Cart3DCaseRunner(
+                self.geometry,
+                dim=self.dim,
+                base_level=self.base_level,
+                max_level=self.max_level,
+                mg_levels=self.mg_levels,
+                cycles=self.cycles,
+            )
+        return self._runner
+
+    def runtime(self) -> FillRuntime:
+        """The executing fill runtime (created lazily, reused across
+        ``fill``/``run_case`` calls so they share one result cache)."""
+        if self._runtime is None:
+            self._runtime = FillRuntime(
+                self.runner(),
+                nnodes=self.nnodes,
+                cpus_per_case=self.cpus_per_case,
+            )
+        return self._runtime
 
     def _configure(self, config_params: dict) -> Assembly:
-        deflections = {
-            k: v for k, v in config_params.items()
-            if k in {c.name for c in self.geometry.components}
-        }
-        return self.geometry.with_deflections(**deflections)
+        return self.runner().configure(config_params)
+
+    def case_spec(self, wind: dict, config: dict) -> CaseSpec:
+        """The content-keyed spec for one case of this study."""
+        return CaseSpec(
+            config=config, wind=wind, solver="cart3d",
+            settings=self.runner().settings(),
+        )
 
     def run_case(self, solid: Assembly, wind: dict,
                  config: dict) -> CaseRecord:
-        """One Cart3D solve; records forces + convergence."""
-        solver = Cart3DSolver(
-            solid,
-            dim=self.dim,
-            base_level=self.base_level,
-            max_level=self.max_level,
-            mg_levels=self.mg_levels,
-            mach=wind.get("mach", 0.5),
-            alpha_deg=wind.get("alpha", 0.0),
-            beta_deg=wind.get("beta", 0.0),
-        )
-        hist = solver.solve(ncycles=self.cycles, tol_orders=4.0)
-        self.cases_run += 1
-        params = dict(config)
-        params.update(wind)
-        return CaseRecord(
-            params=params,
-            coefficients=solver.forces(),
-            residual_history=list(hist.residuals),
-            converged=hist.orders_converged() >= 2.0,
-        )
+        """One Cart3D solve through the runtime; records forces +
+        convergence.  Re-running an identical case is a cache hit."""
+        spec = self.case_spec(wind, config)
+        handle = self.runtime().submit(spec, shared=(solid, None))
+        result = handle.result()
+        if not handle.hit:
+            self.cases_run += 1
+        return result.to_record()
 
     def fill(self, max_cases: int | None = None) -> AeroDatabase:
-        """Hierarchical database fill: mesh each configuration once,
-        sweep the wind space on it (paper's amortization)."""
-        tree = build_job_tree(self.study)
-        done = 0
-        for geo_job in tree:
-            solid = self._configure(geo_job.config_params)
-            self.meshes_built += 1
-            for flow_job in geo_job.flow_jobs:
-                record = self.run_case(
-                    solid, flow_job.wind_params, geo_job.config_params
-                )
-                self.database.insert(record)
-                done += 1
-                if max_cases is not None and done >= max_cases:
-                    return self.database
+        """Hierarchical database fill through the executing runtime:
+        mesh each configuration once, sweep the wind space on it (the
+        paper's amortization), cases packed onto node slots concurrently.
+        """
+        tree = _truncate_tree(build_job_tree(self.study), max_cases)
+        ncases = sum(len(g.flow_jobs) for g in tree)
+        plan = schedule_fill(
+            tree, nnodes=self.nnodes, cpus_per_case=self.cpus_per_case
+        ) if ncases else None
+        report = self.runtime().run_tree(tree, plan=plan)
+        self.last_report = report
+        self.meshes_built += report.meshes_built
+        self.cases_run += report.executed
+        report.database(self.database)
         return self.database
 
     # -- high-fidelity anchoring -------------------------------------------------
@@ -128,3 +167,21 @@ class VariableFidelityStudy:
         """Database lookup with the anchor correction applied."""
         rec = self.database.get(params)
         return rec.coefficients[name] + corrections.get(name, 0.0)
+
+
+def _truncate_tree(tree: list, max_cases: int | None) -> list:
+    """First ``max_cases`` flow jobs of the hierarchy, dropping geometry
+    instances left with no cases (their mesh would never be used)."""
+    if max_cases is None:
+        return tree
+    out = []
+    remaining = max_cases
+    for geo in tree:
+        if remaining <= 0:
+            break
+        take = geo.flow_jobs[:remaining]
+        remaining -= len(take)
+        if take:
+            clone = type(geo)(config_params=geo.config_params, flow_jobs=take)
+            out.append(clone)
+    return out

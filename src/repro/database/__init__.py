@@ -1,9 +1,23 @@
 """Cart3D-style automated parameter studies (paper section IV):
 config-space x wind-space definitions, hierarchical job control, node
-packing, and the aero-performance database with virtual re-runs."""
+packing (the planner), the executing fill runtime with content-keyed
+caching, and the aero-performance database with virtual re-runs."""
 
 from .jobs import FlowJob, GeometryJob, build_job_tree, meshing_amortization
 from .parameters import Axis, ParameterSpace, StudyDefinition, standard_study
+from .resultstore import ResultStore
+from .runtime import (
+    Cart3DCaseRunner,
+    CaseExecutionError,
+    CaseHandle,
+    CaseTimeout,
+    FillEvent,
+    FillReport,
+    FillRuntime,
+    JobOutcome,
+    SharedGeometry,
+    cross_check_plan,
+)
 from .scheduler import SchedulePlan, schedule_fill
 from .store import AeroDatabase, CaseRecord
 
@@ -20,4 +34,15 @@ __all__ = [
     "schedule_fill",
     "AeroDatabase",
     "CaseRecord",
+    "ResultStore",
+    "FillRuntime",
+    "FillReport",
+    "FillEvent",
+    "JobOutcome",
+    "CaseHandle",
+    "CaseExecutionError",
+    "CaseTimeout",
+    "SharedGeometry",
+    "Cart3DCaseRunner",
+    "cross_check_plan",
 ]

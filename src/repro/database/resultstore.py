@@ -1,0 +1,84 @@
+"""Content-keyed persistent store of case results (fill cache/dedup).
+
+The paper's "virtual database" observes that re-running a case is often
+cheaper than retrieving it from mass storage — but *within* a fill
+campaign the opposite holds: re-submitting an identical case (same
+config, wind and solver settings) must be a cache hit, not a second
+solve.  :class:`ResultStore` provides exactly that layer for the fill
+runtime: an in-memory map from :attr:`CaseSpec.key` to
+:class:`~repro.solvers.interface.CaseResult`, optionally backed by an
+append-only JSON-lines file so a campaign survives process restarts.
+
+The store deliberately keys on *content* (the sha-256 of the canonical
+spec), not on parameter dicts, so two callers constructing the same case
+through different code paths — the facade, a raw :class:`FlowJob`, a
+re-run callback — dedup against each other.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+
+from ..solvers.interface import CaseResult
+
+
+class ResultStore:
+    """Thread-safe content-keyed cache of :class:`CaseResult` records.
+
+    Parameters
+    ----------
+    path:
+        Optional JSON-lines file.  Existing entries are loaded on
+        construction; every :meth:`put` appends one line, so the store
+        is persistent across runtime instances and processes.  Later
+        entries for the same key win (last-write-wins on reload).
+    """
+
+    def __init__(self, path: str | Path | None = None):
+        self._lock = threading.Lock()
+        self._results: dict[str, CaseResult] = {}
+        self._path = Path(path) if path is not None else None
+        if self._path is not None and self._path.exists():
+            for line in self._path.read_text().splitlines():
+                if not line.strip():
+                    continue
+                entry = json.loads(line)
+                result = CaseResult.from_json(entry)
+                self._results[result.spec.key] = result
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._results)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._results
+
+    @property
+    def path(self) -> Path | None:
+        return self._path
+
+    def keys(self) -> list[str]:
+        with self._lock:
+            return list(self._results)
+
+    def get(self, key: str) -> CaseResult | None:
+        with self._lock:
+            return self._results.get(key)
+
+    def put(self, result: CaseResult) -> str:
+        """Store a result under its spec's content key; returns the key."""
+        key = result.spec.key
+        with self._lock:
+            self._results[key] = result
+            if self._path is not None:
+                with self._path.open("a") as fh:
+                    fh.write(json.dumps(result.to_json()) + "\n")
+        return key
+
+    def clear(self) -> None:
+        """Drop the in-memory view (the persistence file is untouched)."""
+        with self._lock:
+            self._results.clear()

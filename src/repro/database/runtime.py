@@ -1,0 +1,643 @@
+"""Executing fill runtime: the paper's §IV job control, actually run.
+
+``schedule_fill`` answers the *planning* question (how long does a fill
+occupy N Columbia boxes); this module answers the *execution* one.  A
+:class:`FillRuntime` consumes the same :func:`build_job_tree` hierarchy
+and really runs the cases on a bounded worker pool whose width is the
+machine model's slot count (:func:`repro.machine.topology.node_slots` —
+"running as many cases simultaneously as memory permits").  It layers on
+what a real campaign needs and the paper's job scripts provided
+operationally:
+
+* **geometry amortization** — each geometry instance is prepared
+  (surface + mesh) exactly once, lazily, shared by every wind case under
+  it ("this approach amortizes the cost of preparing the surface and
+  meshing each instance of the geometry over the hundreds or thousands
+  of runs");
+* **content-keyed caching/dedup** — results land in a
+  :class:`~repro.database.resultstore.ResultStore` keyed by
+  :attr:`CaseSpec.key`; re-submitting an identical case is a cache hit,
+  whether in the same session or from a persisted store;
+* **bounded retry with backoff and per-attempt timeouts** — transient
+  failures re-run up to ``max_attempts`` times; the timeout is
+  cooperative (an attempt that outlives its budget is discarded and
+  retried — the runtime cannot preempt a running solve, only refuse its
+  result, as a node-level job killer would);
+* **cancellation** — :meth:`FillRuntime.cancel` stops queued jobs and
+  aborts remaining retries at the next attempt boundary;
+* **a structured event stream** — every submit/start/retry/done/failed/
+  cache-hit is a :class:`FillEvent`; :func:`repro.perf.report.fill_summary_table`
+  renders the per-run summaries side by side;
+* **plan cross-checking** — the retained planner's
+  :class:`~repro.database.scheduler.SchedulePlan` is compared against the
+  realized packing (:func:`cross_check_plan`): job counts, slot sizing
+  and the concurrency high-water mark must agree.
+
+Lint rule R005 bans direct ``Cart3DSolver``/``NSU3DSolver`` construction
+inside this package: the bundled :class:`Cart3DCaseRunner` builds its
+solvers through the :mod:`repro.api` facade.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from ..machine.topology import node_slots
+from ..solvers.interface import CaseResult, CaseSpec, case_result
+from .resultstore import ResultStore
+from .scheduler import SchedulePlan
+from .store import AeroDatabase
+
+
+class CaseExecutionError(RuntimeError):
+    """A case exhausted its retry budget (or was cancelled)."""
+
+    def __init__(self, key: str, attempts: int, cause: str):
+        super().__init__(
+            f"case {key} failed after {attempts} attempt(s): {cause}"
+        )
+        self.key = key
+        self.attempts = attempts
+        self.cause = cause
+
+
+class CaseTimeout(RuntimeError):
+    """One attempt outlived its timeout budget (retryable)."""
+
+
+@dataclass(frozen=True)
+class FillEvent:
+    """One entry of the structured progress stream."""
+
+    seq: int
+    t: float  # seconds since the runtime's epoch
+    kind: str  # submit|cache_hit|geometry|start|retry|done|failed|cancelled|cancel|cross_check
+    key: str  # case content key ("" for runtime-level events)
+    info: dict = field(default_factory=dict)
+
+
+class EventLog:
+    """Thread-safe, monotonically sequenced event stream."""
+
+    def __init__(self, clock, on_event=None):
+        self._lock = threading.Lock()
+        self._events: list[FillEvent] = []
+        self._clock = clock
+        self._on_event = on_event
+
+    def emit(self, kind: str, key: str = "", **info) -> FillEvent:
+        with self._lock:
+            event = FillEvent(
+                seq=len(self._events), t=self._clock(), kind=kind,
+                key=key, info=info,
+            )
+            self._events.append(event)
+        if self._on_event is not None:
+            self._on_event(event)  # outside the lock: callbacks may re-emit
+        return event
+
+    @property
+    def next_seq(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    def since(self, seq: int) -> list[FillEvent]:
+        with self._lock:
+            return self._events[seq:]
+
+    def all(self) -> list[FillEvent]:
+        return self.since(0)
+
+
+@dataclass
+class JobOutcome:
+    """Terminal state of one submitted case."""
+
+    spec: CaseSpec
+    state: str  # "done" | "cached" | "failed" | "cancelled"
+    result: CaseResult | None = None
+    attempts: int = 0
+    slot: int | None = None
+    start: float = 0.0
+    end: float = 0.0
+    error: str | None = None
+
+
+class CaseHandle:
+    """Future-like handle returned by :meth:`FillRuntime.submit`.
+
+    ``hit`` is True when the submission was satisfied without a new
+    execution (session dedup or persistent-store hit).
+    """
+
+    def __init__(self, spec: CaseSpec, hit: bool = False):
+        self.spec = spec
+        self.key = spec.key
+        self.hit = hit
+        self._future: Future | None = None
+        self._outcome: JobOutcome | None = None
+
+    def _resolve(self, outcome: JobOutcome) -> None:
+        self._outcome = outcome
+
+    def outcome(self) -> JobOutcome:
+        """Block until the case reaches a terminal state."""
+        if self._outcome is None:
+            assert self._future is not None
+            self._outcome = self._future.result()
+        return self._outcome
+
+    def result(self) -> CaseResult:
+        """Block for the :class:`CaseResult`; raise on failure."""
+        out = self.outcome()
+        if out.result is None:
+            raise CaseExecutionError(
+                self.key, out.attempts, out.error or out.state
+            )
+        return out.result
+
+    def done(self) -> bool:
+        return self._outcome is not None or (
+            self._future is not None and self._future.done()
+        )
+
+
+class SharedGeometry:
+    """Lazy once-per-instance geometry preparation (paper amortization).
+
+    The first wind case of an instance builds the surface/mesh under a
+    lock; every other case of that instance reuses the product.
+    """
+
+    def __init__(self, geo_job, builder, on_built=None):
+        self.geo_job = geo_job
+        self._builder = builder
+        self._on_built = on_built
+        self._lock = threading.Lock()
+        self._built = False
+        self._value = None
+
+    @property
+    def built(self) -> bool:
+        return self._built
+
+    def __call__(self):
+        with self._lock:
+            if not self._built:
+                self._value = self._builder(self.geo_job)
+                self._built = True
+                if self._on_built is not None:
+                    self._on_built(self)
+        return self._value
+
+
+@dataclass
+class FillReport:
+    """Aggregated outcome of one :meth:`FillRuntime.run_tree` campaign."""
+
+    outcomes: list
+    events: list
+    slots: int
+    cases: int = 0
+    executed: int = 0
+    cache_hits: int = 0
+    retries: int = 0
+    failures: int = 0
+    cancelled: int = 0
+    meshes_built: int = 0
+    max_concurrent: int = 0
+    wall_seconds: float = 0.0
+    plan_issues: list | None = None
+
+    def ok(self) -> bool:
+        return self.failures == 0 and self.cancelled == 0 and not self.plan_issues
+
+    def database(self, db: AeroDatabase | None = None) -> AeroDatabase:
+        """Insert every successful result into an :class:`AeroDatabase`."""
+        db = db if db is not None else AeroDatabase()
+        for out in self.outcomes:
+            if out.result is not None:
+                db.insert(out.result.to_record())
+        return db
+
+    def summary(self) -> dict:
+        """Counters in render order — rows of the fill summary table."""
+        return {
+            "cases": self.cases,
+            "executed": self.executed,
+            "cache hits": self.cache_hits,
+            "retries": self.retries,
+            "failures": self.failures,
+            "cancelled": self.cancelled,
+            "meshes built": self.meshes_built,
+            "slots": self.slots,
+            "max concurrent": self.max_concurrent,
+            "wall seconds": round(self.wall_seconds, 3),
+        }
+
+
+def _max_overlap(intervals) -> int:
+    """Concurrency high-water mark of (start, end) intervals."""
+    events = []
+    for start, end in intervals:
+        events.append((start, 1))
+        events.append((end, -1))
+    live = peak = 0
+    # ends sort before starts at equal timestamps: back-to-back reuse of a
+    # slot is sequential, not concurrent
+    for _, delta in sorted(events, key=lambda e: (e[0], e[1])):
+        live += delta
+        peak = max(peak, live)
+    return peak
+
+
+def cross_check_plan(plan: SchedulePlan, report: FillReport) -> list[str]:
+    """Compare the planner's packing against the runtime's realized one."""
+    issues = []
+    if len(plan.assignments) != report.cases:
+        issues.append(
+            f"planner packed {len(plan.assignments)} flow jobs but the "
+            f"runtime saw {report.cases} submissions"
+        )
+    if report.slots != plan.concurrent_cases:
+        issues.append(
+            f"runtime sized {report.slots} worker slots but the plan "
+            f"assumed {plan.concurrent_cases} concurrent cases"
+        )
+    if report.max_concurrent > plan.concurrent_cases:
+        issues.append(
+            f"realized concurrency {report.max_concurrent} exceeded the "
+            f"planned slot capacity {plan.concurrent_cases}"
+        )
+    return issues
+
+
+class FillRuntime:
+    """Bounded-concurrency executor for database-fill case submissions.
+
+    Parameters
+    ----------
+    runner:
+        ``runner(spec, shared) -> CaseResult`` — executes one case.
+        ``shared`` is the (lazily built) per-geometry product, or None
+        for direct submissions.
+    nnodes, cpus_per_case:
+        Slot sizing via the machine model: ``(512 // cpus_per_case) *
+        nnodes`` concurrent cases, exactly the planner's arithmetic.
+    store:
+        :class:`ResultStore` for caching/dedup (fresh in-memory store by
+        default; pass a path-backed one for persistence).
+    max_attempts, backoff_seconds:
+        Bounded retry: attempt ``n`` failures sleep
+        ``backoff_seconds * n`` before re-running, up to ``max_attempts``.
+    timeout_seconds:
+        Cooperative per-attempt budget (see module docstring).
+    on_event:
+        Optional callback invoked with every :class:`FillEvent`.
+    """
+
+    def __init__(
+        self,
+        runner,
+        *,
+        nnodes: int = 1,
+        cpus_per_case: int = 32,
+        store: ResultStore | None = None,
+        max_attempts: int = 3,
+        backoff_seconds: float = 0.01,
+        timeout_seconds: float | None = None,
+        on_event=None,
+    ):
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        self.runner = runner
+        self.nnodes = nnodes
+        self.cpus_per_case = cpus_per_case
+        self.slots = node_slots(cpus_per_case, nnodes)
+        self.store = store if store is not None else ResultStore()
+        self.max_attempts = max_attempts
+        self.backoff_seconds = backoff_seconds
+        self.timeout_seconds = timeout_seconds
+        self._epoch = time.monotonic()
+        self.events = EventLog(self._now, on_event)
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.slots, thread_name_prefix="fill"
+        )
+        # RLock: on_event callbacks fired from submit() may legally
+        # re-enter the runtime (e.g. cancel or chase with a new submit)
+        self._lock = threading.RLock()
+        self._handles: dict[str, CaseHandle] = {}
+        self._free_slots = list(range(self.slots))
+        heapq.heapify(self._free_slots)
+        self._cancelled = threading.Event()
+        self._geometry_builds = 0
+        self.closed = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _now(self) -> float:
+        return time.monotonic() - self._epoch
+
+    def cancel(self) -> None:
+        """Stop queued cases and abort remaining retries."""
+        if not self._cancelled.is_set():
+            self._cancelled.set()
+            self.events.emit("cancel")
+
+    def close(self) -> None:
+        self.closed = True
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "FillRuntime":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(self, spec: CaseSpec, shared=None) -> CaseHandle:
+        """Submit one case; identical re-submissions are cache hits."""
+        if self.closed:
+            raise RuntimeError("runtime is closed")
+        with self._lock:
+            primary = self._handles.get(spec.key)
+            if primary is not None:
+                self.events.emit("cache_hit", spec.key, source="session")
+                twin = CaseHandle(spec, hit=True)
+                twin._future = primary._future
+                twin._outcome = primary._outcome
+                return twin
+            cached = self.store.get(spec.key)
+            if cached is not None:
+                handle = CaseHandle(spec, hit=True)
+                now = self._now()
+                handle._resolve(
+                    JobOutcome(
+                        spec=spec, state="cached", result=cached,
+                        attempts=0, start=now, end=now,
+                    )
+                )
+                self._handles[spec.key] = handle
+                self.events.emit("cache_hit", spec.key, source="store")
+                return handle
+            handle = CaseHandle(spec)
+            self._handles[spec.key] = handle
+            self.events.emit("submit", spec.key)
+            handle._future = self._pool.submit(self._run_job, spec, shared)
+        return handle
+
+    def run_case(self, spec: CaseSpec, shared=None) -> CaseResult:
+        """Submit one case and block for its result (raises on failure)."""
+        return self.submit(spec, shared=shared).result()
+
+    def run_tree(
+        self,
+        tree,
+        *,
+        prepare=None,
+        solver: str | None = None,
+        settings: dict | None = None,
+        plan: SchedulePlan | None = None,
+    ) -> FillReport:
+        """Execute a :func:`build_job_tree` hierarchy end to end.
+
+        ``prepare(geo_job)`` builds the per-instance shared geometry
+        (defaults to the runner's ``prepare`` attribute when present);
+        ``settings`` are stamped onto every :class:`CaseSpec` so the
+        cache key covers solver configuration.  When ``plan`` is given,
+        the realized packing is cross-checked against it and any
+        discrepancies recorded as a ``cross_check`` event and in
+        :attr:`FillReport.plan_issues`.
+        """
+        prepare = prepare if prepare is not None else getattr(
+            self.runner, "prepare", None
+        )
+        if solver is None:
+            solver = getattr(self.runner, "solver_name", "cart3d")
+        if settings is None:
+            settings_fn = getattr(self.runner, "settings", None)
+            settings = settings_fn() if settings_fn is not None else {}
+        seq0 = self.events.next_seq
+        builds0 = self._geometry_builds
+        t0 = self._now()
+        handles = []
+        for geo_job in tree:
+            shared = None
+            if prepare is not None:
+                shared = SharedGeometry(geo_job, prepare, self._on_geometry)
+            for flow_job in geo_job.flow_jobs:
+                spec = CaseSpec.from_flow_job(
+                    flow_job, solver=solver, **settings
+                )
+                handles.append(self.submit(spec, shared=shared))
+        outcomes = [h.outcome() for h in handles]
+        events = self.events.since(seq0)
+        # executions belonging to *this* campaign: cache hits resolve to
+        # outcomes of earlier runs and must not count again
+        ran = [
+            o for h, o in zip(handles, outcomes)
+            if not h.hit and o.attempts > 0
+        ]
+        report = FillReport(
+            outcomes=outcomes,
+            events=events,
+            slots=self.slots,
+            cases=len(handles),
+            executed=len({id(o) for o in ran}),
+            cache_hits=sum(1 for h in handles if h.hit),
+            retries=sum(1 for e in events if e.kind == "retry"),
+            failures=sum(1 for o in outcomes if o.state == "failed"),
+            cancelled=sum(1 for o in outcomes if o.state == "cancelled"),
+            meshes_built=self._geometry_builds - builds0,
+            max_concurrent=_max_overlap(
+                {id(o): (o.start, o.end) for o in ran}.values()
+            ),
+            wall_seconds=self._now() - t0,
+        )
+        if plan is not None:
+            report.plan_issues = cross_check_plan(plan, report)
+            self.events.emit(
+                "cross_check",
+                issues=list(report.plan_issues),
+                planned_slots=plan.concurrent_cases,
+                realized_max_concurrent=report.max_concurrent,
+            )
+            report.events = self.events.since(seq0)
+        return report
+
+    # -- execution -----------------------------------------------------------
+
+    def _on_geometry(self, shared: SharedGeometry) -> None:
+        with self._lock:
+            self._geometry_builds += 1
+        self.events.emit(
+            "geometry",
+            key=CaseSpec(config=shared.geo_job.config_params).geometry_key,
+            config=shared.geo_job.config_params,
+        )
+
+    def _acquire_slot(self) -> int:
+        with self._lock:
+            if not self._free_slots:
+                raise RuntimeError("worker started with no free slot")
+            return heapq.heappop(self._free_slots)
+
+    def _release_slot(self, slot: int) -> None:
+        with self._lock:
+            heapq.heappush(self._free_slots, slot)
+
+    def _run_job(self, spec: CaseSpec, shared) -> JobOutcome:
+        slot = self._acquire_slot()
+        start = self._now()
+        try:
+            attempts = 0
+            try:
+                while True:
+                    if self._cancelled.is_set():
+                        self.events.emit("cancelled", spec.key)
+                        return JobOutcome(
+                            spec=spec, state="cancelled", attempts=attempts,
+                            slot=slot, start=start, end=self._now(),
+                            error="fill cancelled",
+                        )
+                    attempts += 1
+                    self.events.emit(
+                        "start" if attempts == 1 else "retry_start",
+                        spec.key, attempt=attempts, slot=slot,
+                    )
+                    t_attempt = self._now()
+                    try:
+                        # SharedGeometry (and friends) are callables that
+                        # build lazily; direct submissions may pass the
+                        # prepared product itself
+                        value = shared() if callable(shared) else shared
+                        result = self.runner(spec, value)
+                        elapsed = self._now() - t_attempt
+                        if (
+                            self.timeout_seconds is not None
+                            and elapsed > self.timeout_seconds
+                        ):
+                            raise CaseTimeout(
+                                f"attempt took {elapsed:.3f}s > timeout "
+                                f"{self.timeout_seconds:.3f}s"
+                            )
+                    except Exception as exc:
+                        if attempts >= self.max_attempts or self._cancelled.is_set():
+                            raise CaseExecutionError(
+                                spec.key, attempts, repr(exc)
+                            ) from exc
+                        self.events.emit(
+                            "retry", spec.key, attempt=attempts,
+                            error=repr(exc),
+                        )
+                        time.sleep(self.backoff_seconds * attempts)
+                        continue
+                    self.store.put(result)
+                    end = self._now()
+                    self.events.emit(
+                        "done", spec.key, attempts=attempts,
+                        seconds=round(end - t_attempt, 6),
+                    )
+                    return JobOutcome(
+                        spec=spec, state="done", result=result,
+                        attempts=attempts, slot=slot, start=start, end=end,
+                    )
+            except CaseExecutionError as exc:
+                self.events.emit(
+                    "failed", spec.key, attempts=exc.attempts, error=exc.cause
+                )
+                return JobOutcome(
+                    spec=spec, state="failed", attempts=exc.attempts,
+                    slot=slot, start=start, end=self._now(), error=str(exc),
+                )
+        finally:
+            self._release_slot(slot)
+
+
+class Cart3DCaseRunner:
+    """The default runner: real Cart3D solves through the facade.
+
+    ``prepare`` deflects and meshes one geometry instance
+    (:func:`~repro.mesh.cartesian.adapt_to_geometry` runs once per
+    instance); ``__call__`` solves one wind case on the shared mesh.
+    Solver construction goes through :func:`repro.api.make_cart3d_solver`
+    — lint rule R005 keeps direct constructor calls out of this package.
+    """
+
+    solver_name = "cart3d"
+
+    def __init__(
+        self,
+        geometry,
+        *,
+        dim: int = 2,
+        base_level: int = 4,
+        max_level: int = 5,
+        mg_levels: int = 3,
+        cycles: int = 25,
+        tol_orders: float = 4.0,
+        converged_orders: float = 2.0,
+    ):
+        self.geometry = geometry
+        self.dim = dim
+        self.base_level = base_level
+        self.max_level = max_level
+        self.mg_levels = mg_levels
+        self.cycles = cycles
+        self.tol_orders = tol_orders
+        self.converged_orders = converged_orders
+        self._deflectable = {c.name for c in geometry.components}
+
+    def settings(self) -> dict:
+        """Solver knobs that belong in the cache key."""
+        return {
+            "dim": self.dim,
+            "base_level": self.base_level,
+            "max_level": self.max_level,
+            "mg_levels": self.mg_levels,
+            "cycles": self.cycles,
+        }
+
+    def configure(self, config_params: dict):
+        """The deflected geometry instance for one config-space point."""
+        deflections = {
+            k: v for k, v in config_params.items() if k in self._deflectable
+        }
+        return self.geometry.with_deflections(**deflections)
+
+    def prepare(self, geo_job):
+        """Mesh one instance (shared by all its wind cases)."""
+        from ..mesh.cartesian import adapt_to_geometry
+
+        solid = self.configure(geo_job.config_params)
+        mesh, _ = adapt_to_geometry(
+            solid, dim=self.dim, base_level=self.base_level,
+            max_level=self.max_level,
+        )
+        return solid, mesh
+
+    def __call__(self, spec: CaseSpec, shared=None) -> CaseResult:
+        from .. import api
+
+        solid, mesh = shared if shared is not None else (
+            self.configure(spec.config_params), None
+        )
+        wind = spec.wind_params
+        solver = api.make_cart3d_solver(
+            solid,
+            mesh=mesh,
+            dim=self.dim,
+            base_level=self.base_level,
+            max_level=self.max_level,
+            mg_levels=self.mg_levels,
+            mach=wind.get("mach", 0.5),
+            alpha_deg=wind.get("alpha", 0.0),
+            beta_deg=wind.get("beta", 0.0),
+        )
+        solver.solve(ncycles=self.cycles, tol_orders=self.tol_orders)
+        return case_result(solver, spec, self.converged_orders)

@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from heapq import heappop, heappush
 
-from ..machine.topology import CPUS_PER_NODE
+from ..machine.topology import CPUS_PER_NODE, node_slots
 from .jobs import GeometryJob
 
 
@@ -46,14 +46,8 @@ def schedule_fill(
     Meshing jobs for all geometry instances run concurrently (the paper
     executes them in parallel); flow jobs then pack the node CPU slots.
     """
-    if nnodes < 1:
-        raise ValueError("nnodes must be >= 1")
-    if cpus_per_case < 1 or cpus_per_case > CPUS_PER_NODE:
-        raise ValueError("cases must fit in a node")
+    total_slots = node_slots(cpus_per_case, nnodes)
     slots_per_node = CPUS_PER_NODE // cpus_per_case
-    total_slots = slots_per_node * nnodes
-    if total_slots < 1:
-        raise ValueError("no slots available")
 
     # meshing: bounded by available slots too (mesh jobs are serial)
     n_instances = len(tree)

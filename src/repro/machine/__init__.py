@@ -33,6 +33,7 @@ from .topology import (
     NUMALINK_MAX_NODES,
     AltixNode,
     Columbia,
+    node_slots,
     vortex_subcluster,
 )
 
@@ -44,6 +45,7 @@ __all__ = [
     "CPUS_PER_BRICK",
     "BRICKS_PER_NODE",
     "NUMALINK_MAX_NODES",
+    "node_slots",
     "CpuModel",
     "CPU_ITANIUM2_1600",
     "CPU_ITANIUM2_1500",

@@ -96,3 +96,28 @@ def vortex_subcluster() -> Columbia:
     """Just the four BX2 boxes (c17-c20) — 2048 CPUs at 1.6 GHz."""
     full = Columbia.build()
     return Columbia(nodes=full.vortex())
+
+
+def node_slots(cpus_per_case: int, nnodes: int = 1) -> int:
+    """Concurrent case slots a fill can occupy across ``nnodes`` boxes.
+
+    The paper's §IV packing: "the 3-10 million cell cases typically fit
+    in memory on 32-128 CPUs, making it possible to run several cases
+    simultaneously on each 512 CPU node".  A case must fit inside one
+    node's shared memory, so ``cpus_per_case`` is bounded by
+    :data:`CPUS_PER_NODE`; both the makespan planner and the executing
+    fill runtime size their concurrency from this single source.
+    """
+    if nnodes < 1:
+        raise ValueError(f"nnodes must be >= 1, got {nnodes}")
+    if cpus_per_case <= 0:
+        raise ValueError(
+            f"cpus_per_case must be a positive CPU count, got {cpus_per_case}"
+        )
+    if cpus_per_case > CPUS_PER_NODE:
+        raise ValueError(
+            f"cpus_per_case={cpus_per_case} exceeds the {CPUS_PER_NODE}-CPU "
+            "Altix node; a case must fit within one node's shared memory "
+            "(paper section IV)"
+        )
+    return (CPUS_PER_NODE // cpus_per_case) * nnodes

@@ -12,7 +12,12 @@ from .commmodel import (
     halo_exchange_time,
     intergrid_transfer_time,
 )
-from .report import convergence_table, format_comparison, format_series_table
+from .report import (
+    convergence_table,
+    fill_summary_table,
+    format_comparison,
+    format_series_table,
+)
 from .scaling import (
     CART3D_CELLS_25M,
     CART3D_CPU_COUNTS,
@@ -60,4 +65,5 @@ __all__ = [
     "format_series_table",
     "format_comparison",
     "convergence_table",
+    "fill_summary_table",
 ]

@@ -66,6 +66,43 @@ def format_comparison(
     return f"  {name:<48} paper: {paper_s:>10} {unit:<6} measured: {meas_s:>10} {unit}{ratio}"
 
 
+def fill_summary_table(runs: dict, title: str = "") -> str:
+    """Render database-fill campaign summaries side by side.
+
+    ``runs`` maps a run label (e.g. ``"fill"``, ``"re-fill"``) to the
+    counter dict a :meth:`repro.database.FillReport.summary` returns.
+    Rows are the union of counter names in first-seen order, so two runs
+    of the same fill — the second all cache hits — line up directly; this
+    is the table the §IV aero-database examples and the fill bench print.
+    """
+    if not runs:
+        return ""
+    rows: list = []
+    for summary in runs.values():
+        for name in summary:
+            if name not in rows:
+                rows.append(name)
+    labels = list(runs)
+    width = max(len(r) for r in rows) + 2
+    lines = []
+    if title:
+        lines.append(title)
+    header = f"{'':<{width}} |" + "".join(f" {label:>14}" for label in labels)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name in rows:
+        row = f"{name:<{width}} |"
+        for label in labels:
+            value = runs[label].get(name, "-")
+            if isinstance(value, float):
+                cell = f"{value:g}"
+            else:
+                cell = str(value)
+            row += f" {cell:>14}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
 def convergence_table(histories: dict, every: int = 50) -> str:
     """Residual histories (fig. 14a style) side by side.
 

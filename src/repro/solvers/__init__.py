@@ -1,6 +1,25 @@
 """Flow solvers: shared gas dynamics / fluxes / limiters, the NSU3D-style
-RANS solver (``nsu3d``) and the Cart3D-style Euler solver (``cart3d``)."""
+RANS solver (``nsu3d``), the Cart3D-style Euler solver (``cart3d``), and
+the unified case interface (:mod:`~repro.solvers.interface`) both expose."""
 
 from . import cart3d, fluxes, gas, limiters
+from .interface import (
+    CaseResult,
+    CaseSpec,
+    ConvergenceHistory,
+    SolverProtocol,
+    case_result,
+)
 
-__all__ = ["gas", "fluxes", "limiters", "cart3d", "nsu3d"]
+__all__ = [
+    "gas",
+    "fluxes",
+    "limiters",
+    "cart3d",
+    "nsu3d",
+    "CaseSpec",
+    "CaseResult",
+    "ConvergenceHistory",
+    "SolverProtocol",
+    "case_result",
+]

@@ -10,14 +10,13 @@ meshes (section V).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 import numpy as np
 
 from ...machine.counters import PerfCounters
 from ...mesh.cartesian import CartesianMesh
 from ...mesh.cartesian.geometry import ImplicitSolid
 from ..gas import NVAR_EULER, freestream
+from ..interface import ConvergenceHistory, deprecated_accessor
 from .levels import build_levels
 from .multigrid import fas_cycle
 from .residual import ls_gradient_setup, residual
@@ -28,30 +27,7 @@ from .rk import residual_norm
 FLOPS_PER_CELL_RESIDUAL = 420.0
 FLOPS_PER_CELL_RK_CYCLE = 5 * FLOPS_PER_CELL_RESIDUAL + 180.0
 
-
-@dataclass
-class ConvergenceHistory:
-    """Residual and force traces over multigrid cycles."""
-
-    residuals: list = field(default_factory=list)
-    forces: list = field(default_factory=list)
-
-    def orders_converged(self) -> float:
-        if len(self.residuals) < 2 or self.residuals[0] <= 0:
-            return 0.0
-        floor = max(self.residuals[-1], 1e-300)
-        return float(np.log10(self.residuals[0] / floor))
-
-    def cycles_to(self, orders: float) -> int | None:
-        """First cycle index at which the residual dropped ``orders``
-        decades below its initial value (None if never)."""
-        if not self.residuals:
-            return None
-        target = self.residuals[0] * 10.0 ** (-orders)
-        for i, r in enumerate(self.residuals):
-            if r <= target:
-                return i
-        return None
+__all__ = ["Cart3DSolver", "ConvergenceHistory"]
 
 
 class Cart3DSolver:
@@ -103,13 +79,20 @@ class Cart3DSolver:
         return len(self.levels)
 
     @property
-    def ncells(self) -> int:
+    def size(self) -> int:
+        """Unified mesh-size accessor (:class:`SolverProtocol`): flow cells."""
         return self.levels[0].nflow
+
+    @property
+    def ncells(self) -> int:
+        """Deprecated: use :attr:`size`."""
+        deprecated_accessor("Cart3DSolver.ncells", "Cart3DSolver.size")
+        return self.size
 
     @property
     def ndof(self) -> int:
         """Paper: 'solves five equations for each cell in the domain'."""
-        return self.ncells * NVAR_EULER
+        return self.size * NVAR_EULER
 
     def run_cycle(self, cycle: str = "W") -> float:
         """One multigrid cycle; returns the post-cycle residual norm."""

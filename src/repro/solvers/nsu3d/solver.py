@@ -8,7 +8,7 @@ This is the object the figure-14(a) convergence study drives.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -20,6 +20,7 @@ from ...mesh.unstructured import (
 )
 from ...mesh.unstructured.dual import DualMesh
 from ..gas import NVAR_EULER, NVAR_RANS, freestream, pressure
+from ..interface import ConvergenceHistory, deprecated_accessor
 from .agglomerate import build_hierarchy
 from .context import context_from_dual
 from .linesolve import smooth
@@ -33,25 +34,14 @@ FLOPS_PER_POINT_IMPLICIT = 2600.0
 
 
 @dataclass
-class NSU3DHistory:
-    residuals: list = field(default_factory=list)
-    forces: list = field(default_factory=list)
+class NSU3DHistory(ConvergenceHistory):
+    """Deprecated alias of the unified
+    :class:`~repro.solvers.interface.ConvergenceHistory`."""
 
-    def orders_converged(self) -> float:
-        if len(self.residuals) < 2 or self.residuals[0] <= 0:
-            return 0.0
-        return float(
-            np.log10(self.residuals[0] / max(self.residuals[-1], 1e-300))
+    def __post_init__(self):
+        deprecated_accessor(
+            "NSU3DHistory", "repro.solvers.interface.ConvergenceHistory"
         )
-
-    def cycles_to(self, orders: float) -> int | None:
-        if not self.residuals:
-            return None
-        target = self.residuals[0] * 10.0 ** (-orders)
-        for i, r in enumerate(self.residuals):
-            if r <= target:
-                return i
-        return None
 
 
 class NSU3DSolver:
@@ -116,20 +106,27 @@ class NSU3DSolver:
         self.q = apply_wall_bc(
             fine, np.tile(self.qinf, (fine.npoints, 1))
         )
-        self.history = NSU3DHistory()
+        self.history = ConvergenceHistory()
 
     @property
     def mg_levels(self) -> int:
         return len(self.contexts)
 
     @property
-    def npoints(self) -> int:
+    def size(self) -> int:
+        """Unified mesh-size accessor (:class:`SolverProtocol`): grid points."""
         return self.contexts[0].npoints
+
+    @property
+    def npoints(self) -> int:
+        """Deprecated: use :attr:`size`."""
+        deprecated_accessor("NSU3DSolver.npoints", "NSU3DSolver.size")
+        return self.size
 
     @property
     def ndof(self) -> int:
         """Six degrees of freedom per grid point (paper section VI)."""
-        return self.npoints * self.nvar
+        return self.size * self.nvar
 
     def run_cycle(self, cycle: str = "W") -> float:
         with self.counters.region("mg_cycle"):
@@ -163,7 +160,7 @@ class NSU3DSolver:
 
     def solve(
         self, ncycles: int = 100, tol_orders: float = 6.0, cycle: str = "W"
-    ) -> NSU3DHistory:
+    ) -> ConvergenceHistory:
         r0 = None
         for _ in range(ncycles):
             r = self.run_cycle(cycle=cycle)
@@ -175,13 +172,21 @@ class NSU3DSolver:
 
     def forces(self) -> dict:
         """Wall pressure force integration (friction omitted — recorded
-        as a substitution in DESIGN.md; drag here is pressure drag)."""
+        as a substitution in DESIGN.md; drag here is pressure drag).
+
+        Returns the same coefficient keys as the Cart3D side
+        (``fx fy fz cl cd cm``) so database records are solver-agnostic.
+        """
         ctx = self.contexts[0]
         if len(ctx.wall_vert) == 0:
-            return {"cl": 0.0, "cd": 0.0, "fx": 0.0, "fz": 0.0}
+            return {k: 0.0 for k in ("fx", "fy", "fz", "cl", "cd", "cm")}
         p = pressure(self.q[ctx.wall_vert])
         pinf = pressure(self.qinf[None, :])[0]
-        force = ((p - pinf)[:, None] * ctx.wall_normal).sum(axis=0)
+        df = (p - pinf)[:, None] * ctx.wall_normal
+        force = df.sum(axis=0)
+        centers = ctx.points[ctx.wall_vert]
+        arm = centers - centers.mean(axis=0)
+        moment = np.cross(arm, df).sum(axis=0)
         qdyn = 0.5 * self.mach**2
         sref = np.abs(ctx.wall_normal[:, 2]).sum()
         a = np.radians(self.alpha_deg)
@@ -190,9 +195,11 @@ class NSU3DSolver:
         denom = max(qdyn * sref, 1e-300)
         return {
             "fx": float(force[0]),
+            "fy": float(force[1]),
             "fz": float(force[2]),
             "cd": float(force @ drag_dir) / denom,
             "cl": float(force @ lift_dir) / denom,
+            "cm": float(moment[1]) / denom,
         }
 
     def residual_norm(self) -> float:

@@ -122,6 +122,48 @@ class TestDtypeRule:
         assert [d.rule for d in diags] == ["R004"]
 
 
+class TestFacadeRule:
+    def test_direct_construction_flagged_in_database(self):
+        src = (
+            "from repro.solvers.cart3d import Cart3DSolver\n"
+            "s = Cart3DSolver(geom, dim=2)\n"
+        )
+        diags = diags_for(src, "src/repro/database/runtime.py")
+        assert [d.rule for d in diags] == ["R005"]
+        assert "make_cart3d_solver" in diags[0].message
+
+    def test_nsu3d_and_attribute_paths_flagged(self):
+        src = (
+            "import repro.solvers.nsu3d as nsu3d\n"
+            "s = nsu3d.NSU3DSolver(mesh=m)\n"
+        )
+        diags = diags_for(src, "src/repro/database/backfill.py")
+        assert [d.rule for d in diags] == ["R005"]
+        assert "make_nsu3d_solver" in diags[0].message
+
+    def test_facade_factory_passes(self):
+        src = (
+            "from repro import api\n"
+            "s = api.make_cart3d_solver(geom, mesh=mesh)\n"
+        )
+        assert diags_for(src, "src/repro/database/runtime.py") == []
+
+    def test_not_flagged_outside_database(self):
+        src = (
+            "from repro.solvers.cart3d import Cart3DSolver\n"
+            "s = Cart3DSolver(geom)\n"
+        )
+        assert diags_for(src, "src/repro/api.py") == []
+        assert diags_for(src, "src/repro/core/workflow.py") == []
+
+    def test_shipped_database_package_is_clean(self):
+        repo = Path(__file__).parent.parent
+        diags = lint_paths(
+            [repo / "src" / "repro" / "database"], select={"R005"}
+        )
+        assert diags == []
+
+
 class TestRunner:
     def test_select_filters_rules(self):
         src = (

@@ -1,0 +1,116 @@
+"""Tests for the repro.api facade and the unified solver surface."""
+
+import warnings
+
+import pytest
+
+from repro import api
+from repro.solvers import CaseSpec, ConvergenceHistory, SolverProtocol
+
+
+@pytest.fixture(scope="module")
+def cart3d():
+    solver = api.make_cart3d_solver(
+        api.Sphere(center=[0.5, 0.5, 0.5], radius=0.15),
+        dim=2, base_level=4, max_level=5, mg_levels=2, mach=0.4,
+    )
+    solver.solve(ncycles=5)
+    return solver
+
+
+@pytest.fixture(scope="module")
+def nsu3d():
+    solver = api.make_nsu3d_solver(
+        mesh=api.bump_channel(ni=8, nj=4, nk=6), mach=0.5, mg_levels=2
+    )
+    solver.solve(ncycles=5)
+    return solver
+
+
+class TestFacade:
+    def test_all_names_resolve(self):
+        for name in api.__all__:
+            assert getattr(api, name) is not None
+
+    def test_facade_covers_the_submission_pipeline(self):
+        for name in (
+            "CaseSpec", "CaseResult", "FillRuntime", "Cart3DCaseRunner",
+            "ResultStore", "schedule_fill", "build_job_tree",
+            "make_cart3d_solver", "make_nsu3d_solver", "node_slots",
+            "fill_summary_table", "VariableFidelityStudy",
+        ):
+            assert name in api.__all__
+
+    def test_lazy_package_getattr(self):
+        import repro
+
+        assert repro.api is api
+        with pytest.raises(AttributeError):
+            repro.no_such_submodule
+
+
+class TestUnifiedSurface:
+    def test_both_solvers_satisfy_the_protocol(self, cart3d, nsu3d):
+        assert isinstance(cart3d, SolverProtocol)
+        assert isinstance(nsu3d, SolverProtocol)
+
+    def test_histories_share_one_type(self, cart3d, nsu3d):
+        assert isinstance(cart3d.history, ConvergenceHistory)
+        assert isinstance(nsu3d.history, ConvergenceHistory)
+
+    def test_forces_key_parity(self, cart3d, nsu3d):
+        keys_c = set(cart3d.forces())
+        keys_n = set(nsu3d.forces())
+        assert {"cl", "cd", "cm"} <= keys_c
+        assert keys_c == keys_n
+
+    def test_size_and_ndof(self, cart3d, nsu3d):
+        from repro.solvers.gas import NVAR_EULER
+
+        assert cart3d.size == cart3d.levels[0].nflow
+        assert cart3d.ndof == cart3d.size * NVAR_EULER
+        assert nsu3d.size == nsu3d.contexts[0].npoints
+        assert nsu3d.ndof == nsu3d.size * 6
+
+
+class TestDeprecatedAccessors:
+    def test_ncells_warns_and_matches_size(self, cart3d):
+        with pytest.warns(DeprecationWarning, match="Cart3DSolver.size"):
+            assert cart3d.ncells == cart3d.size
+
+    def test_npoints_warns_and_matches_size(self, nsu3d):
+        with pytest.warns(DeprecationWarning, match="NSU3DSolver.size"):
+            assert nsu3d.npoints == nsu3d.size
+
+    def test_nsu3d_history_class_warns(self):
+        from repro.solvers.nsu3d import NSU3DHistory
+
+        with pytest.warns(DeprecationWarning, match="ConvergenceHistory"):
+            h = NSU3DHistory()
+        assert isinstance(h, ConvergenceHistory)
+
+    def test_blessed_paths_stay_silent(self, cart3d, nsu3d):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            cart3d.size, nsu3d.size, cart3d.history, nsu3d.forces()
+
+
+class TestCaseResultPackaging:
+    def test_case_result_roundtrip(self, cart3d):
+        from repro.solvers import CaseResult, case_result
+
+        spec = CaseSpec(config={"flap": 1.0}, wind={"mach": 0.4})
+        result = case_result(cart3d, spec)
+        assert result.coefficients == cart3d.forces()
+        assert result.cycles == len(cart3d.history.residuals)
+        again = CaseResult.from_json(result.to_json())
+        assert again.spec.key == spec.key
+        assert again.coefficients == result.coefficients
+
+    def test_to_record_carries_params_and_history(self, cart3d):
+        from repro.solvers import case_result
+
+        spec = CaseSpec(config={"flap": 1.0}, wind={"mach": 0.4})
+        rec = case_result(cart3d, spec).to_record()
+        assert rec.params == {"flap": 1.0, "mach": 0.4}
+        assert len(rec.residual_history) == len(cart3d.history.residuals)

@@ -1,0 +1,363 @@
+"""Tests for the executing fill runtime (paper section IV job control).
+
+Most tests drive :class:`FillRuntime` with fake runners so scheduling
+behavior — slot bounds, retry, caching, cancellation, cross-checking —
+is exercised without real solves; one closing test runs a small real
+fill and checks it matches a serial loop exactly.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.database import (
+    Axis,
+    FillRuntime,
+    ParameterSpace,
+    ResultStore,
+    StudyDefinition,
+    build_job_tree,
+    cross_check_plan,
+    schedule_fill,
+)
+from repro.database.runtime import CaseExecutionError
+from repro.machine import CPUS_PER_NODE, node_slots
+from repro.solvers import CaseResult, CaseSpec
+
+
+def spec(i, **settings):
+    return CaseSpec(
+        config={"flap": 0.0}, wind={"mach": 0.4 + 0.01 * i},
+        settings=settings,
+    )
+
+
+def ok_runner(s, shared=None):
+    return CaseResult(spec=s, coefficients={"cl": s.wind_params["mach"]})
+
+
+def tiny_tree(nconfig=2, nwind=3):
+    study = StudyDefinition(
+        config_space=ParameterSpace(
+            axes=(Axis("flap", tuple(float(i) for i in range(nconfig))),)
+        ),
+        wind_space=ParameterSpace(
+            axes=(Axis("mach", tuple(0.4 + 0.1 * i for i in range(nwind))),)
+        ),
+    )
+    return build_job_tree(study)
+
+
+class TestSlotSizing:
+    def test_node_slots_matches_paper_arithmetic(self):
+        assert node_slots(32) == CPUS_PER_NODE // 32
+        assert node_slots(32, nnodes=4) == (CPUS_PER_NODE // 32) * 4
+        assert node_slots(500) == 1  # barely fits, still one slot
+
+    def test_rejects_nonpositive_cpus(self):
+        with pytest.raises(ValueError, match="positive CPU count"):
+            node_slots(0)
+        with pytest.raises(ValueError, match="positive CPU count"):
+            node_slots(-32)
+
+    def test_rejects_case_larger_than_node(self):
+        with pytest.raises(ValueError, match="exceeds the 512-CPU"):
+            node_slots(CPUS_PER_NODE + 1)
+
+    def test_schedule_fill_shares_the_validation(self):
+        tree = tiny_tree()
+        with pytest.raises(ValueError, match="exceeds the 512-CPU"):
+            schedule_fill(tree, cpus_per_case=CPUS_PER_NODE + 1)
+        with pytest.raises(ValueError, match="positive CPU count"):
+            schedule_fill(tree, cpus_per_case=0)
+
+    def test_runtime_rejects_oversized_case(self):
+        with pytest.raises(ValueError, match="exceeds the 512-CPU"):
+            FillRuntime(ok_runner, cpus_per_case=CPUS_PER_NODE * 2)
+
+
+class TestRunTree:
+    def test_empty_tree_reports_zero_cases(self):
+        with FillRuntime(ok_runner) as rt:
+            report = rt.run_tree([])
+        assert report.cases == 0
+        assert report.executed == 0
+        assert report.ok()
+
+    def test_zero_wind_cases_geometry_never_built(self):
+        built = []
+
+        def prepare(geo_job):
+            built.append(geo_job)
+            return "product"
+
+        tree = tiny_tree(nconfig=2, nwind=1)
+        for geo in tree:
+            geo.flow_jobs = []
+        with FillRuntime(ok_runner) as rt:
+            report = rt.run_tree(tree, prepare=prepare)
+        assert report.cases == 0
+        assert built == []  # lazy: no case ever forced the mesh
+
+    def test_more_cases_than_slots_respects_bound(self):
+        slots = node_slots(128)  # 4 slots
+        live = []
+        peak = []
+        lock = threading.Lock()
+
+        def runner(s, shared=None):
+            with lock:
+                live.append(s.key)
+                peak.append(len(live))
+            time.sleep(0.02)
+            with lock:
+                live.remove(s.key)
+            return ok_runner(s)
+
+        with FillRuntime(runner, cpus_per_case=128) as rt:
+            report = rt.run_tree(tiny_tree(nconfig=3, nwind=4))
+        assert report.cases == 12
+        assert report.executed == 12
+        assert 1 < max(peak) <= slots
+        assert report.max_concurrent <= slots
+
+    def test_geometry_prepared_once_per_instance(self):
+        builds = []
+
+        def prepare(geo_job):
+            builds.append(geo_job.config_params["flap"])
+            time.sleep(0.01)  # widen the race window
+            return geo_job.config_params
+
+        with FillRuntime(ok_runner) as rt:
+            report = rt.run_tree(tiny_tree(nconfig=2, nwind=4), prepare=prepare)
+        assert sorted(builds) == [0.0, 1.0]  # once per instance, not per case
+        assert report.meshes_built == 2
+
+
+class TestRetryAndFailure:
+    def test_transient_failure_succeeds_on_retry(self):
+        calls = {}
+
+        def flaky(s, shared=None):
+            calls[s.key] = calls.get(s.key, 0) + 1
+            if calls[s.key] == 1:
+                raise OSError("node dropped the job")
+            return ok_runner(s)
+
+        with FillRuntime(flaky, max_attempts=3, backoff_seconds=0.0) as rt:
+            out = rt.submit(spec(0)).outcome()
+        assert out.state == "done"
+        assert out.attempts == 2
+
+    def test_retries_exhausted_marks_failed(self):
+        def broken(s, shared=None):
+            raise OSError("boom")
+
+        with FillRuntime(broken, max_attempts=2, backoff_seconds=0.0) as rt:
+            handle = rt.submit(spec(0))
+            out = handle.outcome()
+            assert out.state == "failed"
+            assert out.attempts == 2
+            assert "boom" in out.error
+            with pytest.raises(CaseExecutionError):
+                handle.result()
+            kinds = [e.kind for e in rt.events.all()]
+        assert kinds.count("retry") == 1
+        assert kinds.count("failed") == 1
+
+    def test_failed_case_not_cached(self):
+        attempts = {"n": 0}
+
+        def flaky(s, shared=None):
+            attempts["n"] += 1
+            if attempts["n"] <= 1:
+                raise OSError("boom")
+            return ok_runner(s)
+
+        store = ResultStore()
+        with FillRuntime(flaky, max_attempts=1, store=store) as rt:
+            assert rt.submit(spec(0)).outcome().state == "failed"
+        assert len(store) == 0
+
+    def test_timeout_is_retryable(self):
+        slow_once = {"done": False}
+
+        def runner(s, shared=None):
+            if not slow_once["done"]:
+                slow_once["done"] = True
+                time.sleep(0.05)
+            return ok_runner(s)
+
+        with FillRuntime(
+            runner, timeout_seconds=0.02, max_attempts=2, backoff_seconds=0.0
+        ) as rt:
+            out = rt.submit(spec(0)).outcome()
+        assert out.state == "done"
+        assert out.attempts == 2
+
+    def test_cancel_stops_queued_cases(self):
+        started = threading.Event()
+        release = threading.Event()
+
+        def runner(s, shared=None):
+            started.set()
+            release.wait(timeout=5)
+            return ok_runner(s)
+
+        rt = FillRuntime(runner, cpus_per_case=512)  # one slot: rest queue
+        try:
+            first = rt.submit(spec(0))
+            rest = [rt.submit(spec(i)) for i in range(1, 4)]
+            started.wait(timeout=5)
+            rt.cancel()
+            release.set()
+            states = [h.outcome().state for h in rest]
+            assert states == ["cancelled"] * 3
+            assert first.outcome().state == "done"  # in-flight case finishes
+        finally:
+            release.set()
+            rt.close()
+
+
+class TestCaching:
+    def test_duplicate_submission_is_session_hit(self):
+        ran = []
+
+        def runner(s, shared=None):
+            ran.append(s.key)
+            return ok_runner(s)
+
+        with FillRuntime(runner) as rt:
+            a = rt.submit(spec(0))
+            a.outcome()
+            b = rt.submit(spec(0))
+        assert not a.hit and b.hit
+        assert b.result().coefficients == a.result().coefficients
+        assert ran == [spec(0).key]
+
+    def test_second_run_all_cache_hits(self):
+        tree = tiny_tree(nconfig=2, nwind=3)
+        with FillRuntime(ok_runner) as rt:
+            r1 = rt.run_tree(tree)
+            r2 = rt.run_tree(tree)
+        assert r1.executed == 6 and r1.cache_hits == 0
+        assert r2.executed == 0 and r2.cache_hits == 6
+        assert r2.max_concurrent == 0
+
+    def test_persistent_store_survives_runtimes(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        with FillRuntime(ok_runner, store=ResultStore(path)) as rt:
+            rt.submit(spec(0)).result()
+
+        def never(s, shared=None):
+            raise AssertionError("store hit should not execute")
+
+        with FillRuntime(never, store=ResultStore(path)) as rt:
+            handle = rt.submit(spec(0))
+            assert handle.hit
+            assert handle.result().coefficients["cl"] == pytest.approx(0.4)
+
+    def test_spec_key_is_order_independent(self):
+        a = CaseSpec(config={"a": 1.0, "b": 2.0}, wind={"mach": 0.5, "alpha": 1.0})
+        b = CaseSpec(config={"b": 2.0, "a": 1.0}, wind={"alpha": 1.0, "mach": 0.5})
+        assert a.key == b.key
+        c = CaseSpec(config={"a": 1.0, "b": 2.5}, wind=a.wind_params)
+        assert c.key != a.key
+
+
+class TestPlanCrossCheck:
+    def test_realized_fill_agrees_with_plan(self):
+        tree = tiny_tree(nconfig=2, nwind=3)
+        plan = schedule_fill(tree, nnodes=1, cpus_per_case=32)
+        with FillRuntime(ok_runner, nnodes=1, cpus_per_case=32) as rt:
+            report = rt.run_tree(tree, plan=plan)
+        assert report.plan_issues == []
+        assert any(e.kind == "cross_check" for e in report.events)
+
+    def test_mismatched_plan_is_reported(self):
+        tree = tiny_tree(nconfig=2, nwind=3)
+        plan = schedule_fill(tree, nnodes=2, cpus_per_case=32)  # wrong sizing
+        with FillRuntime(ok_runner, nnodes=1, cpus_per_case=32) as rt:
+            report = rt.run_tree(tree, plan=plan)
+        assert report.plan_issues
+        assert any("slots" in issue for issue in report.plan_issues)
+        assert not report.ok()
+
+    def test_cross_check_catches_job_count_drift(self):
+        tree = tiny_tree(nconfig=2, nwind=3)
+        plan = schedule_fill(tree, cpus_per_case=32)
+        with FillRuntime(ok_runner, cpus_per_case=32) as rt:
+            report = rt.run_tree(tree[:1])  # runtime ran fewer jobs
+        issues = cross_check_plan(plan, report)
+        assert any("flow jobs" in issue for issue in issues)
+
+
+class TestEventStream:
+    def test_events_cover_the_lifecycle(self):
+        seen = []
+        with FillRuntime(ok_runner, on_event=seen.append) as rt:
+            report = rt.run_tree(tiny_tree(nconfig=1, nwind=2))
+        kinds = [e.kind for e in report.events]
+        assert kinds.count("submit") == 2
+        assert kinds.count("start") == 2
+        assert kinds.count("done") == 2
+        assert [e.kind for e in seen] == [e.kind for e in rt.events.all()]
+        seqs = [e.seq for e in rt.events.all()]
+        assert seqs == sorted(seqs) == list(range(len(seqs)))
+
+    def test_summary_feeds_the_report_table(self):
+        from repro.perf import fill_summary_table
+
+        with FillRuntime(ok_runner) as rt:
+            r1 = rt.run_tree(tiny_tree(nconfig=1, nwind=2))
+            r2 = rt.run_tree(tiny_tree(nconfig=1, nwind=2))
+        table = fill_summary_table({"fill": r1.summary(), "re-fill": r2.summary()})
+        assert "cache hits" in table
+        assert "re-fill" in table
+
+
+class TestResultStore:
+    def test_roundtrip_and_last_write_wins(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        store = ResultStore(path)
+        r1 = CaseResult(spec=spec(0), coefficients={"cl": 1.0})
+        r2 = CaseResult(spec=spec(0), coefficients={"cl": 2.0})
+        store.put(r1)
+        store.put(r2)
+        fresh = ResultStore(path)
+        assert len(fresh) == 1
+        assert fresh.get(spec(0).key).coefficients["cl"] == 2.0
+
+
+class TestRealSolverFill:
+    def test_runtime_fill_matches_serial_loop(self):
+        """A concurrent runtime fill must be bit-identical to running the
+        same cases one by one — amortized meshing changes nothing."""
+        from repro.database import Cart3DCaseRunner
+        from repro.mesh.cartesian import wing_body
+
+        study = StudyDefinition(
+            config_space=ParameterSpace(axes=(Axis("aileron", (0.0,)),)),
+            wind_space=ParameterSpace(
+                axes=(Axis("mach", (0.4, 0.5)), Axis("alpha", (0.0, 2.0)))
+            ),
+        )
+        tree = build_job_tree(study)
+        runner = Cart3DCaseRunner(
+            wing_body(), dim=2, base_level=4, max_level=4, mg_levels=1, cycles=4
+        )
+        with FillRuntime(runner, cpus_per_case=128) as rt:
+            report = rt.run_tree(tree)
+        assert report.ok() and report.executed == 4
+        assert report.meshes_built == 1
+
+        serial = {}
+        for geo in tree:
+            shared = runner.prepare(geo)
+            for job in geo.flow_jobs:
+                s = CaseSpec.from_flow_job(job, **runner.settings())
+                serial[s.key] = runner(s, shared)
+        for out in report.outcomes:
+            assert out.result.coefficients == serial[out.spec.key].coefficients
