@@ -11,7 +11,9 @@ both runs' event-stream summaries land in
 
 import threading
 
-from conftest import run_once, save_result
+from conftest import RESULTS_DIR, run_once, save_result
+
+from repro.telemetry import capture, metrics, write_trace
 
 from repro.api import (
     Axis,
@@ -73,14 +75,19 @@ def test_fill_campaign_through_runtime(benchmark):
 
     def run():
         plan = schedule_fill(tree, nnodes=1, cpus_per_case=64)
-        with FillRuntime(
-            flaky, nnodes=1, cpus_per_case=64, backoff_seconds=0.0
+        with capture() as tracer, FillRuntime(
+            flaky,
+            nnodes=1,
+            cpus_per_case=64,
+            backoff_seconds=0.0,
+            tracer=tracer,
         ) as rt:
             first = rt.run_tree(tree, plan=plan)
             second = rt.run_tree(tree, plan=plan)
-        return first, second
+            timeline = rt.timeline()
+        return first, second, timeline
 
-    first, second = run_once(benchmark, run)
+    first, second, timeline = run_once(benchmark, run)
 
     # 24 cases, really concurrent, planner and runtime agree
     assert first.cases == study.ncases == 24
@@ -115,6 +122,15 @@ def test_fill_campaign_through_runtime(benchmark):
     )
     assert mismatches == 0
 
+    # export the campaign timeline (Perfetto-loadable) next to the table
+    trace_path = RESULTS_DIR / "database_fill_trace.json"
+    RESULTS_DIR.mkdir(exist_ok=True)
+    write_trace(timeline, trace_path)
+    scheduler_spans = [
+        s for s in timeline.spans() if s.tid == "scheduler"
+    ]
+    assert len(scheduler_spans) >= 24
+
     save_result(
         "database_fill",
         fill_summary_table(
@@ -126,5 +142,14 @@ def test_fill_campaign_through_runtime(benchmark):
         )
         + f"\n  serial-vs-runtime coefficient mismatches: {mismatches}/24"
         f"\n  wall: fill {first.wall_seconds:.2f}s, "
-        f"re-fill {second.wall_seconds:.3f}s",
+        f"re-fill {second.wall_seconds:.3f}s"
+        f"\n  telemetry: {trace_path.name} "
+        f"({len(scheduler_spans)} scheduler spans)",
+        data={
+            "fill": first.summary(),
+            "re_fill": second.summary(),
+            "mismatches": mismatches,
+            "trace": trace_path.name,
+            "timeline_metrics": metrics(timeline),
+        },
     )

@@ -24,6 +24,13 @@ These rules encode exactly those house invariants:
   ``repro.database``; the fill runtime must build solvers through the
   :mod:`repro.api` factories so submission, caching and counter wiring
   stay uniform.
+* **R006 adhoc-instrumentation** — ``print(...)`` or wall-clock reads in
+  the ``solvers``/``comm``/``database`` hot paths; measurement and
+  progress reporting must go through :mod:`repro.telemetry` spans (and
+  clocks through its :class:`~repro.telemetry.EpochClock` injection) so
+  every observation lands on the unified timeline.  Where R001 already
+  flags a wall-clock call (the ``comm`` overlap) R006 stays silent
+  rather than double-reporting.
 
 A finding on a line containing ``noqa`` is suppressed (same idiom as
 ruff); :data:`RULES` documents each rule and the path segments it
@@ -112,6 +119,16 @@ RULES = {
             "through repro.api.make_cart3d_solver/make_nsu3d_solver"
         ),
         segments=("database",),
+    ),
+    "R006": Rule(
+        id="R006",
+        name="adhoc-instrumentation",
+        description=(
+            "ad-hoc timing/printing in a hot-path package; route "
+            "measurement through repro.telemetry spans instead so it "
+            "lands on the unified timeline"
+        ),
+        segments=("solvers", "comm", "database"),
     ),
 }
 
@@ -239,6 +256,25 @@ class _LintVisitor(ast.NodeVisitor):
                 f"wall-clock call {qual}() inside a virtual-time module; "
                 "advance virtual clocks via Comm.compute()/transfer costs",
             )
+        if "R006" in self.rules:
+            # wall-clock reads: R001 takes precedence where both apply
+            # (the comm package) so one offence yields one diagnostic
+            if qual in WALL_CLOCK_CALLS and "R001" not in self.rules:
+                self._report(
+                    "R006",
+                    node,
+                    f"wall-clock call {qual}() in a hot-path package; "
+                    "inject a repro.telemetry.EpochClock and record spans "
+                    "instead of timing ad hoc",
+                )
+            if qual == "print":
+                self._report(
+                    "R006",
+                    node,
+                    "print(...) in a hot-path package; emit telemetry "
+                    "spans/instants (repro.telemetry) so progress lands "
+                    "on the unified timeline",
+                )
         if "R004" in self.rules and qual is not None:
             root, _, attr = qual.rpartition(".")
             if root in ("numpy", "np") and attr in DTYPE_ALLOCATORS:

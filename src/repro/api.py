@@ -79,6 +79,24 @@ from .solvers import (
 )
 from .solvers.cart3d import Cart3DSolver
 from .solvers.nsu3d import NSU3DSolver
+from .telemetry import (
+    EpochClock,
+    Timeline,
+    Tracer,
+    add_simmpi_trace,
+    add_tracer,
+    capture,
+    chrome_trace,
+    get_tracer,
+    load_trace,
+    merged_fill_timeline,
+    metrics,
+    set_tracer,
+    span,
+    traced,
+    write_metrics,
+    write_trace,
+)
 
 __all__ = [
     # solvers — unified surface
@@ -139,6 +157,23 @@ __all__ = [
     "fill_summary_table",
     "format_series_table",
     "format_comparison",
+    # telemetry — spans, timelines, Perfetto export
+    "Tracer",
+    "EpochClock",
+    "get_tracer",
+    "set_tracer",
+    "span",
+    "traced",
+    "capture",
+    "Timeline",
+    "add_tracer",
+    "add_simmpi_trace",
+    "merged_fill_timeline",
+    "chrome_trace",
+    "write_trace",
+    "load_trace",
+    "metrics",
+    "write_metrics",
 ]
 
 

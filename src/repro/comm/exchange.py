@@ -26,6 +26,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..telemetry.spans import span as _span
+
 
 @dataclass
 class ExchangePlan:
@@ -65,6 +67,11 @@ class ExchangePlan:
     def exchange_copy(self, comm, arr: np.ndarray, tag: int = 0,
                       irregular: bool = False) -> None:
         """Owner values -> ghost copies.  ``arr`` is (nlocal,) or (nlocal, k)."""
+        with _span("comm.exchange_copy", cat="comm", tag=tag,
+                   neighbors=self.degree()):
+            self._exchange_copy(comm, arr, tag, irregular)
+
+    def _exchange_copy(self, comm, arr, tag, irregular) -> None:
         reqs = [
             (q, comm.irecv(q, tag)) for q in self.neighbors if q in self.ghost_slots
         ]
@@ -86,6 +93,11 @@ class ExchangePlan:
     def exchange_add(self, comm, arr: np.ndarray, tag: int = 1,
                      irregular: bool = False) -> None:
         """Ghost accumulations -> owner (added); ghosts are then zeroed."""
+        with _span("comm.exchange_add", cat="comm", tag=tag,
+                   neighbors=self.degree()):
+            self._exchange_add(comm, arr, tag, irregular)
+
+    def _exchange_add(self, comm, arr, tag, irregular) -> None:
         reqs = [
             (q, comm.irecv(q, tag)) for q in self.neighbors if q in self.owned_slots
         ]

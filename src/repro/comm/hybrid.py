@@ -29,6 +29,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..telemetry.spans import span as _span
 from .exchange import ExchangePlan
 
 #: Seconds per byte for thread-side buffer packing/unpacking (memcpy-rate
@@ -143,85 +144,96 @@ class HybridProcess:
         token = getattr(self, "_xchg_serial", 0)
         self._xchg_serial = token + 1
         remote = self._remote_procs()
-        reqs = {q: comm.irecv(q, tag) for q in remote}
-        # master thread: pack one buffer per remote process and send.
-        # Pack order is canonical — sorted by (destination partition,
-        # source partition) — so the receiver can unpack positionally.
-        for q in remote:
-            pairs = sorted(
-                (nbr, pid)
-                for pid in self.part_ids
-                for nbr in self.plans[pid].neighbors
-                if self.proc_of[nbr] == q and nbr in self.plans[pid].owned_slots
-            )
-            chunks = [
-                np.ascontiguousarray(arrays[src][self.plans[src].owned_slots[dst]])
-                for dst, src in pairs
-            ]
-            if trace is not None:
-                for item, (dst, src) in enumerate(pairs):
-                    trace(
-                        f"part{src}",
-                        self.plans[src].owned_slots[dst],
-                        write=False,
-                        phase=f"pack@{token}",
-                        thread=item,
+        with _span("comm.hybrid.pack", cat="comm", tag=tag,
+                   remote_procs=len(remote)):
+            reqs = {q: comm.irecv(q, tag) for q in remote}
+            # master thread: pack one buffer per remote process and send.
+            # Pack order is canonical — sorted by (destination partition,
+            # source partition) — so the receiver can unpack positionally.
+            for q in remote:
+                pairs = sorted(
+                    (nbr, pid)
+                    for pid in self.part_ids
+                    for nbr in self.plans[pid].neighbors
+                    if self.proc_of[nbr] == q
+                    and nbr in self.plans[pid].owned_slots
+                )
+                chunks = [
+                    np.ascontiguousarray(
+                        arrays[src][self.plans[src].owned_slots[dst]]
                     )
-            buf = (
-                np.concatenate(chunks)
-                if chunks
-                else np.empty((0,), dtype=np.float64)
-            )
-            comm.isend(buf, q, tag)
+                    for dst, src in pairs
+                ]
+                if trace is not None:
+                    for item, (dst, src) in enumerate(pairs):
+                        trace(
+                            f"part{src}",
+                            self.plans[src].owned_slots[dst],
+                            write=False,
+                            phase=f"pack@{token}",
+                            thread=item,
+                        )
+                buf = (
+                    np.concatenate(chunks)
+                    if chunks
+                    else np.empty((0,), dtype=np.float64)
+                )
+                comm.isend(buf, q, tag)
         # OpenMP phase, overlapped with MPI transit: intra-process copies
-        item = 0
-        for pid in self.part_ids:
-            plan = self.plans[pid]
-            for nbr in plan.neighbors:
-                if self.proc_of[nbr] == self.rank and nbr in plan.ghost_slots:
-                    src_plan = self.plans[nbr]
+        with _span("comm.hybrid.copy", cat="comm", tag=tag):
+            item = 0
+            for pid in self.part_ids:
+                plan = self.plans[pid]
+                for nbr in plan.neighbors:
+                    if (
+                        self.proc_of[nbr] == self.rank
+                        and nbr in plan.ghost_slots
+                    ):
+                        src_plan = self.plans[nbr]
+                        if trace is not None:
+                            trace(
+                                f"part{nbr}",
+                                src_plan.owned_slots[pid],
+                                write=False,
+                                phase=f"copy@{token}",
+                                thread=item,
+                            )
+                            trace(
+                                f"part{pid}",
+                                plan.ghost_slots[nbr],
+                                write=True,
+                                phase=f"copy@{token}",
+                                thread=item,
+                            )
+                        arrays[pid][plan.ghost_slots[nbr]] = arrays[nbr][
+                            src_plan.owned_slots[pid]
+                        ]
+                        item += 1
+        # master waits, threads unpack (same canonical order as the sender)
+        with _span("comm.hybrid.unpack", cat="comm", tag=tag):
+            for q in remote:
+                buf = reqs[q].wait()
+                offset = 0
+                pairs = sorted(
+                    (pid, nbr)
+                    for pid in self.part_ids
+                    for nbr in self.plans[pid].neighbors
+                    if self.proc_of[nbr] == q
+                    and nbr in self.plans[pid].ghost_slots
+                )
+                for item, (dst, src) in enumerate(pairs):
+                    slots = self.plans[dst].ghost_slots[src]
+                    n = len(slots)
                     if trace is not None:
                         trace(
-                            f"part{nbr}",
-                            src_plan.owned_slots[pid],
-                            write=False,
-                            phase=f"copy@{token}",
-                            thread=item,
-                        )
-                        trace(
-                            f"part{pid}",
-                            plan.ghost_slots[nbr],
+                            f"part{dst}",
+                            slots,
                             write=True,
-                            phase=f"copy@{token}",
+                            phase=f"unpack@{token}:{q}",
                             thread=item,
                         )
-                    arrays[pid][plan.ghost_slots[nbr]] = arrays[nbr][
-                        src_plan.owned_slots[pid]
-                    ]
-                    item += 1
-        # master waits, threads unpack (same canonical order as the sender)
-        for q in remote:
-            buf = reqs[q].wait()
-            offset = 0
-            pairs = sorted(
-                (pid, nbr)
-                for pid in self.part_ids
-                for nbr in self.plans[pid].neighbors
-                if self.proc_of[nbr] == q and nbr in self.plans[pid].ghost_slots
-            )
-            for item, (dst, src) in enumerate(pairs):
-                slots = self.plans[dst].ghost_slots[src]
-                n = len(slots)
-                if trace is not None:
-                    trace(
-                        f"part{dst}",
-                        slots,
-                        write=True,
-                        phase=f"unpack@{token}:{q}",
-                        thread=item,
-                    )
-                arrays[dst][slots] = buf[offset : offset + n]
-                offset += n
+                    arrays[dst][slots] = buf[offset : offset + n]
+                    offset += n
 
     def _remote_procs(self) -> list:
         out = set()

@@ -48,6 +48,8 @@ from dataclasses import dataclass, field
 
 from ..machine.topology import node_slots
 from ..solvers.interface import CaseResult, CaseSpec, case_result
+from ..telemetry.spans import EpochClock, get_tracer
+from ..telemetry.spans import span as _span
 from .resultstore import ResultStore
 from .scheduler import SchedulePlan
 from .store import AeroDatabase
@@ -71,13 +73,21 @@ class CaseTimeout(RuntimeError):
 
 @dataclass(frozen=True)
 class FillEvent:
-    """One entry of the structured progress stream."""
+    """One entry of the structured progress stream.
+
+    ``t`` is the raw runtime-clock stamp; ``vt`` is the strictly
+    monotonic virtual timestamp the :class:`EventLog` assigns under its
+    lock, so a stream is replayable into the telemetry timeline model
+    (:func:`repro.telemetry.add_fill_events`) with a total order even
+    when two workers emit within the clock's resolution.
+    """
 
     seq: int
     t: float  # seconds since the runtime's epoch
     kind: str  # submit|cache_hit|geometry|start|retry|done|failed|cancelled|cancel|cross_check
     key: str  # case content key ("" for runtime-level events)
     info: dict = field(default_factory=dict)
+    vt: float = 0.0  # strictly monotonic virtual timestamp
 
 
 class EventLog:
@@ -88,12 +98,15 @@ class EventLog:
         self._events: list[FillEvent] = []
         self._clock = clock
         self._on_event = on_event
+        self._vt = 0.0
 
     def emit(self, kind: str, key: str = "", **info) -> FillEvent:
         with self._lock:
+            t = self._clock()
+            self._vt = max(t, self._vt + 1e-9)
             event = FillEvent(
-                seq=len(self._events), t=self._clock(), kind=kind,
-                key=key, info=info,
+                seq=len(self._events), t=t, kind=kind,
+                key=key, info=info, vt=self._vt,
             )
             self._events.append(event)
         if self._on_event is not None:
@@ -188,7 +201,8 @@ class SharedGeometry:
     def __call__(self):
         with self._lock:
             if not self._built:
-                self._value = self._builder(self.geo_job)
+                with _span("fill.geometry", cat="fill"):
+                    self._value = self._builder(self.geo_job)
                 self._built = True
                 if self._on_built is not None:
                     self._on_built(self)
@@ -298,6 +312,11 @@ class FillRuntime:
         Cooperative per-attempt budget (see module docstring).
     on_event:
         Optional callback invoked with every :class:`FillEvent`.
+    tracer:
+        :class:`~repro.telemetry.Tracer` the worker threads bind (slot
+        identity + the runtime clock) so every case attempt is a span
+        and instrumented solver code lands on the campaign timeline.
+        Defaults to the process-global tracer — a no-op when disabled.
     """
 
     def __init__(
@@ -311,6 +330,7 @@ class FillRuntime:
         backoff_seconds: float = 0.01,
         timeout_seconds: float | None = None,
         on_event=None,
+        tracer=None,
     ):
         if max_attempts < 1:
             raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
@@ -322,7 +342,8 @@ class FillRuntime:
         self.max_attempts = max_attempts
         self.backoff_seconds = backoff_seconds
         self.timeout_seconds = timeout_seconds
-        self._epoch = time.monotonic()
+        self.tracer = tracer if tracer is not None else get_tracer()
+        self._clock = EpochClock()
         self.events = EventLog(self._now, on_event)
         self._pool = ThreadPoolExecutor(
             max_workers=self.slots, thread_name_prefix="fill"
@@ -340,7 +361,7 @@ class FillRuntime:
     # -- lifecycle -----------------------------------------------------------
 
     def _now(self) -> float:
-        return time.monotonic() - self._epoch
+        return self._clock()
 
     def cancel(self) -> None:
         """Stop queued cases and abort remaining retries."""
@@ -470,6 +491,28 @@ class FillRuntime:
             report.events = self.events.since(seq0)
         return report
 
+    # -- telemetry -----------------------------------------------------------
+
+    def timeline(self, worlds=(), counters=None):
+        """The campaign as one merged telemetry timeline.
+
+        Replays the runtime's :class:`FillEvent` stream (scheduler and
+        per-slot attempt tracks), everything the bound tracer recorded
+        (per-case solver phase spans on the runtime clock), optional
+        per-case SimMPI worlds (``(label, trace, offset)`` triples with
+        ``offset`` the case start on the runtime clock) and optional
+        :class:`~repro.machine.counters.PerfCounters` totals.  Feed the
+        result to :func:`repro.telemetry.write_trace` for Perfetto.
+        """
+        from ..telemetry.collect import merged_fill_timeline
+
+        return merged_fill_timeline(
+            self.events.all(),
+            tracer=self.tracer if self.tracer.enabled else None,
+            worlds=worlds,
+            counters=counters,
+        )
+
     # -- execution -----------------------------------------------------------
 
     def _on_geometry(self, shared: SharedGeometry) -> None:
@@ -494,6 +537,14 @@ class FillRuntime:
     def _run_job(self, spec: CaseSpec, shared) -> JobOutcome:
         slot = self._acquire_slot()
         start = self._now()
+        # workers carry slot identity and the runtime clock, so spans
+        # opened anywhere below (including inside instrumented solver
+        # code) land on this campaign's timeline
+        with self.tracer.bind(thread=slot, clock=self._now):
+            return self._run_attempts(spec, shared, slot, start)
+
+    def _run_attempts(self, spec: CaseSpec, shared, slot: int,
+                      start: float) -> JobOutcome:
         try:
             attempts = 0
             try:
@@ -512,11 +563,15 @@ class FillRuntime:
                     )
                     t_attempt = self._now()
                     try:
-                        # SharedGeometry (and friends) are callables that
-                        # build lazily; direct submissions may pass the
-                        # prepared product itself
-                        value = shared() if callable(shared) else shared
-                        result = self.runner(spec, value)
+                        with self.tracer.span(
+                            "fill.case", cat="fill",
+                            key=spec.key, attempt=attempts, slot=slot,
+                        ):
+                            # SharedGeometry (and friends) are callables
+                            # that build lazily; direct submissions may
+                            # pass the prepared product itself
+                            value = shared() if callable(shared) else shared
+                            result = self.runner(spec, value)
                         elapsed = self._now() - t_attempt
                         if (
                             self.timeout_seconds is not None

@@ -17,6 +17,8 @@ from collections import defaultdict
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
+from ..telemetry.spans import span as _span
+
 
 @dataclass
 class RegionStats:
@@ -62,11 +64,17 @@ class PerfCounters:
 
     @contextmanager
     def region(self, name: str):
-        """Attribute counts raised inside the block to ``name``."""
+        """Attribute counts raised inside the block to ``name``.
+
+        Each region entry also opens a telemetry span (free when the
+        global tracer is disabled), so every pfmon-style phase shows up
+        on the unified timeline without separate instrumentation.
+        """
         self._stack.append(name)
         self.regions[name].calls += 1
         try:
-            yield self
+            with _span(name, cat="perf"):
+                yield self
         finally:
             self._stack.pop()
 

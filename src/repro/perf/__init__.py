@@ -17,6 +17,7 @@ from .report import (
     fill_summary_table,
     format_comparison,
     format_series_table,
+    phase_table,
 )
 from .scaling import (
     CART3D_CELLS_25M,
@@ -66,4 +67,5 @@ __all__ = [
     "format_comparison",
     "convergence_table",
     "fill_summary_table",
+    "phase_table",
 ]

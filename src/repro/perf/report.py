@@ -103,6 +103,41 @@ def fill_summary_table(runs: dict, title: str = "") -> str:
     return "\n".join(lines)
 
 
+def phase_table(phases: dict, makespan: float | None = None,
+                title: str = "") -> str:
+    """Render per-phase span aggregates, heaviest phase first.
+
+    ``phases`` maps a span name to ``{"calls", "seconds", "cat"}`` — the
+    shape :meth:`repro.telemetry.Timeline.phase_totals` produces; this
+    is the table ``python -m repro.telemetry report`` prints.  With a
+    ``makespan`` each row also shows its share of the run.
+    """
+    if not phases:
+        return ""
+    names = sorted(phases, key=lambda n: -phases[n]["seconds"])
+    width = max(max(len(n) for n in names), len("phase")) + 2
+    lines = []
+    if title:
+        lines.append(title)
+    header = (
+        f"{'phase':<{width}} | {'cat':<10} {'calls':>8} {'seconds':>12}"
+    )
+    if makespan:
+        header += f" {'% span':>8}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name in names:
+        row = phases[name]
+        line = (
+            f"{name:<{width}} | {row.get('cat', ''):<10}"
+            f" {row['calls']:>8} {row['seconds']:>12.6f}"
+        )
+        if makespan:
+            line += f" {100.0 * row['seconds'] / makespan:>7.1f}%"
+        lines.append(line)
+    return "\n".join(lines)
+
+
 def convergence_table(histories: dict, every: int = 50) -> str:
     """Residual histories (fig. 14a style) side by side.
 

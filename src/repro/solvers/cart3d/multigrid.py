@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ...telemetry.spans import span as _span
 from .rk import rk_smooth
 
 
@@ -40,6 +41,18 @@ def fas_cycle(
     """One multigrid cycle starting at level ``l``; returns updated q."""
     if cycle not in ("V", "W"):
         raise ValueError("cycle must be 'V' or 'W'")
+    with _span("cart3d.mg_level", cat="solver", level=l):
+        return _fas_level(
+            levels, transfers, q, qinf, l=l, forcing=forcing, cycle=cycle,
+            nu1=nu1, nu2=nu2, cfl=cfl, coarse_cfl=coarse_cfl, flux=flux,
+            order2=order2, grad_setups=grad_setups,
+        )
+
+
+def _fas_level(
+    levels, transfers, q, qinf, l, forcing, cycle, nu1, nu2, cfl,
+    coarse_cfl, flux, order2, grad_setups,
+) -> np.ndarray:
     level = levels[l]
     this_cfl = cfl if l == 0 else coarse_cfl
     use_order2 = order2 and l == 0  # coarse levels run first order

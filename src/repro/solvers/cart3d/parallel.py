@@ -21,6 +21,7 @@ import numpy as np
 from ...comm.exchange import LocalHalo, build_halos
 from ...comm.simmpi import SimMPI
 from ...partition.sfcpart import cell_weights, sfc_partition
+from ...telemetry.spans import get_tracer, span as _span
 from ..fluxes import rusanov_flux, wall_flux
 from ..gas import apply_positivity_floors
 from .levels import Cart3DLevel
@@ -177,9 +178,17 @@ class ParallelCart3D:
             dom = domains[comm.rank]
             q = np.tile(qinf, (dom.nlocal, 1))
             history = []
-            for _ in range(ncycles):
-                q = parallel_rk_smooth(comm, dom, q, qinf, cfl=cfl, flux=flux)
-                history.append(parallel_residual_norm(comm, dom, q, qinf, flux))
+            # per-rank track identity + virtual clock for all spans below
+            with get_tracer().bind(rank=comm.rank,
+                                   clock=lambda: comm.clock):
+                for _ in range(ncycles):
+                    with _span("cart3d.parallel_cycle", cat="solver"):
+                        q = parallel_rk_smooth(
+                            comm, dom, q, qinf, cfl=cfl, flux=flux
+                        )
+                        history.append(
+                            parallel_residual_norm(comm, dom, q, qinf, flux)
+                        )
             return dom.halo.owned_global, q[: dom.nowned], history
 
         results = world.run(body)

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ...telemetry.spans import traced
 from .levels import Cart3DLevel
 from .residual import residual, spectral_radius
 
@@ -22,6 +23,7 @@ def local_time_step(level: Cart3DLevel, q: np.ndarray, cfl: float) -> np.ndarray
     return cfl * level.vol / np.maximum(lam, 1e-300)
 
 
+@traced("cart3d.rk", cat="solver")
 def rk_smooth(
     level: Cart3DLevel,
     q: np.ndarray,

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ...telemetry.spans import traced
 from .context import FlowContext
 from .jacobians import assemble_diagonal, edge_offdiagonals, local_time_step
 from .residual import apply_wall_bc, residual
@@ -167,6 +168,7 @@ def line_implicit_update(
 STAGE_COEFFS = (0.6, 0.6, 1.0)
 
 
+@traced("nsu3d.linesolve", cat="solver")
 def smooth(
     ctx: FlowContext,
     q: np.ndarray,

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ...telemetry.spans import span as _span
 from ..gas import apply_positivity_floors
 from .linesolve import limit_correction, smooth
 from .residual import apply_wall_bc, residual
@@ -52,6 +53,18 @@ def fas_cycle(
     """One FAS cycle from level ``l`` down; returns the updated state."""
     if cycle not in ("V", "W"):
         raise ValueError("cycle must be 'V' or 'W'")
+    with _span("nsu3d.mg_level", cat="solver", level=l):
+        return _fas_level(
+            contexts, maps, q, qinf, l=l, forcing=forcing, cycle=cycle,
+            nu1=nu1, nu2=nu2, cfl=cfl, coarse_cfl=coarse_cfl, order2=order2,
+            turbulence=turbulence, viscous=viscous,
+        )
+
+
+def _fas_level(
+    contexts, maps, q, qinf, l, forcing, cycle, nu1, nu2, cfl,
+    coarse_cfl, order2, turbulence, viscous,
+) -> np.ndarray:
     ctx = contexts[l]
     this_cfl = cfl if l == 0 else (coarse_cfl or cfl)
     use_order2 = order2 and l == 0

@@ -27,6 +27,7 @@ import numpy as np
 
 from ...comm.exchange import LocalHalo, build_halos
 from ...comm.simmpi import SimMPI
+from ...telemetry.spans import get_tracer, span as _span
 from ...partition.graph import Graph, contract_lines, project_partition
 from ...partition.metis import partition_graph
 from ..gas import apply_positivity_floors
@@ -248,13 +249,20 @@ class ParallelNSU3D:
             dom = domains[comm.rank]
             q = np.tile(qinf, (dom.nlocal, 1))
             history = []
-            for _ in range(ncycles):
-                q = parallel_smooth(
-                    comm, dom, q, qinf, cfl=cfl, viscous=viscous
-                )
-                history.append(
-                    parallel_residual_norm(comm, dom, q, qinf, viscous=viscous)
-                )
+            # each rank thread pins its identity and virtual clock, so
+            # spans (here and in comm.exchange) land on per-rank tracks
+            with get_tracer().bind(rank=comm.rank,
+                                   clock=lambda: comm.clock):
+                for _ in range(ncycles):
+                    with _span("nsu3d.parallel_cycle", cat="solver"):
+                        q = parallel_smooth(
+                            comm, dom, q, qinf, cfl=cfl, viscous=viscous
+                        )
+                        history.append(
+                            parallel_residual_norm(
+                                comm, dom, q, qinf, viscous=viscous
+                            )
+                        )
             return dom.halo.owned_global, q[: dom.nowned], history
 
         results = world.run(body)

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ...telemetry.spans import traced
 from ..fluxes import roe_flux, rusanov_flux, wall_flux
 from ..gas import GAMMA, GM1, conservative_to_primitive
 from .context import FlowContext
@@ -60,6 +61,7 @@ def mask_wall_rows(ctx: FlowContext, r: np.ndarray) -> np.ndarray:
     return r
 
 
+@traced("nsu3d.residual", cat="solver")
 def residual(
     ctx: FlowContext,
     q: np.ndarray,

@@ -1,0 +1,189 @@
+"""Exporters: Perfetto/Chrome ``trace_event`` JSON and flat run metrics.
+
+Two output surfaces:
+
+* :func:`chrome_trace` / :func:`write_trace` — the Chrome
+  ``trace_event`` JSON format (the subset Perfetto's UI loads):
+  complete ``"X"`` events for spans, ``"i"`` instants, ``"C"``
+  counters, and ``"M"`` metadata naming each process/thread row after
+  the timeline's track labels.  Timestamps are virtual *seconds*
+  scaled to trace microseconds.  ``ui.perfetto.dev`` opens the file
+  directly.
+* :func:`metrics` / :func:`write_metrics` — the flat, machine-readable
+  dict the benchmark JSON results embed: FLOPs and bytes from the
+  counter stream, message counts/bytes from the comm events, the
+  comm/compute virtual-time split, achieved GFLOP/s over the makespan,
+  and — when a CPU model is supplied — the roofline fraction against
+  ``ncpus`` paper CPUs (the §V "percentage of peak" comparison).
+
+:func:`load_trace` inverts :func:`write_trace` so ``python -m
+repro.telemetry report <trace>`` can render a per-phase table from a
+file on disk.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .collect import Timeline
+
+#: Virtual seconds -> Chrome trace microseconds.
+TRACE_TIME_SCALE = 1.0e6
+
+
+def _track_ids(timeline: Timeline) -> tuple[dict, dict]:
+    """Stable integer ids for (pid label) and (pid, tid label) pairs."""
+    pids: dict = {}
+    tids: dict = {}
+    for pid_label, tid_label in timeline.tracks():
+        if pid_label not in pids:
+            pids[pid_label] = len(pids) + 1
+        key = (pid_label, tid_label)
+        if key not in tids:
+            tids[key] = len([k for k in tids if k[0] == pid_label]) + 1
+    return pids, tids
+
+
+def _json_safe(args: dict) -> dict:
+    out = {}
+    for k, v in args.items():
+        if isinstance(v, (str, int, float, bool)) or v is None:
+            out[k] = v
+        else:
+            out[k] = str(v)
+    return out
+
+
+def chrome_trace(timeline: Timeline) -> dict:
+    """Render a :class:`Timeline` as a Chrome ``trace_event`` document."""
+    pids, tids = _track_ids(timeline)
+    events = []
+    for pid_label, pid in pids.items():
+        events.append({
+            "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+            "args": {"name": pid_label},
+        })
+    for (pid_label, tid_label), tid in tids.items():
+        events.append({
+            "ph": "M", "name": "thread_name", "pid": pids[pid_label],
+            "tid": tid, "args": {"name": tid_label},
+        })
+    for e in timeline.sorted():
+        pid = pids[e.pid]
+        tid = tids[(e.pid, e.tid)]
+        ts = e.t0 * TRACE_TIME_SCALE
+        if e.kind == "span":
+            events.append({
+                "ph": "X", "name": e.name, "cat": e.cat, "ts": ts,
+                "dur": max(e.dur, 0.0) * TRACE_TIME_SCALE,
+                "pid": pid, "tid": tid, "args": _json_safe(e.args),
+            })
+        elif e.kind == "instant":
+            events.append({
+                "ph": "i", "name": e.name, "cat": e.cat, "ts": ts,
+                "s": "t", "pid": pid, "tid": tid,
+                "args": _json_safe(e.args),
+            })
+        elif e.kind == "counter":
+            numeric = {
+                k: v for k, v in e.args.items()
+                if isinstance(v, (int, float))
+            }
+            events.append({
+                "ph": "C", "name": e.name, "cat": e.cat, "ts": ts,
+                "pid": pid, "tid": tid, "args": numeric,
+            })
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"clock": "virtual-seconds", "source": "repro.telemetry"},
+    }
+
+
+def write_trace(timeline: Timeline, path) -> Path:
+    """Write the Perfetto-loadable trace JSON; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(chrome_trace(timeline), indent=1) + "\n")
+    return path
+
+
+def load_trace(path) -> Timeline:
+    """Load a trace written by :func:`write_trace` back into a Timeline."""
+    doc = json.loads(Path(path).read_text())
+    pid_names: dict = {}
+    tid_names: dict = {}
+    for ev in doc.get("traceEvents", []):
+        if ev.get("ph") == "M" and ev.get("name") == "process_name":
+            pid_names[ev["pid"]] = ev["args"]["name"]
+        elif ev.get("ph") == "M" and ev.get("name") == "thread_name":
+            tid_names[(ev["pid"], ev["tid"])] = ev["args"]["name"]
+    timeline = Timeline()
+    kinds = {"X": "span", "i": "instant", "C": "counter"}
+    for ev in doc.get("traceEvents", []):
+        kind = kinds.get(ev.get("ph"))
+        if kind is None:
+            continue
+        t0 = ev["ts"] / TRACE_TIME_SCALE
+        t1 = t0 + ev.get("dur", 0.0) / TRACE_TIME_SCALE
+        timeline.add(
+            kind=kind, name=ev.get("name", ""), cat=ev.get("cat", ""),
+            t0=t0, t1=t1,
+            pid=pid_names.get(ev.get("pid"), str(ev.get("pid"))),
+            tid=tid_names.get(
+                (ev.get("pid"), ev.get("tid")), str(ev.get("tid"))
+            ),
+            args=ev.get("args", {}),
+        )
+    return timeline
+
+
+def metrics(timeline: Timeline, cpu=None, ncpus: int = 1) -> dict:
+    """Flat machine-readable metrics for one timeline.
+
+    ``cpu`` is a :class:`~repro.machine.cpu.CpuModel` (duck-typed:
+    only ``peak_flops`` is read); with it and ``ncpus`` the dict gains
+    the roofline comparison the paper's §V tables make — achieved rate
+    as a fraction of ``ncpus`` CPUs' peak.
+    """
+    total_flops = sum(
+        float(e.args.get("flops", 0.0)) for e in timeline.counters()
+    )
+    total_bytes = sum(
+        float(e.args.get("bytes", 0.0)) for e in timeline.counters()
+    )
+    comm_events = [e for e in timeline.events if e.cat == "comm"]
+    comm_bytes = sum(float(e.args.get("nbytes", 0.0)) for e in comm_events)
+    comm_seconds = sum(e.dur for e in comm_events if e.kind == "span")
+    compute_seconds = sum(
+        e.dur for e in timeline.spans() if e.cat == "compute"
+    )
+    makespan = timeline.makespan()
+    out = {
+        "events": len(timeline.events),
+        "spans": len(timeline.spans()),
+        "comm_events": len(comm_events),
+        "makespan_seconds": makespan,
+        "total_flops": total_flops,
+        "total_bytes": total_bytes,
+        "comm_bytes": comm_bytes,
+        "comm_seconds": comm_seconds,
+        "compute_seconds": compute_seconds,
+    }
+    busy = comm_seconds + compute_seconds
+    if busy > 0:
+        out["comm_fraction"] = comm_seconds / busy
+    if makespan > 0 and total_flops > 0:
+        out["achieved_gflops"] = total_flops / makespan / 1.0e9
+        if cpu is not None:
+            peak = float(cpu.peak_flops) * ncpus
+            out["peak_gflops"] = peak / 1.0e9
+            out["roofline_fraction"] = (total_flops / makespan) / peak
+    return out
+
+
+def write_metrics(values: dict, path) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(values, indent=2, sort_keys=True,
+                               default=str) + "\n")
+    return path

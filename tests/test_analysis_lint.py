@@ -31,12 +31,57 @@ class TestWallClockRule:
         assert [d.rule for d in diags] == ["R001", "R001"]
 
     def test_not_flagged_outside_virtual_time_modules(self):
+        # mesh is outside both the R001 (comm/perf) and R006
+        # (solvers/comm/database) segment sets
         src = "import time\nx = time.time()\n"
-        assert diags_for(src, "src/repro/database/store.py") == []
+        assert diags_for(src, "src/repro/mesh/unstructured/dual.py") == []
 
     def test_noqa_suppresses(self):
         src = "import time\nx = time.time()  # noqa: wall clock for logs\n"
         assert diags_for(src, "src/repro/comm/ok.py") == []
+
+
+class TestAdhocInstrumentationRule:
+    def test_wall_clock_flagged_in_database(self):
+        src = "import time\n\ndef f():\n    return time.monotonic()\n"
+        diags = diags_for(src, "src/repro/database/runtime.py")
+        assert [d.rule for d in diags] == ["R006"]
+        assert "EpochClock" in diags[0].message
+
+    def test_wall_clock_flagged_in_solvers(self):
+        src = "from time import perf_counter\nt = perf_counter()\n"
+        diags = diags_for(src, "src/repro/solvers/nsu3d/solver.py")
+        assert [d.rule for d in diags] == ["R006"]
+
+    def test_no_double_report_where_r001_applies(self):
+        """In comm both R001 and R006 are active; a wall-clock call must
+        yield exactly one diagnostic (R001 takes precedence)."""
+        src = "import time\nx = time.time()\n"
+        diags = diags_for(src, "src/repro/comm/bad.py")
+        assert [d.rule for d in diags] == ["R001"]
+
+    def test_print_flagged_in_hot_paths(self):
+        src = "def f(r):\n    print('residual', r)\n"
+        for seg in ("solvers/cart3d", "comm", "database"):
+            diags = diags_for(src, f"src/repro/{seg}/mod.py")
+            assert [d.rule for d in diags] == ["R006"], seg
+            assert "telemetry" in diags[0].message
+
+    def test_print_allowed_outside_hot_paths(self):
+        src = "def f(r):\n    print('residual', r)\n"
+        assert diags_for(src, "src/repro/analysis/__main__.py") == []
+
+    def test_noqa_suppresses(self):
+        src = "def f(r):\n    print(r)  # noqa: debug aid\n"
+        assert diags_for(src, "src/repro/solvers/kern.py") == []
+
+    def test_shipped_hot_paths_are_clean(self):
+        repo = Path(__file__).parent.parent / "src" / "repro"
+        diags = lint_paths(
+            [repo / "solvers", repo / "comm", repo / "database"],
+            select={"R006"},
+        )
+        assert diags == []
 
 
 class TestSilentExceptRule:

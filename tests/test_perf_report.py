@@ -7,8 +7,10 @@ from repro.perf import (
     NSU3D_WORK,
     ScalingSeries,
     convergence_table,
+    fill_summary_table,
     format_comparison,
     format_series_table,
+    phase_table,
     scaling_series,
 )
 
@@ -43,6 +45,84 @@ class TestSeriesTable:
     def test_title_included(self):
         text = format_series_table([self._series()], title="Figure 14b")
         assert text.startswith("Figure 14b")
+
+    def test_single_cpu_base_speedup_row(self):
+        # a one-point series measured at its own base CPU count
+        s = scaling_series("base", NSU3D_POINTS_72M, [128], NSU3D_WORK)
+        text = format_series_table([s], base_cpus=128)
+        assert "S=    128" in text
+
+
+class TestFillSummaryTable:
+    def test_empty_runs(self):
+        assert fill_summary_table({}) == ""
+
+    def test_zero_case_summary_renders(self):
+        text = fill_summary_table(
+            {"fill": {"cases": 0, "executed": 0, "failures": 0}},
+            title="empty campaign:",
+        )
+        assert text.startswith("empty campaign:")
+        assert "cases" in text and "failures" in text
+
+    def test_union_of_rows_pads_missing_with_dash(self):
+        text = fill_summary_table(
+            {"a": {"cases": 2}, "b": {"cases": 2, "retries": 1}}
+        )
+        retries_row = [l for l in text.splitlines() if "retries" in l][0]
+        assert "-" in retries_row
+
+
+class TestPhaseTable:
+    def test_empty_phases(self):
+        assert phase_table({}) == ""
+
+    def test_sorted_heaviest_first_with_share(self):
+        phases = {
+            "light": {"calls": 1, "seconds": 0.5, "cat": "comm"},
+            "heavy": {"calls": 4, "seconds": 2.0, "cat": "solver"},
+        }
+        text = phase_table(phases, makespan=4.0, title="breakdown:")
+        lines = text.splitlines()
+        assert lines[0] == "breakdown:"
+        assert "% span" in lines[1]
+        body = lines[3:]
+        assert body[0].startswith("heavy") and body[1].startswith("light")
+        assert "50.0%" in body[0] and "12.5%" in body[1]
+
+    def test_no_makespan_omits_share_column(self):
+        text = phase_table({"p": {"calls": 1, "seconds": 1.0, "cat": "x"}})
+        assert "% span" not in text
+        assert "p" in text and "1.000000" in text
+
+
+class TestDeprecatedAccessors:
+    def test_nsu3d_history_alias_warns(self):
+        from repro.solvers.nsu3d import NSU3DHistory
+
+        with pytest.warns(DeprecationWarning, match="ConvergenceHistory"):
+            NSU3DHistory()
+
+    def test_npoints_shim_warns_and_matches_size(self):
+        from repro.mesh.unstructured import bump_channel
+        from repro.api import make_nsu3d_solver
+
+        solver = make_nsu3d_solver(
+            mesh=bump_channel(ni=6, nj=4, nk=5), mg_levels=1,
+            turbulence=False,
+        )
+        with pytest.warns(DeprecationWarning, match="size"):
+            assert solver.npoints == solver.size
+
+    def test_ncells_shim_warns_and_matches_size(self):
+        from repro.api import Sphere, make_cart3d_solver
+
+        solver = make_cart3d_solver(
+            Sphere(center=[0.5, 0.5, 0.5], radius=0.2),
+            dim=2, base_level=3, max_level=4, mg_levels=1,
+        )
+        with pytest.warns(DeprecationWarning, match="size"):
+            assert solver.ncells == solver.size
 
 
 class TestComparison:
