@@ -46,6 +46,11 @@ The package contains:
     and the registry mapping every paper figure to the code that
     regenerates it.
 
+``repro.errors``
+    The rooted error taxonomy: every deliberate failure raised by the
+    package is a ``ReproError`` (each class also inherits the builtin it
+    replaced, so historical ``except`` clauses keep working).
+
 ``repro.api``
     The curated facade: every public entry point re-exported from one
     module, plus the ``make_cart3d_solver``/``make_nsu3d_solver``
@@ -59,6 +64,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "api",
+    "errors",
     "machine",
     "comm",
     "mesh",

@@ -30,7 +30,16 @@ These rules encode exactly those house invariants:
   clocks through its :class:`~repro.telemetry.EpochClock` injection) so
   every observation lands on the unified timeline.  Where R001 already
   flags a wall-clock call (the ``comm`` overlap) R006 stays silent
-  rather than double-reporting.
+  rather than double-reporting.  ``__main__.py`` CLI modules are exempt:
+  printing is their job.
+* **R007 swallowed-exception** — bare ``except:`` anywhere, and ``except
+  Exception: pass`` (a body that is *only* ``pass``/``...``): the
+  strictest form of the silent-failure family.  R002 already flags broad
+  handlers that never raise; R007 exists because an empty handler is
+  never a judgment call — there is no fallback behavior to defend — and
+  because bare ``except:`` also traps ``KeyboardInterrupt``/
+  ``SystemExit``, making a stuck campaign unkillable.  Where R007
+  fires, R002 stays silent (one offence, one diagnostic).
 
 A finding on a line containing ``noqa`` is suppressed (same idiom as
 ruff); :data:`RULES` documents each rule and the path segments it
@@ -130,6 +139,16 @@ RULES = {
         ),
         segments=("solvers", "comm", "database"),
     ),
+    "R007": Rule(
+        id="R007",
+        name="swallowed-exception",
+        description=(
+            "bare except, or a broad except whose body is only pass; "
+            "failures vanish without trace and bare except traps "
+            "KeyboardInterrupt/SystemExit"
+        ),
+        segments=None,
+    ),
 }
 
 #: Solver classes whose construction R005 routes through the facade,
@@ -142,12 +161,16 @@ FACADE_SOLVERS = {
 
 def active_rules(path: Path, select=None) -> list[Rule]:
     """Rules applying to ``path``, by its directory segments."""
-    parts = set(Path(path).parts)
+    path = Path(path)
+    parts = set(path.parts)
     rules = [
         r
         for r in RULES.values()
         if r.segments is None or parts.intersection(r.segments)
     ]
+    if path.name == "__main__.py":
+        # CLI entry points print by design; R006 polices hot paths only
+        rules = [r for r in rules if r.id != "R006"]
     if select is not None:
         rules = [r for r in rules if r.id in select or r.name in select]
     return rules
@@ -304,17 +327,48 @@ class _LintVisitor(ast.NodeVisitor):
     # -- R002: silent broad except --------------------------------------------
 
     def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
-        if "R002" in self.rules and self._is_broad(node.type):
-            if not any(isinstance(n, ast.Raise) for n in ast.walk(node)):
-                caught = "bare except" if node.type is None else (
-                    f"except {ast.unparse(node.type)}"
-                )
-                self._report(
-                    "R002",
-                    node,
-                    f"{caught} swallows all failures without re-raising; "
-                    "catch specific exceptions or raise a typed error",
-                )
+        broad = self._is_broad(node.type)
+        caught = "bare except" if node.type is None else (
+            f"except {ast.unparse(node.type)}" if node.type else "except"
+        )
+        empty_body = all(
+            isinstance(stmt, ast.Pass)
+            or (
+                isinstance(stmt, ast.Expr)
+                and isinstance(stmt.value, ast.Constant)
+                and stmt.value.value is Ellipsis
+            )
+            for stmt in node.body
+        )
+        swallowed = node.type is None or (broad and empty_body)
+        if "R007" in self.rules and swallowed:
+            detail = (
+                "traps KeyboardInterrupt/SystemExit too"
+                if node.type is None
+                else "an empty handler erases the failure entirely"
+            )
+            self._report(
+                "R007",
+                node,
+                f"{caught} with "
+                f"{'an empty body' if empty_body else 'no exception type'}"
+                f" swallows failures without trace ({detail}); catch "
+                "specific exceptions and handle or re-raise them",
+            )
+        elif (
+            "R002" in self.rules
+            and broad
+            and not any(isinstance(n, ast.Raise) for n in ast.walk(node))
+        ):
+            # R007 (when selected) owns the swallowed cases; R002 flags
+            # the remaining broad handlers that convert failures into
+            # fallback values without ever re-raising
+            self._report(
+                "R002",
+                node,
+                f"{caught} swallows all failures without re-raising; "
+                "catch specific exceptions or raise a typed error",
+            )
         self.generic_visit(node)
 
     @staticmethod

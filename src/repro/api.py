@@ -26,9 +26,18 @@ old call                                        facade call
 ``repro.solvers.nsu3d.NSU3DSolver(...)``        ``repro.api.make_nsu3d_solver(...)``
 ``solver.ncells`` / ``solver.npoints``          ``solver.size``
 ``repro.solvers.nsu3d.NSU3DHistory``            ``repro.api.ConvergenceHistory``
+``repro.database.runtime.CaseExecutionError``   ``repro.api.CaseExecutionError``
 serial loop over ``study.run_case(...)``        ``repro.api.FillRuntime`` /
                                                 ``study.fill(...)``
 ==============================================  ================================
+
+The facade's contract is explicit: ``__api_version__`` states which
+surface you are coding against, ``__all__`` is complete (a self-test
+asserts every public module attribute is exported and vice versa), and
+the remaining blessed-path bypasses warn — constructing a
+:class:`FillRuntime` without a :class:`ResultStore` now asks for
+``durable=False`` as the documented escape hatch instead of silently
+producing an ephemeral campaign.
 """
 
 from __future__ import annotations
@@ -39,11 +48,12 @@ from .core.workflow import VariableFidelityStudy
 from .database import (
     AeroDatabase,
     Axis,
+    CampaignCheckpoint,
     Cart3DCaseRunner,
-    CaseExecutionError,
     CaseHandle,
     CaseRecord,
-    CaseTimeout,
+    ChaosPolicy,
+    CheckpointState,
     FillEvent,
     FillReport,
     FillRuntime,
@@ -59,6 +69,17 @@ from .database import (
     meshing_amortization,
     schedule_fill,
     standard_study,
+)
+from .errors import (
+    CampaignAborted,
+    CaseExecutionError,
+    CaseTimeout,
+    CheckpointCorrupt,
+    ConfigurationError,
+    ReproError,
+    RuntimeClosed,
+    SolverDivergence,
+    WorkerCrash,
 )
 from .machine import CPUS_PER_NODE, Columbia, node_slots, vortex_subcluster
 from .mesh.cartesian import (
@@ -98,6 +119,11 @@ from .telemetry import (
     write_trace,
 )
 
+#: The facade surface version: bumped when the blessed surface changes
+#: shape (new exports, deprecations, contract changes) — code against it
+#: with ``assert repro.api.__api_version__ >= "4"``-style checks.
+__api_version__ = "4.0"
+
 __all__ = [
     # solvers — unified surface
     "Cart3DSolver",
@@ -134,13 +160,25 @@ __all__ = [
     "FillEvent",
     "JobOutcome",
     "CaseHandle",
-    "CaseExecutionError",
-    "CaseTimeout",
     "Cart3DCaseRunner",
     "ResultStore",
     "cross_check_plan",
     "AeroDatabase",
     "CaseRecord",
+    # durability: checkpoint/resume + fault injection
+    "CampaignCheckpoint",
+    "CheckpointState",
+    "ChaosPolicy",
+    # the rooted error taxonomy (home: repro.errors)
+    "ReproError",
+    "ConfigurationError",
+    "CaseExecutionError",
+    "CaseTimeout",
+    "CampaignAborted",
+    "CheckpointCorrupt",
+    "WorkerCrash",
+    "SolverDivergence",
+    "RuntimeClosed",
     # workflow + envelope
     "VariableFidelityStudy",
     "AeroInterpolant",

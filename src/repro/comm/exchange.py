@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..errors import ConfigurationError
 from ..telemetry.spans import span as _span
 
 
@@ -159,7 +160,7 @@ def build_halos(nvert: int, edges: np.ndarray, part: np.ndarray) -> list:
     edges = np.asarray(edges, dtype=np.int64)
     part = np.asarray(part, dtype=np.int64)
     if len(part) != nvert:
-        raise ValueError("part must have one entry per vertex")
+        raise ConfigurationError("part must have one entry per vertex")
     nparts = int(part.max()) + 1 if nvert else 0
 
     pu, pv = part[edges[:, 0]], part[edges[:, 1]]

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..errors import ConfigurationError
 from ..telemetry.spans import span as _span
 from .exchange import ExchangePlan
 
@@ -56,7 +57,7 @@ def master_thread_time(
     unpacked thread-parallel.
     """
     if nthreads < 1:
-        raise ValueError("nthreads must be >= 1")
+        raise ConfigurationError("nthreads must be >= 1")
     pack = pack_bytes * PACK_SECONDS_PER_BYTE / nthreads
     unpack = pack
     return pack + max(mpi_time, omp_copy_time) + unpack
@@ -75,7 +76,7 @@ def thread_parallel_time(
     messages, so per-message latency is not amortized.
     """
     if nthreads < 1:
-        raise ValueError("nthreads must be >= 1")
+        raise ConfigurationError("nthreads must be >= 1")
     pack = pack_bytes * PACK_SECONDS_PER_BYTE / nthreads
     locked_mpi = mpi_time * (
         1.0 + (THREAD_PARALLEL_LOCK_PENALTY - 1.0) * (nthreads > 1)
@@ -102,9 +103,9 @@ def hybrid_efficiency(
     comm fraction at 128 CPUs this gives ~0.98 at T=2 and ~0.87 at T=4.
     """
     if nthreads < 1:
-        raise ValueError("nthreads must be >= 1")
+        raise ConfigurationError("nthreads must be >= 1")
     if not 0.0 <= comm_fraction <= 1.0:
-        raise ValueError("comm_fraction must be in [0, 1]")
+        raise ConfigurationError("comm_fraction must be in [0, 1]")
     exposed = comm_fraction * (1.0 - overlap) * (nthreads - 1)
     return 1.0 / (1.0 + exposed)
 
@@ -248,7 +249,7 @@ class HybridProcess:
 def partition_owners(nparts: int, nprocs: int) -> dict:
     """Contiguous block assignment of partitions to MPI processes."""
     if nprocs < 1 or nparts < nprocs:
-        raise ValueError("need at least one partition per process")
+        raise ConfigurationError("need at least one partition per process")
     base, extra = divmod(nparts, nprocs)
     owner = {}
     pid = 0

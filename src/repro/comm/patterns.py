@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..errors import ConfigurationError
 from .simmpi import SimMPI
 
 
@@ -23,7 +24,7 @@ def graph_degrees(adjacency: np.ndarray) -> np.ndarray:
     """Per-rank neighbor counts of a 0/1 rank-adjacency matrix."""
     adjacency = np.asarray(adjacency)
     if adjacency.ndim != 2 or adjacency.shape[0] != adjacency.shape[1]:
-        raise ValueError("adjacency must be square")
+        raise ConfigurationError("adjacency must be square")
     return adjacency.sum(axis=1)
 
 

@@ -41,6 +41,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..errors import ConfigurationError, DeadlockError, RankFailure
 from ..machine.interconnect import NUMALINK4, FabricModel, message_time
 from ..machine.placement import JobPlacement
 
@@ -241,7 +242,7 @@ class Comm:
         """
         if seconds is None:
             if flops is None:
-                raise ValueError("pass seconds or flops")
+                raise ConfigurationError("pass seconds or flops")
             cpu = self._world.cpu
             rate = cpu.sustained_flops(working_set_bytes, rate_cache, rate_mem)
             seconds = flops / rate
@@ -258,7 +259,7 @@ class Comm:
 
     def isend(self, payload, dest: int, tag: int = 0, irregular: bool = False):
         if not 0 <= dest < self.size:
-            raise ValueError(f"bad destination rank {dest}")
+            raise ConfigurationError(f"bad destination rank {dest}")
         nbytes = _payload_bytes(payload)
         self.clock += MPI_CALL_OVERHEAD
         self.stats.comm_seconds += MPI_CALL_OVERHEAD
@@ -288,7 +289,7 @@ class Comm:
 
     def irecv(self, source: int, tag: int = 0):
         if not 0 <= source < self.size:
-            raise ValueError(f"bad source rank {source}")
+            raise ConfigurationError(f"bad source rank {source}")
         box = self._world._mailbox(self.rank, source, tag)
         self._record("recv_post", peer=source, tag=tag)
 
@@ -303,7 +304,7 @@ class Comm:
                     if self._world.trace_enabled
                     else ""
                 )
-                raise RuntimeError(
+                raise DeadlockError(
                     f"rank {self.rank} deadlocked waiting for rank {source} "
                     f"tag {tag}{hint}"
                 ) from None
@@ -415,7 +416,7 @@ def _reduce(vals, op: str):
         for v in vals[1:]:
             out = np.minimum(out, v) if isinstance(out, np.ndarray) else min(out, v)
         return out
-    raise ValueError(f"unknown reduction op {op!r}")
+    raise ConfigurationError(f"unknown reduction op {op!r}")
 
 
 def _copy_result(value):
@@ -461,9 +462,9 @@ class SimMPI:
         recv_timeout: float | None = None,
     ):
         if nranks < 1:
-            raise ValueError("nranks must be >= 1")
+            raise ConfigurationError("nranks must be >= 1")
         if placement is not None and placement.nranks != nranks:
-            raise ValueError(
+            raise ConfigurationError(
                 f"placement provides {placement.nranks} ranks, world needs {nranks}"
             )
         self.nranks = nranks
@@ -568,7 +569,7 @@ class SimMPI:
             t.join()
         if errors:
             rank, exc = errors[0]
-            raise RuntimeError(f"rank {rank} failed: {exc!r}") from exc
+            raise RankFailure(rank, exc) from exc
         return results
 
     # -- post-run inspection ----------------------------------------------------

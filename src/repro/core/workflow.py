@@ -58,6 +58,11 @@ class VariableFidelityStudy:
     nnodes, cpus_per_case:
         Fill concurrency: the runtime packs ``(512 // cpus_per_case) *
         nnodes`` simultaneous cases, the paper's node-slot arithmetic.
+    store:
+        Optional :class:`~repro.database.ResultStore` the study's
+        runtime caches into; pass a path-backed one to make the fill
+        durable across processes.  Without one the study is an
+        in-session sweep (the runtime's documented ``durable=False``).
     """
 
     geometry: Assembly
@@ -69,6 +74,7 @@ class VariableFidelityStudy:
     cycles: int = 25
     nnodes: int = 1
     cpus_per_case: int = 32
+    store: object | None = None
     database: AeroDatabase = field(default_factory=AeroDatabase)
     meshes_built: int = 0
     cases_run: int = 0
@@ -101,6 +107,9 @@ class VariableFidelityStudy:
                 self.runner(),
                 nnodes=self.nnodes,
                 cpus_per_case=self.cpus_per_case,
+                store=self.store,
+                # an in-session sweep unless the caller supplied a store
+                durable=False if self.store is None else None,
             )
         return self._runtime
 

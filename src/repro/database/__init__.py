@@ -1,16 +1,18 @@
 """Cart3D-style automated parameter studies (paper section IV):
 config-space x wind-space definitions, hierarchical job control, node
 packing (the planner), the executing fill runtime with content-keyed
-caching, and the aero-performance database with virtual re-runs."""
+caching, journal-backed checkpoint/resume with deterministic fault
+injection, and the aero-performance database with virtual re-runs."""
 
+from ..errors import CaseExecutionError, CaseTimeout
+from .chaos import ChaosPolicy
+from .checkpoint import CampaignCheckpoint, CheckpointState
 from .jobs import FlowJob, GeometryJob, build_job_tree, meshing_amortization
 from .parameters import Axis, ParameterSpace, StudyDefinition, standard_study
 from .resultstore import ResultStore
 from .runtime import (
     Cart3DCaseRunner,
-    CaseExecutionError,
     CaseHandle,
-    CaseTimeout,
     FillEvent,
     FillReport,
     FillRuntime,
@@ -42,6 +44,9 @@ __all__ = [
     "CaseHandle",
     "CaseExecutionError",
     "CaseTimeout",
+    "CampaignCheckpoint",
+    "CheckpointState",
+    "ChaosPolicy",
     "SharedGeometry",
     "Cart3DCaseRunner",
     "cross_check_plan",

@@ -1,0 +1,284 @@
+"""Journal-backed campaign checkpoints: kill a fill, resume it, lose nothing.
+
+The paper's database fills occupy Columbia nodes for days; related
+strong-scaling campaigns (Junqueira-Junior et al., arXiv:2003.08746)
+hinge on restartability.  A :class:`CampaignCheckpoint` makes our
+:class:`~repro.database.runtime.FillRuntime` campaigns durable the same
+way: every :class:`~repro.database.runtime.FillEvent` the runtime emits
+is appended to a JSON-lines *journal*, completed cases carry their full
+:class:`~repro.solvers.interface.CaseResult` payload, and a one-line
+*manifest* records the campaign itself (every case spec, the solver
+settings, the slot sizing, and — when the runner can describe itself —
+enough to rebuild it).  A killed process therefore leaves a journal from
+which :meth:`FillRuntime.resume` (or ``python -m repro.database resume
+<journal>``) reconstructs the campaign: completed cases are restored
+into the result store and re-submit as cache hits (zero recomputation,
+coefficient-identical database), in-flight and cancelled cases re-queue.
+
+Failure tolerance of the journal itself mirrors the
+:class:`~repro.database.resultstore.ResultStore` contract: a truncated
+*final* line (crash mid-append) is ignored with one warning — that
+case simply re-runs — while corruption anywhere else raises
+:class:`~repro.errors.CheckpointCorrupt`, because silently skipping
+interior records would fabricate a different campaign.
+
+The journal is append-only and single-writer; :meth:`CampaignCheckpoint.
+record` is serialized by a lock because fill workers emit concurrently.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import warnings
+from pathlib import Path
+
+from ..errors import CheckpointCorrupt, ConfigurationError
+from ..solvers.interface import CaseResult, CaseSpec
+from ..telemetry.spans import span as _span
+from .jobs import FlowJob, GeometryJob
+
+#: Journal format version (bumped on incompatible record changes).
+JOURNAL_VERSION = 1
+
+#: Event kinds that end a case's life in the journal.
+TERMINAL_KINDS = ("done", "failed", "cancelled", "crash")
+
+
+class CampaignCheckpoint:
+    """Append-only journal of one fill campaign.
+
+    Pass one to ``FillRuntime(checkpoint=...)``; the runtime writes the
+    manifest when a campaign starts and streams every event (plus each
+    completed case's result) through :meth:`record`.  Load the other end
+    with :meth:`load`.
+
+    Parameters
+    ----------
+    path:
+        The journal file.  Appending to an existing journal continues
+        the same campaign — exactly what a resume does.
+    chaos:
+        Optional :class:`~repro.database.chaos.ChaosPolicy`; when its
+        ``truncate_rate`` fires for a result append, the line is torn
+        mid-write and the journal goes silent from then on (the
+        simulated process died holding the file).
+    """
+
+    def __init__(self, path: str | Path, chaos=None):
+        self.path = Path(path)
+        self.chaos = chaos
+        self._lock = threading.Lock()
+        self._dead = False
+        self._has_manifest = self.path.exists() and any(
+            line.startswith('{"record": "manifest"')
+            for line in self.path.read_text().splitlines()
+        )
+
+    @property
+    def has_manifest(self) -> bool:
+        return self._has_manifest
+
+    def _append(self, record: dict, truncate: bool = False) -> None:
+        line = json.dumps(record, default=str)
+        if truncate:
+            # torn write: half the payload, no newline, journal dead
+            line = line[: max(1, len(line) // 2)]
+            self._dead = True
+            with self.path.open("a") as fh:
+                fh.write(line)
+            return
+        with self.path.open("a") as fh:
+            fh.write(line + "\n")
+
+    def write_manifest(self, campaign: dict) -> bool:
+        """Record the campaign identity (first writer wins; a resume
+        appending to an existing journal keeps the original manifest)."""
+        with self._lock:
+            if self._has_manifest or self._dead:
+                return False
+            self._append(
+                {
+                    "record": "manifest",
+                    "version": JOURNAL_VERSION,
+                    "campaign": campaign,
+                }
+            )
+            self._has_manifest = True
+            return True
+
+    def record(self, event, result: CaseResult | None = None) -> None:
+        """Append one fill event (and, for completions, its result)."""
+        with self._lock:
+            if self._dead:
+                return
+            self._append(
+                {
+                    "record": "event",
+                    "seq": event.seq,
+                    "t": event.t,
+                    "vt": event.vt,
+                    "kind": event.kind,
+                    "key": event.key,
+                    "info": dict(event.info),
+                }
+            )
+            if result is not None:
+                torn = (
+                    self.chaos is not None
+                    and self.chaos.truncate_journal(event.key)
+                )
+                self._append(
+                    {
+                        "record": "result",
+                        "key": result.spec.key,
+                        "result": result.to_json(),
+                    },
+                    truncate=torn,
+                )
+
+    @staticmethod
+    def load(path: str | Path) -> "CheckpointState":
+        """Parse a journal into a :class:`CheckpointState` snapshot."""
+        path = Path(path)
+        if not path.exists():
+            raise ConfigurationError(f"no such checkpoint journal: {path}")
+        manifest: dict | None = None
+        events: list[dict] = []
+        results: dict[str, CaseResult] = {}
+        with _span("checkpoint.load", cat="checkpoint", path=str(path)):
+            lines = path.read_text().splitlines()
+            for lineno, line in enumerate(lines, start=1):
+                if not line.strip():
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    if lineno == len(lines):
+                        warnings.warn(
+                            f"ignoring truncated final journal line in "
+                            f"{path} (crash mid-write); the affected case "
+                            f"will re-run on resume",
+                            RuntimeWarning,
+                            stacklevel=2,
+                        )
+                        continue
+                    raise CheckpointCorrupt(
+                        path, lineno, f"unparseable journal line: {exc.msg}"
+                    ) from exc
+                kind = record.get("record")
+                if kind == "manifest":
+                    if manifest is None:  # first manifest wins
+                        manifest = record.get("campaign", {})
+                elif kind == "event":
+                    events.append(record)
+                elif kind == "result":
+                    result = CaseResult.from_json(record["result"])
+                    results[record["key"]] = result
+                # unknown record kinds are tolerated (forward compat)
+        return CheckpointState(
+            path=path, manifest=manifest, events=events, results=results
+        )
+
+
+class CheckpointState:
+    """Decoded snapshot of a campaign journal.
+
+    Classifies every case key the journal mentions by its *last* known
+    state; the sets drive resume: ``completed`` cases restore straight
+    into the result store, everything else re-queues.
+    """
+
+    def __init__(self, path: Path, manifest: dict | None,
+                 events: list[dict], results: dict[str, CaseResult]):
+        self.path = path
+        self.manifest = manifest
+        self.events = events
+        self.results = results
+        last: dict[str, str] = {}
+        for ev in sorted(events, key=lambda e: e.get("vt", e.get("t", 0.0))):
+            # geometry events carry the geometry-instance key, not a
+            # case key: they must not register as in-flight cases
+            if ev["key"] and ev["kind"] != "geometry":
+                last[ev["key"]] = ev["kind"]
+        self._last = last
+
+    @property
+    def completed(self) -> set:
+        """Cases finished *and* whose result survived the journal (a
+        ``done`` whose result append was torn must re-run)."""
+        return {
+            k for k, kind in self._last.items()
+            if kind == "done" and k in self.results
+        }
+
+    @property
+    def failed(self) -> set:
+        return {k for k, kind in self._last.items() if kind == "failed"}
+
+    @property
+    def in_flight(self) -> set:
+        """Cases the journal saw start (or retry) without a terminal
+        event — killed mid-solve; they re-queue on resume."""
+        terminal = set(TERMINAL_KINDS)
+        return {
+            k for k, kind in self._last.items()
+            if kind not in terminal and k not in self.completed
+        }
+
+    @property
+    def interrupted(self) -> set:
+        """Everything that must re-run: in-flight, crashed, cancelled,
+        failed, and completions with torn results."""
+        return {k for k in self._last if k not in self.completed}
+
+    def case_specs(self) -> list[CaseSpec]:
+        """Every case of the campaign, rebuilt from the manifest."""
+        if self.manifest is None:
+            raise CheckpointCorrupt(
+                self.path, 0, "journal has no campaign manifest"
+            )
+        solver = self.manifest.get("solver", "cart3d")
+        settings = self.manifest.get("settings", {})
+        return [
+            CaseSpec(
+                config=case["config"], wind=case["wind"],
+                solver=solver, settings=settings,
+            )
+            for case in self.manifest.get("cases", [])
+        ]
+
+    def job_tree(self) -> list[GeometryJob]:
+        """The campaign's :func:`build_job_tree`-shaped hierarchy,
+        rebuilt from the manifest (geometry instances top, wind below).
+        """
+        tree: list[GeometryJob] = []
+        by_config: dict[tuple, GeometryJob] = {}
+        if self.manifest is None:
+            raise CheckpointCorrupt(
+                self.path, 0, "journal has no campaign manifest"
+            )
+        for case in self.manifest.get("cases", []):
+            config = dict(case["config"])
+            key = tuple(sorted(config.items()))
+            geo = by_config.get(key)
+            if geo is None:
+                geo = GeometryJob(config_params=config)
+                by_config[key] = geo
+                tree.append(geo)
+            geo.flow_jobs.append(
+                FlowJob(config_params=config, wind_params=dict(case["wind"]))
+            )
+        return tree
+
+    def summary(self) -> dict:
+        """Counters for the resume CLI's status table."""
+        cases = len(self.manifest.get("cases", [])) if self.manifest else 0
+        return {
+            "cases": cases,
+            "completed": len(self.completed),
+            "failed": len(self.failed),
+            "in flight": len(self.in_flight),
+            "events": len(self.events),
+            "results": len(self.results),
+        }

@@ -21,6 +21,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..errors import ConfigurationError
+
 
 @dataclass(frozen=True)
 class Axis:
@@ -31,7 +33,7 @@ class Axis:
 
     def __post_init__(self):
         if len(self.values) == 0:
-            raise ValueError(f"axis {self.name} has no values")
+            raise ConfigurationError(f"axis {self.name} has no values")
 
     @staticmethod
     def linspace(name: str, lo: float, hi: float, n: int) -> "Axis":
@@ -47,7 +49,7 @@ class ParameterSpace:
     def __post_init__(self):
         names = [a.name for a in self.axes]
         if len(set(names)) != len(names):
-            raise ValueError("duplicate axis names")
+            raise ConfigurationError("duplicate axis names")
 
     @property
     def names(self) -> tuple:

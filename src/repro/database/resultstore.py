@@ -19,8 +19,10 @@ from __future__ import annotations
 
 import json
 import threading
+import warnings
 from pathlib import Path
 
+from ..errors import CheckpointCorrupt
 from ..solvers.interface import CaseResult
 
 
@@ -41,10 +43,27 @@ class ResultStore:
         self._results: dict[str, CaseResult] = {}
         self._path = Path(path) if path is not None else None
         if self._path is not None and self._path.exists():
-            for line in self._path.read_text().splitlines():
+            lines = self._path.read_text().splitlines()
+            for lineno, line in enumerate(lines, start=1):
                 if not line.strip():
                     continue
-                entry = json.loads(line)
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    if lineno == len(lines):
+                        # a process killed mid-append leaves a torn final
+                        # line; that one result simply re-runs
+                        warnings.warn(
+                            f"ignoring truncated final line in result "
+                            f"store {self._path} (crash mid-write)",
+                            RuntimeWarning,
+                            stacklevel=2,
+                        )
+                        continue
+                    raise CheckpointCorrupt(
+                        self._path, lineno,
+                        f"unparseable result-store line: {exc.msg}",
+                    ) from exc
                 result = CaseResult.from_json(entry)
                 self._results[result.spec.key] = result
 

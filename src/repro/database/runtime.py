@@ -31,7 +31,21 @@ operationally:
 * **plan cross-checking** — the retained planner's
   :class:`~repro.database.scheduler.SchedulePlan` is compared against the
   realized packing (:func:`cross_check_plan`): job counts, slot sizing
-  and the concurrency high-water mark must agree.
+  and the concurrency high-water mark must agree;
+* **durability** — with a :class:`~repro.database.checkpoint.
+  CampaignCheckpoint` attached, every event (and every completed case's
+  result) is journaled; a campaign killed mid-run — including by a
+  :class:`~repro.database.chaos.ChaosPolicy`-injected worker crash —
+  resumes via :meth:`FillRuntime.resume` with zero recomputation of
+  completed cases and a coefficient-identical database;
+* **a graceful-degradation ladder** — when a case exhausts its retry
+  budget on the primary (high-fidelity) runner and a ``fallback`` runner
+  is configured, the case re-runs at the lower fidelity and its record
+  is marked *degraded* rather than failing the campaign.
+
+Errors raised here live in the rooted :mod:`repro.errors` taxonomy; the
+historical names importable from this module (``CaseExecutionError``,
+``CaseTimeout``) remain as deprecated aliases.
 
 Lint rule R005 bans direct ``Cart3DSolver``/``NSU3DSolver`` construction
 inside this package: the bundled :class:`Cart3DCaseRunner` builds its
@@ -43,32 +57,41 @@ from __future__ import annotations
 import heapq
 import threading
 import time
+import warnings
 from concurrent.futures import Future, ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
+from .. import errors
 from ..machine.topology import node_slots
-from ..solvers.interface import CaseResult, CaseSpec, case_result
+from ..solvers.interface import (
+    CaseResult,
+    CaseSpec,
+    case_result,
+    deprecated_accessor,
+)
 from ..telemetry.spans import EpochClock, get_tracer
 from ..telemetry.spans import span as _span
+from .checkpoint import CampaignCheckpoint, CheckpointState
 from .resultstore import ResultStore
 from .scheduler import SchedulePlan
 from .store import AeroDatabase
 
+#: Historical import path -> the taxonomy class that replaced it.
+_DEPRECATED_ERRORS = {
+    "CaseExecutionError": errors.CaseExecutionError,
+    "CaseTimeout": errors.CaseTimeout,
+}
 
-class CaseExecutionError(RuntimeError):
-    """A case exhausted its retry budget (or was cancelled)."""
 
-    def __init__(self, key: str, attempts: int, cause: str):
-        super().__init__(
-            f"case {key} failed after {attempts} attempt(s): {cause}"
+def __getattr__(name: str):
+    if name in _DEPRECATED_ERRORS:
+        deprecated_accessor(
+            f"repro.database.runtime.{name}", f"repro.errors.{name}"
         )
-        self.key = key
-        self.attempts = attempts
-        self.cause = cause
-
-
-class CaseTimeout(RuntimeError):
-    """One attempt outlived its timeout budget (retryable)."""
+        return _DEPRECATED_ERRORS[name]
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )
 
 
 @dataclass(frozen=True)
@@ -84,7 +107,8 @@ class FillEvent:
 
     seq: int
     t: float  # seconds since the runtime's epoch
-    kind: str  # submit|cache_hit|geometry|start|retry|done|failed|cancelled|cancel|cross_check
+    kind: str  # submit|cache_hit|geometry|start|retry|done|failed|cancelled|
+    #            cancel|cross_check|chaos|crash|abort|fallback|resume
     key: str  # case content key ("" for runtime-level events)
     info: dict = field(default_factory=dict)
     vt: float = 0.0  # strictly monotonic virtual timestamp
@@ -131,13 +155,14 @@ class JobOutcome:
     """Terminal state of one submitted case."""
 
     spec: CaseSpec
-    state: str  # "done" | "cached" | "failed" | "cancelled"
+    state: str  # "done" | "cached" | "failed" | "cancelled" | "crashed"
     result: CaseResult | None = None
     attempts: int = 0
     slot: int | None = None
     start: float = 0.0
     end: float = 0.0
     error: str | None = None
+    degraded: bool = False  # completed on the fallback fidelity
 
 
 class CaseHandle:
@@ -168,7 +193,7 @@ class CaseHandle:
         """Block for the :class:`CaseResult`; raise on failure."""
         out = self.outcome()
         if out.result is None:
-            raise CaseExecutionError(
+            raise errors.CaseExecutionError(
                 self.key, out.attempts, out.error or out.state
             )
         return out.result
@@ -222,13 +247,21 @@ class FillReport:
     retries: int = 0
     failures: int = 0
     cancelled: int = 0
+    crashed: int = 0
+    degraded: int = 0
+    restored: int = 0
     meshes_built: int = 0
     max_concurrent: int = 0
     wall_seconds: float = 0.0
     plan_issues: list | None = None
 
     def ok(self) -> bool:
-        return self.failures == 0 and self.cancelled == 0 and not self.plan_issues
+        return (
+            self.failures == 0
+            and self.cancelled == 0
+            and self.crashed == 0
+            and not self.plan_issues
+        )
 
     def database(self, db: AeroDatabase | None = None) -> AeroDatabase:
         """Insert every successful result into an :class:`AeroDatabase`."""
@@ -247,6 +280,9 @@ class FillReport:
             "retries": self.retries,
             "failures": self.failures,
             "cancelled": self.cancelled,
+            "crashed": self.crashed,
+            "degraded": self.degraded,
+            "restored": self.restored,
             "meshes built": self.meshes_built,
             "slots": self.slots,
             "max concurrent": self.max_concurrent,
@@ -305,6 +341,14 @@ class FillRuntime:
     store:
         :class:`ResultStore` for caching/dedup (fresh in-memory store by
         default; pass a path-backed one for persistence).
+    durable:
+        The durability contract.  Constructing a runtime without a
+        ``store`` silently produced an ephemeral campaign; that bypass
+        of the blessed path now warns.  Pass ``durable=False`` as the
+        documented escape hatch ("I know this campaign evaporates with
+        the process"), or ``durable=True`` to *require* persistence — a
+        path-backed store or a checkpoint journal — and fail fast
+        otherwise.
     max_attempts, backoff_seconds:
         Bounded retry: attempt ``n`` failures sleep
         ``backoff_seconds * n`` before re-running, up to ``max_attempts``.
@@ -317,6 +361,21 @@ class FillRuntime:
         identity + the runtime clock) so every case attempt is a span
         and instrumented solver code lands on the campaign timeline.
         Defaults to the process-global tracer — a no-op when disabled.
+    chaos:
+        Optional :class:`~repro.database.chaos.ChaosPolicy` injecting
+        deterministic faults into case attempts (None = no-op).
+    fallback:
+        Optional lower-fidelity runner (same ``runner(spec, shared)``
+        signature) forming the graceful-degradation ladder: a case that
+        exhausts its retry budget on the primary runner re-runs here
+        (with ``shared=None`` — the fallback fidelity builds its own
+        view of the geometry) and its result is marked ``degraded``.
+    fallback_attempts:
+        Retry budget of the fallback rung (default 1).
+    checkpoint:
+        Optional :class:`~repro.database.checkpoint.CampaignCheckpoint`;
+        every event (and completed-case result) streams into its
+        journal, making the campaign resumable via :meth:`resume`.
     """
 
     def __init__(
@@ -326,25 +385,65 @@ class FillRuntime:
         nnodes: int = 1,
         cpus_per_case: int = 32,
         store: ResultStore | None = None,
+        durable: bool | None = None,
         max_attempts: int = 3,
         backoff_seconds: float = 0.01,
         timeout_seconds: float | None = None,
         on_event=None,
         tracer=None,
+        chaos=None,
+        fallback=None,
+        fallback_attempts: int = 1,
+        checkpoint: CampaignCheckpoint | None = None,
     ):
         if max_attempts < 1:
-            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+            raise errors.ConfigurationError(
+                f"max_attempts must be >= 1, got {max_attempts}"
+            )
+        if fallback_attempts < 1:
+            raise errors.ConfigurationError(
+                f"fallback_attempts must be >= 1, got {fallback_attempts}"
+            )
+        if store is None:
+            if durable:
+                raise errors.ConfigurationError(
+                    "durable=True requires a path-backed ResultStore "
+                    "(pass store=ResultStore(path))"
+                )
+            if durable is None:
+                warnings.warn(
+                    "FillRuntime constructed without a ResultStore: results "
+                    "are ephemeral and the campaign cannot be resumed. Pass "
+                    "a path-backed ResultStore (the blessed path), or "
+                    "durable=False to acknowledge an ephemeral campaign.",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+            store = ResultStore()
+        elif durable and store.path is None and checkpoint is None:
+            raise errors.ConfigurationError(
+                "durable=True requires a path-backed ResultStore or a "
+                "CampaignCheckpoint journal; this store is in-memory only"
+            )
         self.runner = runner
         self.nnodes = nnodes
         self.cpus_per_case = cpus_per_case
         self.slots = node_slots(cpus_per_case, nnodes)
-        self.store = store if store is not None else ResultStore()
+        self.store = store
+        self.durable = bool(
+            store.path is not None or checkpoint is not None
+        )
         self.max_attempts = max_attempts
         self.backoff_seconds = backoff_seconds
         self.timeout_seconds = timeout_seconds
         self.tracer = tracer if tracer is not None else get_tracer()
+        self.chaos = chaos
+        self.fallback = fallback
+        self.fallback_attempts = fallback_attempts
+        self.checkpoint = checkpoint
+        self._user_on_event = on_event
         self._clock = EpochClock()
-        self.events = EventLog(self._now, on_event)
+        self.events = EventLog(self._now, self._dispatch_event)
         self._pool = ThreadPoolExecutor(
             max_workers=self.slots, thread_name_prefix="fill"
         )
@@ -355,6 +454,8 @@ class FillRuntime:
         self._free_slots = list(range(self.slots))
         heapq.heapify(self._free_slots)
         self._cancelled = threading.Event()
+        self._aborted = threading.Event()
+        self._abort_reason: str | None = None
         self._geometry_builds = 0
         self.closed = False
 
@@ -362,6 +463,17 @@ class FillRuntime:
 
     def _now(self) -> float:
         return self._clock()
+
+    def _dispatch_event(self, event: FillEvent) -> None:
+        """Fan one event out: journal first (durability), then the user
+        callback — a crash after journaling loses nothing."""
+        if self.checkpoint is not None:
+            result = None
+            if event.kind == "done":
+                result = self.store.get(event.key)
+            self.checkpoint.record(event, result=result)
+        if self._user_on_event is not None:
+            self._user_on_event(event)
 
     def cancel(self) -> None:
         """Stop queued cases and abort remaining retries."""
@@ -384,7 +496,7 @@ class FillRuntime:
     def submit(self, spec: CaseSpec, shared=None) -> CaseHandle:
         """Submit one case; identical re-submissions are cache hits."""
         if self.closed:
-            raise RuntimeError("runtime is closed")
+            raise errors.RuntimeClosed("runtime is closed")
         with self._lock:
             primary = self._handles.get(spec.key)
             if primary is not None:
@@ -446,7 +558,7 @@ class FillRuntime:
         seq0 = self.events.next_seq
         builds0 = self._geometry_builds
         t0 = self._now()
-        handles = []
+        jobs = []
         for geo_job in tree:
             shared = None
             if prepare is not None:
@@ -455,7 +567,16 @@ class FillRuntime:
                 spec = CaseSpec.from_flow_job(
                     flow_job, solver=solver, **settings
                 )
-                handles.append(self.submit(spec, shared=shared))
+                jobs.append((spec, shared))
+        if self.checkpoint is not None:
+            # manifest first: a campaign that dies on its very first
+            # case still leaves a journal that can rebuild the job tree
+            self.checkpoint.write_manifest(
+                self._campaign_manifest(
+                    [spec for spec, _ in jobs], solver, settings, plan
+                )
+            )
+        handles = [self.submit(spec, shared=shared) for spec, shared in jobs]
         outcomes = [h.outcome() for h in handles]
         events = self.events.since(seq0)
         # executions belonging to *this* campaign: cache hits resolve to
@@ -474,6 +595,8 @@ class FillRuntime:
             retries=sum(1 for e in events if e.kind == "retry"),
             failures=sum(1 for o in outcomes if o.state == "failed"),
             cancelled=sum(1 for o in outcomes if o.state == "cancelled"),
+            crashed=sum(1 for o in outcomes if o.state == "crashed"),
+            degraded=sum(1 for o in outcomes if o.degraded),
             meshes_built=self._geometry_builds - builds0,
             max_concurrent=_max_overlap(
                 {id(o): (o.start, o.end) for o in ran}.values()
@@ -489,6 +612,96 @@ class FillRuntime:
                 realized_max_concurrent=report.max_concurrent,
             )
             report.events = self.events.since(seq0)
+        if self._aborted.is_set():
+            reason = self._abort_reason or "worker crash"
+            self.events.emit("abort", reason=reason)
+            report.events = self.events.since(seq0)
+            raise errors.CampaignAborted(reason, report=report)
+        return report
+
+    def _campaign_manifest(self, specs, solver, settings, plan) -> dict:
+        """Enough journal to rebuild the campaign in a fresh process."""
+        describe = getattr(self.runner, "describe", None)
+        return {
+            "solver": solver,
+            "settings": dict(settings),
+            "nnodes": self.nnodes,
+            "cpus_per_case": self.cpus_per_case,
+            "store": str(self.store.path) if self.store.path else None,
+            "runner": describe() if describe is not None else None,
+            "plan": plan.to_json() if plan is not None else None,
+            "cases": [
+                {"config": spec.config_params, "wind": spec.wind_params}
+                for spec in specs
+            ],
+        }
+
+    def resume(
+        self,
+        tree=None,
+        *,
+        plan: SchedulePlan | None = None,
+        checkpoint=None,
+    ) -> FillReport:
+        """Continue a journaled campaign with zero recomputation.
+
+        Loads the checkpoint (``checkpoint`` may be a
+        :class:`~repro.database.checkpoint.CampaignCheckpoint`, a
+        decoded :class:`~repro.database.checkpoint.CheckpointState`, or
+        a journal path; defaults to this runtime's own checkpoint),
+        restores every completed case's result into the store — so its
+        re-submission is a cache hit — and re-runs the campaign's job
+        tree (rebuilt from the journal manifest when ``tree`` is None).
+        Only interrupted cases execute; the resulting database is
+        coefficient-identical to an uninterrupted run.
+        """
+        source = checkpoint if checkpoint is not None else self.checkpoint
+        if source is None:
+            raise errors.ConfigurationError(
+                "resume needs a checkpoint journal (pass checkpoint= "
+                "here or to the runtime constructor)"
+            )
+        if isinstance(source, CheckpointState):
+            state = source
+        elif isinstance(source, CampaignCheckpoint):
+            state = CampaignCheckpoint.load(source.path)
+        else:
+            state = CampaignCheckpoint.load(source)
+        completed = state.completed
+        with self.tracer.span(
+            "fill.restore", cat="checkpoint",
+            path=str(state.path), completed=len(completed),
+        ):
+            restored = 0
+            for key in completed:
+                if self.store.get(key) is None:
+                    self.store.put(state.results[key])
+                    restored += 1
+        self.events.emit(
+            "resume",
+            path=str(state.path), restored=restored,
+            completed=len(completed), interrupted=len(state.interrupted),
+        )
+        solver = settings = None
+        if state.manifest is not None:
+            solver = state.manifest.get("solver")
+            settings = state.manifest.get("settings")
+            if tree is None:
+                tree = state.job_tree()
+        elif tree is None:
+            raise errors.ConfigurationError(
+                f"journal {state.path} has no manifest; pass the job "
+                f"tree explicitly to resume"
+            )
+        try:
+            report = self.run_tree(
+                tree, plan=plan, solver=solver, settings=settings
+            )
+        except errors.CampaignAborted as exc:
+            if exc.report is not None:
+                exc.report.restored = restored
+            raise
+        report.restored = restored
         return report
 
     # -- telemetry -----------------------------------------------------------
@@ -527,7 +740,7 @@ class FillRuntime:
     def _acquire_slot(self) -> int:
         with self._lock:
             if not self._free_slots:
-                raise RuntimeError("worker started with no free slot")
+                raise errors.ReproError("worker started with no free slot")
             return heapq.heappop(self._free_slots)
 
     def _release_slot(self, slot: int) -> None:
@@ -557,6 +770,14 @@ class FillRuntime:
                             error="fill cancelled",
                         )
                     attempts += 1
+                    fault = None
+                    if self.chaos is not None:
+                        fault = self.chaos.attempt_fault(spec.key, attempts)
+                        if fault is not None:
+                            self.events.emit(
+                                "chaos", spec.key,
+                                fault=fault, attempt=attempts,
+                            )
                     self.events.emit(
                         "start" if attempts == 1 else "retry_start",
                         spec.key, attempt=attempts, slot=slot,
@@ -567,6 +788,22 @@ class FillRuntime:
                             "fill.case", cat="fill",
                             key=spec.key, attempt=attempts, slot=slot,
                         ):
+                            if fault == "crash":
+                                raise errors.WorkerCrash(
+                                    f"chaos: worker crashed running case "
+                                    f"{spec.key} (attempt {attempts})"
+                                )
+                            if fault == "hang":
+                                time.sleep(
+                                    self.chaos.hang_seconds(
+                                        self.timeout_seconds
+                                    )
+                                )
+                            if fault == "diverge":
+                                raise errors.SolverDivergence(
+                                    f"chaos: transient divergence in case "
+                                    f"{spec.key} (attempt {attempts})"
+                                )
                             # SharedGeometry (and friends) are callables
                             # that build lazily; direct submissions may
                             # pass the prepared product itself
@@ -577,13 +814,15 @@ class FillRuntime:
                             self.timeout_seconds is not None
                             and elapsed > self.timeout_seconds
                         ):
-                            raise CaseTimeout(
+                            raise errors.CaseTimeout(
                                 f"attempt took {elapsed:.3f}s > timeout "
                                 f"{self.timeout_seconds:.3f}s"
                             )
+                    except errors.WorkerCrash:
+                        raise  # campaign-fatal: never retried
                     except Exception as exc:
                         if attempts >= self.max_attempts or self._cancelled.is_set():
-                            raise CaseExecutionError(
+                            raise errors.CaseExecutionError(
                                 spec.key, attempts, repr(exc)
                             ) from exc
                         self.events.emit(
@@ -602,7 +841,26 @@ class FillRuntime:
                         spec=spec, state="done", result=result,
                         attempts=attempts, slot=slot, start=start, end=end,
                     )
-            except CaseExecutionError as exc:
+            except errors.WorkerCrash as exc:
+                # a dead node takes the campaign with it: cancel queued
+                # work, record the crash, and let run_tree abort — only
+                # the checkpoint journal brings the campaign back
+                with self._lock:
+                    self._abort_reason = str(exc)
+                self._aborted.set()
+                self.cancel()
+                self.events.emit(
+                    "crash", spec.key, attempt=attempts, error=str(exc)
+                )
+                return JobOutcome(
+                    spec=spec, state="crashed", attempts=attempts,
+                    slot=slot, start=start, end=self._now(), error=str(exc),
+                )
+            except errors.CaseExecutionError as exc:
+                if self.fallback is not None and not self._cancelled.is_set():
+                    outcome = self._run_fallback(spec, slot, start, exc)
+                    if outcome is not None:
+                        return outcome
                 self.events.emit(
                     "failed", spec.key, attempts=exc.attempts, error=exc.cause
                 )
@@ -612,6 +870,54 @@ class FillRuntime:
                 )
         finally:
             self._release_slot(slot)
+
+    def _run_fallback(self, spec: CaseSpec, slot: int, start: float,
+                      primary: errors.CaseExecutionError):
+        """The degradation ladder's lower rung: re-run an exhausted case
+        on the fallback runner and mark its result degraded.
+
+        Returns the (degraded) done outcome, or None when the fallback
+        also failed — the case then surfaces as a plain failure carrying
+        the *primary* runner's error.
+        """
+        self.events.emit(
+            "fallback", spec.key,
+            attempts=primary.attempts, error=primary.cause,
+            fidelity=getattr(self.fallback, "solver_name", "fallback"),
+        )
+        for attempt in range(1, self.fallback_attempts + 1):
+            if self._cancelled.is_set():
+                return None
+            t_attempt = self._now()
+            try:
+                with self.tracer.span(
+                    "fill.fallback", cat="fill",
+                    key=spec.key, attempt=attempt, slot=slot,
+                ):
+                    # shared=None: the fallback fidelity prepares its own
+                    # view of the geometry (the primary's mesh is not its)
+                    result = self.fallback(spec, None)
+            except Exception as exc:  # noqa - fallback failures downgrade to events
+                self.events.emit(
+                    "retry", spec.key,
+                    attempt=primary.attempts + attempt, error=repr(exc),
+                    rung="fallback",
+                )
+                continue
+            result = replace(result, degraded=True)
+            self.store.put(result)
+            end = self._now()
+            self.events.emit(
+                "done", spec.key,
+                attempts=primary.attempts + attempt,
+                seconds=round(end - t_attempt, 6), degraded=True,
+            )
+            return JobOutcome(
+                spec=spec, state="done", result=result,
+                attempts=primary.attempts + attempt, slot=slot,
+                start=start, end=end, degraded=True,
+            )
+        return None
 
 
 class Cart3DCaseRunner:
@@ -637,6 +943,8 @@ class Cart3DCaseRunner:
         cycles: int = 25,
         tol_orders: float = 4.0,
         converged_orders: float = 2.0,
+        geometry_name: str | None = None,
+        chaos=None,
     ):
         self.geometry = geometry
         self.dim = dim
@@ -646,7 +954,20 @@ class Cart3DCaseRunner:
         self.cycles = cycles
         self.tol_orders = tol_orders
         self.converged_orders = converged_orders
+        self.geometry_name = geometry_name
+        self.chaos = chaos
         self._deflectable = {c.name for c in geometry.components}
+
+    def describe(self) -> dict:
+        """Manifest entry: how to rebuild this runner in a fresh process
+        (the resume CLI uses it to reconstruct the campaign)."""
+        return {
+            "type": "cart3d",
+            "geometry": self.geometry_name,
+            "tol_orders": self.tol_orders,
+            "converged_orders": self.converged_orders,
+            **self.settings(),
+        }
 
     def settings(self) -> dict:
         """Solver knobs that belong in the cache key."""
@@ -679,6 +1000,12 @@ class Cart3DCaseRunner:
     def __call__(self, spec: CaseSpec, shared=None) -> CaseResult:
         from .. import api
 
+        if self.chaos is not None and self.chaos.solver_fault(spec.key):
+            # sticky per-key divergence (independent of attempt): the
+            # retry budget exhausts and the degradation ladder engages
+            raise errors.SolverDivergence(
+                f"chaos: solver diverged on case {spec.key}"
+            )
         solid, mesh = shared if shared is not None else (
             self.configure(spec.config_params), None
         )

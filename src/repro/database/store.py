@@ -32,6 +32,7 @@ class CaseRecord:
     coefficients: dict  # cl, cd, cm, ...
     residual_history: list = field(default_factory=list)
     converged: bool = True
+    degraded: bool = False  # filled at fallback fidelity, flagged for review
 
     @property
     def orders_converged(self) -> float:
@@ -105,3 +106,8 @@ class AeroDatabase:
 
     def unconverged(self) -> list:
         return [r for r in self._records.values() if not r.converged]
+
+    def degraded(self) -> list:
+        """Records filled at the fallback fidelity — candidates for the
+        paper's on-demand re-run once the primary solver recovers."""
+        return [r for r in self._records.values() if r.degraded]

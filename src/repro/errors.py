@@ -1,0 +1,132 @@
+"""One rooted error taxonomy for the whole reproduction.
+
+The paper's aero-database machinery runs thousands of unattended cases
+across Columbia nodes, where individual node and fabric failures are
+expected, not exceptional.  Unattended operation demands a *uniform*
+error surface: a campaign driver must be able to say ``except
+ReproError`` and know it caught every failure this package can raise on
+purpose, and to tell a retryable fault (:class:`SolverDivergence`) from
+a campaign-fatal one (:class:`CampaignAborted`) by type alone — not by
+parsing message strings out of an ad-hoc mix of ``RuntimeError``
+subclasses.
+
+Design rules:
+
+* **Single root.**  Every deliberate raise in ``repro.database`` and
+  ``repro.comm`` is a :class:`ReproError`.
+* **Backwards compatible.**  Each class also inherits the builtin it
+  replaced (``ValueError`` for bad arguments, ``RuntimeError`` for
+  execution failures), so pre-taxonomy ``except ValueError`` /
+  ``except RuntimeError`` call sites keep working unchanged.
+* **Carry structure, not just strings.**  Errors keep their load-bearing
+  attributes (case ``key``, ``attempts``, failing ``rank``, the partial
+  :class:`~repro.database.runtime.FillReport` of an aborted campaign) so
+  drivers can resume, degrade or report without re-parsing messages.
+
+The historical names importable from ``repro.database.runtime``
+(``CaseExecutionError``, ``CaseTimeout``) remain as deprecated aliases;
+the blessed import paths are this module and :mod:`repro.api`.
+
+This module deliberately imports nothing from the rest of the package
+(stdlib only) so every subsystem — ``comm`` at the bottom of the import
+graph included — can use it without cycles.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Root of the taxonomy: every deliberate repro failure is one."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """Invalid arguments or configuration (replaces bare ``ValueError``)."""
+
+
+class CaseExecutionError(ReproError, RuntimeError):
+    """A case exhausted its retry budget (or was cancelled)."""
+
+    def __init__(self, key: str, attempts: int, cause: str):
+        super().__init__(
+            f"case {key} failed after {attempts} attempt(s): {cause}"
+        )
+        self.key = key
+        self.attempts = attempts
+        self.cause = cause
+
+
+class CaseTimeout(ReproError, RuntimeError):
+    """One attempt outlived its timeout budget (retryable)."""
+
+
+class CampaignAborted(ReproError, RuntimeError):
+    """A fill campaign died mid-run (e.g. a worker crash).
+
+    Carries the partial :class:`~repro.database.runtime.FillReport`
+    (``report``) so drivers can account for the completed work and
+    resume from the campaign's checkpoint journal.
+    """
+
+    def __init__(self, reason: str, report=None):
+        super().__init__(f"campaign aborted: {reason}")
+        self.reason = reason
+        self.report = report
+
+
+class CheckpointCorrupt(ReproError, RuntimeError):
+    """A journal-backed artifact (campaign checkpoint or result store)
+    is unreadable beyond the recoverable truncated-final-line case."""
+
+    def __init__(self, path, lineno: int, detail: str):
+        super().__init__(f"{path}:{lineno}: {detail}")
+        self.path = path
+        self.lineno = lineno
+        self.detail = detail
+
+
+class WorkerCrash(ReproError, RuntimeError):
+    """A fill worker died mid-case (chaos-injected node failure).
+
+    Unlike a retryable case failure, a worker crash kills the campaign:
+    the runtime aborts with :class:`CampaignAborted` and the journal is
+    the only way back.
+    """
+
+
+class SolverDivergence(ReproError, RuntimeError):
+    """A solve diverged transiently (retryable; chaos-injectable)."""
+
+
+class DeadlockError(ReproError, RuntimeError):
+    """A SimMPI rank blocked forever on a receive that cannot match."""
+
+
+class RankFailure(ReproError, RuntimeError):
+    """An SPMD rank raised; the world run is torn down.
+
+    ``rank`` identifies the first failing rank; the original exception
+    is chained as ``__cause__``.
+    """
+
+    def __init__(self, rank: int, cause: BaseException):
+        super().__init__(f"rank {rank} failed: {cause!r}")
+        self.rank = rank
+
+
+class RuntimeClosed(ReproError, RuntimeError):
+    """An operation was submitted to a closed :class:`FillRuntime`."""
+
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "CaseExecutionError",
+    "CaseTimeout",
+    "CampaignAborted",
+    "CheckpointCorrupt",
+    "WorkerCrash",
+    "SolverDivergence",
+    "DeadlockError",
+    "RankFailure",
+    "RuntimeClosed",
+]

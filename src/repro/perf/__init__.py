@@ -13,6 +13,7 @@ from .commmodel import (
     intergrid_transfer_time,
 )
 from .report import (
+    campaign_ledger_table,
     convergence_table,
     fill_summary_table,
     format_comparison,
@@ -68,4 +69,5 @@ __all__ = [
     "convergence_table",
     "fill_summary_table",
     "phase_table",
+    "campaign_ledger_table",
 ]

@@ -103,6 +103,29 @@ def fill_summary_table(runs: dict, title: str = "") -> str:
     return "\n".join(lines)
 
 
+def campaign_ledger_table(summary: dict, title: str = "") -> str:
+    """Render one campaign-journal snapshot as a two-column ledger.
+
+    ``summary`` is the counter dict
+    :meth:`repro.database.CheckpointState.summary` returns (cases,
+    completed, failed, in flight, ...); this is the table
+    ``python -m repro.database status <journal>`` prints.
+    """
+    if not summary:
+        return ""
+    width = max(len(name) for name in summary) + 2
+    lines = []
+    if title:
+        lines.append(title)
+    header = f"{'':<{width}} | {'count':>10}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name, value in summary.items():
+        cell = f"{value:g}" if isinstance(value, float) else str(value)
+        lines.append(f"{name:<{width}} | {cell:>10}")
+    return "\n".join(lines)
+
+
 def phase_table(phases: dict, makespan: float | None = None,
                 title: str = "") -> str:
     """Render per-phase span aggregates, heaviest phase first.

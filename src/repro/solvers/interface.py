@@ -157,6 +157,7 @@ class CaseResult:
     residual_history: tuple = ()
     converged: bool = True
     flops: float = 0.0
+    degraded: bool = False  # produced by a fallback-fidelity re-run
 
     @property
     def cycles(self) -> int:
@@ -178,6 +179,7 @@ class CaseResult:
             coefficients=dict(self.coefficients),
             residual_history=list(self.residual_history),
             converged=self.converged,
+            degraded=self.degraded,
         )
 
     def to_json(self) -> dict:
@@ -191,6 +193,7 @@ class CaseResult:
             "residual_history": list(self.residual_history),
             "converged": self.converged,
             "flops": self.flops,
+            "degraded": self.degraded,
         }
 
     @staticmethod
@@ -207,6 +210,7 @@ class CaseResult:
             residual_history=tuple(data.get("residual_history", ())),
             converged=bool(data.get("converged", True)),
             flops=float(data.get("flops", 0.0)),
+            degraded=bool(data.get("degraded", False)),
         )
 
 

@@ -82,7 +82,8 @@ def selfcheck(out_path=None, echo=print) -> int:
 
     with capture() as tracer:
         with FillRuntime(
-            runner, cpus_per_case=128, max_attempts=1, tracer=tracer
+            runner, cpus_per_case=128, max_attempts=1, tracer=tracer,
+            durable=False,
         ) as runtime:
             handles = [
                 runtime.submit(

@@ -230,9 +230,10 @@ def add_perf_counters(timeline: Timeline, counters, pid: str = "counters",
     return timeline
 
 
-#: Fill-event kinds that open a scheduler span / close it.
+#: Fill-event kinds that open a scheduler span / close it ("crash" is a
+#: chaos-injected worker death — terminal for the case and the campaign).
 _FILL_OPEN = {"submit"}
-_FILL_CLOSE = {"done", "failed", "cancelled"}
+_FILL_CLOSE = {"done", "failed", "cancelled", "crash"}
 
 
 def _fill_time(ev) -> float:
@@ -244,13 +245,14 @@ def _fill_time(ev) -> float:
 def add_fill_events(timeline: Timeline, events, pid: str = "fill") -> Timeline:
     """Replay a :class:`FillEvent` stream into scheduler-level tracks.
 
-    ``submit -> done|failed|cancelled`` pairs become spans on the
+    ``submit -> done|failed|cancelled|crash`` pairs become spans on the
     ``scheduler`` track (one per case key); per-attempt ``start`` /
     ``retry_start`` events become spans on the worker-slot track they
     ran on; everything else (cache hits, geometry builds, retries,
-    cancellation, plan cross-checks) becomes an instant.  Replay is
-    deterministic because events carry strictly monotonic virtual
-    timestamps (:attr:`FillEvent.vt`).
+    chaos injections, campaign aborts, resume restores, plan
+    cross-checks) becomes an instant.  Replay is deterministic because
+    events carry strictly monotonic virtual timestamps
+    (:attr:`FillEvent.vt`).
     """
     open_cases: dict = {}
     open_attempts: dict = {}
@@ -267,7 +269,7 @@ def add_fill_events(timeline: Timeline, events, pid: str = "fill") -> Timeline:
             )
         if ev.kind in ("start", "retry_start"):
             open_attempts[ev.key] = (t, ev.info.get("slot", 0), ev.info)
-        elif ev.kind in ("done", "retry", "failed", "cancelled"):
+        elif ev.kind in ("done", "retry", "failed", "cancelled", "crash"):
             if ev.key in open_attempts:
                 t0, slot, info = open_attempts.pop(ev.key)
                 timeline.add(

@@ -96,9 +96,14 @@ class TestSilentExceptRule:
         diags = diags_for(src, "src/repro/anywhere/mod.py")
         assert [d.rule for d in diags] == ["R002"]
 
-    def test_bare_except_flagged(self):
+    def test_bare_except_now_owned_by_r007(self):
         src = "try:\n    pass\nexcept:\n    pass\n"
         diags = diags_for(src, "src/repro/x.py")
+        assert [d.rule for d in diags] == ["R007"]
+
+    def test_bare_except_still_r002_when_r007_not_selected(self):
+        src = "try:\n    pass\nexcept:\n    pass\n"
+        diags = diags_for(src, "src/repro/x.py", select={"R002"})
         assert [d.rule for d in diags] == ["R002"]
 
     def test_reraising_handler_passes(self):
@@ -120,6 +125,56 @@ class TestSilentExceptRule:
         R002 is clean over the whole comm package."""
         comm_dir = Path(__file__).parent.parent / "src" / "repro" / "comm"
         assert lint_paths([comm_dir], select={"R002"}) == []
+
+
+class TestSwallowedExceptionRule:
+    def test_except_exception_pass_flagged(self):
+        src = "try:\n    f()\nexcept Exception:\n    pass\n"
+        diags = diags_for(src, "src/repro/database/mod.py")
+        assert [d.rule for d in diags] == ["R007"]
+        assert "empty" in diags[0].message
+
+    def test_ellipsis_body_flagged(self):
+        src = "try:\n    f()\nexcept BaseException:\n    ...\n"
+        diags = diags_for(src, "src/repro/comm/mod.py")
+        assert [d.rule for d in diags] == ["R007"]
+
+    def test_bare_except_flagged_even_with_real_body(self):
+        src = "try:\n    f()\nexcept:\n    x = 1\n"
+        diags = diags_for(src, "src/repro/x.py")
+        assert [d.rule for d in diags] == ["R007"]
+        assert "KeyboardInterrupt" in diags[0].message
+
+    def test_one_offence_one_diagnostic(self):
+        """R007 takes the swallowed cases; R002 must not double-report."""
+        src = "try:\n    f()\nexcept Exception:\n    pass\n"
+        diags = diags_for(src, "src/repro/x.py")
+        assert [d.rule for d in diags] == ["R007"]
+
+    def test_broad_handler_with_fallback_stays_r002(self):
+        src = (
+            "def f(obj):\n"
+            "    try:\n"
+            "        return len(obj)\n"
+            "    except Exception:\n"
+            "        return 64\n"
+        )
+        diags = diags_for(src, "src/repro/x.py")
+        assert [d.rule for d in diags] == ["R002"]
+
+    def test_specific_exception_pass_allowed(self):
+        src = "try:\n    f()\nexcept KeyError:\n    pass\n"
+        assert diags_for(src, "src/repro/x.py") == []
+
+    def test_noqa_suppresses(self):
+        src = "try:\n    f()\nexcept Exception:  # noqa: best effort\n    pass\n"
+        assert diags_for(src, "src/repro/x.py") == []
+
+    def test_shipped_package_is_clean(self):
+        """Tier-1 enforcement: no swallowed exceptions inside src/repro."""
+        repo = Path(__file__).parent.parent
+        diags = lint_paths([repo / "src" / "repro"], select={"R007"})
+        assert diags == []
 
 
 class TestMeshLoopRule:

@@ -48,6 +48,40 @@ class TestFacade:
         with pytest.raises(AttributeError):
             repro.no_such_submodule
 
+    def test_api_version_is_declared(self):
+        assert api.__api_version__ == "4.0"
+
+    def test_all_is_complete(self):
+        """Self-test of the facade contract: every public attribute is
+        exported in ``__all__`` and vice versa — nothing leaks in or
+        silently drops out of the blessed surface."""
+        import types
+
+        public = {
+            name
+            for name, value in vars(api).items()
+            if not name.startswith("_")
+            and not isinstance(value, types.ModuleType)
+            and name != "annotations"
+        }
+        assert public == set(api.__all__)
+
+    def test_durability_surface_exported(self):
+        for name in (
+            "ChaosPolicy", "CampaignCheckpoint", "CheckpointState",
+            "ReproError", "ConfigurationError", "CaseExecutionError",
+            "CaseTimeout", "CampaignAborted", "CheckpointCorrupt",
+            "WorkerCrash", "SolverDivergence", "RuntimeClosed",
+        ):
+            assert name in api.__all__
+            assert getattr(api, name) is not None
+
+    def test_facade_errors_are_the_canonical_classes(self):
+        from repro import errors
+
+        assert api.ReproError is errors.ReproError
+        assert api.CampaignAborted is errors.CampaignAborted
+
 
 class TestUnifiedSurface:
     def test_both_solvers_satisfy_the_protocol(self, cart3d, nsu3d):

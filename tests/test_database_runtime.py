@@ -21,7 +21,7 @@ from repro.database import (
     cross_check_plan,
     schedule_fill,
 )
-from repro.database.runtime import CaseExecutionError
+from repro.errors import CaseExecutionError
 from repro.machine import CPUS_PER_NODE, node_slots
 from repro.solvers import CaseResult, CaseSpec
 
@@ -74,12 +74,12 @@ class TestSlotSizing:
 
     def test_runtime_rejects_oversized_case(self):
         with pytest.raises(ValueError, match="exceeds the 512-CPU"):
-            FillRuntime(ok_runner, cpus_per_case=CPUS_PER_NODE * 2)
+            FillRuntime(ok_runner, cpus_per_case=CPUS_PER_NODE * 2, durable=False)
 
 
 class TestRunTree:
     def test_empty_tree_reports_zero_cases(self):
-        with FillRuntime(ok_runner) as rt:
+        with FillRuntime(ok_runner, durable=False) as rt:
             report = rt.run_tree([])
         assert report.cases == 0
         assert report.executed == 0
@@ -95,7 +95,7 @@ class TestRunTree:
         tree = tiny_tree(nconfig=2, nwind=1)
         for geo in tree:
             geo.flow_jobs = []
-        with FillRuntime(ok_runner) as rt:
+        with FillRuntime(ok_runner, durable=False) as rt:
             report = rt.run_tree(tree, prepare=prepare)
         assert report.cases == 0
         assert built == []  # lazy: no case ever forced the mesh
@@ -115,7 +115,7 @@ class TestRunTree:
                 live.remove(s.key)
             return ok_runner(s)
 
-        with FillRuntime(runner, cpus_per_case=128) as rt:
+        with FillRuntime(runner, cpus_per_case=128, durable=False) as rt:
             report = rt.run_tree(tiny_tree(nconfig=3, nwind=4))
         assert report.cases == 12
         assert report.executed == 12
@@ -130,7 +130,7 @@ class TestRunTree:
             time.sleep(0.01)  # widen the race window
             return geo_job.config_params
 
-        with FillRuntime(ok_runner) as rt:
+        with FillRuntime(ok_runner, durable=False) as rt:
             report = rt.run_tree(tiny_tree(nconfig=2, nwind=4), prepare=prepare)
         assert sorted(builds) == [0.0, 1.0]  # once per instance, not per case
         assert report.meshes_built == 2
@@ -146,7 +146,8 @@ class TestRetryAndFailure:
                 raise OSError("node dropped the job")
             return ok_runner(s)
 
-        with FillRuntime(flaky, max_attempts=3, backoff_seconds=0.0) as rt:
+        with FillRuntime(flaky, max_attempts=3, backoff_seconds=0.0,
+                         durable=False) as rt:
             out = rt.submit(spec(0)).outcome()
         assert out.state == "done"
         assert out.attempts == 2
@@ -155,7 +156,8 @@ class TestRetryAndFailure:
         def broken(s, shared=None):
             raise OSError("boom")
 
-        with FillRuntime(broken, max_attempts=2, backoff_seconds=0.0) as rt:
+        with FillRuntime(broken, max_attempts=2, backoff_seconds=0.0,
+                         durable=False) as rt:
             handle = rt.submit(spec(0))
             out = handle.outcome()
             assert out.state == "failed"
@@ -191,7 +193,8 @@ class TestRetryAndFailure:
             return ok_runner(s)
 
         with FillRuntime(
-            runner, timeout_seconds=0.02, max_attempts=2, backoff_seconds=0.0
+            runner, timeout_seconds=0.02, max_attempts=2, backoff_seconds=0.0,
+            durable=False,
         ) as rt:
             out = rt.submit(spec(0)).outcome()
         assert out.state == "done"
@@ -206,7 +209,7 @@ class TestRetryAndFailure:
             release.wait(timeout=5)
             return ok_runner(s)
 
-        rt = FillRuntime(runner, cpus_per_case=512)  # one slot: rest queue
+        rt = FillRuntime(runner, cpus_per_case=512, durable=False)  # one slot
         try:
             first = rt.submit(spec(0))
             rest = [rt.submit(spec(i)) for i in range(1, 4)]
@@ -229,7 +232,7 @@ class TestCaching:
             ran.append(s.key)
             return ok_runner(s)
 
-        with FillRuntime(runner) as rt:
+        with FillRuntime(runner, durable=False) as rt:
             a = rt.submit(spec(0))
             a.outcome()
             b = rt.submit(spec(0))
@@ -239,7 +242,7 @@ class TestCaching:
 
     def test_second_run_all_cache_hits(self):
         tree = tiny_tree(nconfig=2, nwind=3)
-        with FillRuntime(ok_runner) as rt:
+        with FillRuntime(ok_runner, durable=False) as rt:
             r1 = rt.run_tree(tree)
             r2 = rt.run_tree(tree)
         assert r1.executed == 6 and r1.cache_hits == 0
@@ -271,7 +274,8 @@ class TestPlanCrossCheck:
     def test_realized_fill_agrees_with_plan(self):
         tree = tiny_tree(nconfig=2, nwind=3)
         plan = schedule_fill(tree, nnodes=1, cpus_per_case=32)
-        with FillRuntime(ok_runner, nnodes=1, cpus_per_case=32) as rt:
+        with FillRuntime(ok_runner, nnodes=1, cpus_per_case=32,
+                         durable=False) as rt:
             report = rt.run_tree(tree, plan=plan)
         assert report.plan_issues == []
         assert any(e.kind == "cross_check" for e in report.events)
@@ -279,7 +283,8 @@ class TestPlanCrossCheck:
     def test_mismatched_plan_is_reported(self):
         tree = tiny_tree(nconfig=2, nwind=3)
         plan = schedule_fill(tree, nnodes=2, cpus_per_case=32)  # wrong sizing
-        with FillRuntime(ok_runner, nnodes=1, cpus_per_case=32) as rt:
+        with FillRuntime(ok_runner, nnodes=1, cpus_per_case=32,
+                         durable=False) as rt:
             report = rt.run_tree(tree, plan=plan)
         assert report.plan_issues
         assert any("slots" in issue for issue in report.plan_issues)
@@ -288,7 +293,7 @@ class TestPlanCrossCheck:
     def test_cross_check_catches_job_count_drift(self):
         tree = tiny_tree(nconfig=2, nwind=3)
         plan = schedule_fill(tree, cpus_per_case=32)
-        with FillRuntime(ok_runner, cpus_per_case=32) as rt:
+        with FillRuntime(ok_runner, cpus_per_case=32, durable=False) as rt:
             report = rt.run_tree(tree[:1])  # runtime ran fewer jobs
         issues = cross_check_plan(plan, report)
         assert any("flow jobs" in issue for issue in issues)
@@ -297,7 +302,7 @@ class TestPlanCrossCheck:
 class TestEventStream:
     def test_events_cover_the_lifecycle(self):
         seen = []
-        with FillRuntime(ok_runner, on_event=seen.append) as rt:
+        with FillRuntime(ok_runner, on_event=seen.append, durable=False) as rt:
             report = rt.run_tree(tiny_tree(nconfig=1, nwind=2))
         kinds = [e.kind for e in report.events]
         assert kinds.count("submit") == 2
@@ -310,7 +315,7 @@ class TestEventStream:
     def test_summary_feeds_the_report_table(self):
         from repro.perf import fill_summary_table
 
-        with FillRuntime(ok_runner) as rt:
+        with FillRuntime(ok_runner, durable=False) as rt:
             r1 = rt.run_tree(tiny_tree(nconfig=1, nwind=2))
             r2 = rt.run_tree(tiny_tree(nconfig=1, nwind=2))
         table = fill_summary_table({"fill": r1.summary(), "re-fill": r2.summary()})
@@ -348,7 +353,7 @@ class TestRealSolverFill:
         runner = Cart3DCaseRunner(
             wing_body(), dim=2, base_level=4, max_level=4, mg_levels=1, cycles=4
         )
-        with FillRuntime(runner, cpus_per_case=128) as rt:
+        with FillRuntime(runner, cpus_per_case=128, durable=False) as rt:
             report = rt.run_tree(tree)
         assert report.ok() and report.executed == 4
         assert report.meshes_built == 1

@@ -271,7 +271,7 @@ def run_fill(ncases=8, tracer=None, runner=None):
 
     runtime = FillRuntime(
         runner or default_runner, cpus_per_case=128, max_attempts=1,
-        tracer=tracer,
+        tracer=tracer, durable=False,
     )
     with runtime:
         handles = [
