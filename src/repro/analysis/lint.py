@@ -40,6 +40,13 @@ These rules encode exactly those house invariants:
   because bare ``except:`` also traps ``KeyboardInterrupt``/
   ``SystemExit``, making a stuck campaign unkillable.  Where R007
   fires, R002 stays silent (one offence, one diagnostic).
+* **R008 distributed-machinery-in-solver** — modules under ``solvers``
+  may not import ``comm.simmpi``/``comm.exchange`` or ``partition.*``
+  directly.  All domain decomposition, halo construction and exchange
+  scheduling lives in :mod:`repro.runtime`; solver packages contribute
+  physics kernels only.  This is what keeps the "one partition → halo →
+  multigrid → cycle-driver stack" claim true statically rather than by
+  convention.
 
 A finding on a line containing ``noqa`` is suppressed (same idiom as
 ruff); :data:`RULES` documents each rule and the path segments it
@@ -149,6 +156,17 @@ RULES = {
         ),
         segments=None,
     ),
+    "R008": Rule(
+        id="R008",
+        name="distributed-machinery-in-solver",
+        description=(
+            "solver module imports comm.simmpi/comm.exchange or "
+            "partition.* directly; domain decomposition and exchange "
+            "scheduling live in repro.runtime — solvers contribute "
+            "physics kernels only"
+        ),
+        segments=("solvers",),
+    ),
 }
 
 #: Solver classes whose construction R005 routes through the facade,
@@ -156,6 +174,27 @@ RULES = {
 FACADE_SOLVERS = {
     "Cart3DSolver": "repro.api.make_cart3d_solver",
     "NSU3DSolver": "repro.api.make_nsu3d_solver",
+}
+
+#: Modules R008 bans from solver packages (normalized: no ``repro.``
+#: prefix, relative dots stripped).  ``partition`` covers the whole
+#: partitioning package.
+R008_BANNED_MODULES = ("comm.simmpi", "comm.exchange", "partition")
+
+#: Names whose import *from the comm package itself* R008 also bans —
+#: they resolve into comm.simmpi/comm.exchange regardless of spelling.
+R008_BANNED_COMM_NAMES = {
+    "simmpi",
+    "exchange",
+    "SimMPI",
+    "Comm",
+    "CommStats",
+    "Request",
+    "build_halos",
+    "LocalHalo",
+    "ExchangePlan",
+    "PendingExchange",
+    "communication_graph",
 }
 
 
@@ -247,6 +286,8 @@ class _LintVisitor(ast.NodeVisitor):
     def visit_Import(self, node: ast.Import) -> None:
         for alias in node.names:
             self._aliases[alias.asname or alias.name.split(".")[0]] = alias.name
+            if "R008" in self.rules:
+                self._r008_module(node, alias.name)
         self.generic_visit(node)
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
@@ -255,7 +296,36 @@ class _LintVisitor(ast.NodeVisitor):
                 self._aliases[alias.asname or alias.name] = (
                     f"{node.module}.{alias.name}"
                 )
+        if "R008" in self.rules:
+            mod = self._r008_module(node, node.module or "")
+            if mod == "comm":
+                for alias in node.names:
+                    if alias.name in R008_BANNED_COMM_NAMES:
+                        self._report(
+                            "R008",
+                            node,
+                            f"import of {alias.name} from the comm package "
+                            "in a solver module; go through repro.runtime "
+                            "(Partitioner/DistributedDomain/"
+                            "DistributedSolveDriver) instead",
+                        )
         self.generic_visit(node)
+
+    def _r008_module(self, node: ast.AST, module: str) -> str:
+        """Normalize an imported module path and report it if banned;
+        returns the normalized path for further checks."""
+        mod = module.removeprefix("repro.")
+        for banned in R008_BANNED_MODULES:
+            if mod == banned or mod.startswith(banned + "."):
+                self._report(
+                    "R008",
+                    node,
+                    f"solver module imports {mod} directly; partitioning, "
+                    "halos and exchange scheduling live in repro.runtime — "
+                    "depend on its surface instead",
+                )
+                break
+        return mod
 
     def _qualname(self, func: ast.expr) -> str | None:
         parts: list = []

@@ -90,7 +90,22 @@ from .mesh.cartesian import (
     wing_body,
 )
 from .mesh.unstructured import HybridMesh, bump_channel, wing_mesh
+from .comm import SimMPI
 from .perf import fill_summary_table, format_comparison, format_series_table
+from .runtime import (
+    DistributedDomain,
+    DistributedSolveDriver,
+    DomainHierarchy,
+    DomainSet,
+    HybridExchanger,
+    LevelSpec,
+    MetisLinePartitioner,
+    Partitioner,
+    PlanExchanger,
+    SFCPartitioner,
+    build_domain_hierarchy,
+    build_domain_set,
+)
 from .solvers import (
     CaseResult,
     CaseSpec,
@@ -98,8 +113,8 @@ from .solvers import (
     SolverProtocol,
     case_result,
 )
-from .solvers.cart3d import Cart3DSolver
-from .solvers.nsu3d import NSU3DSolver
+from .solvers.cart3d import Cart3DSolver, ParallelCart3D
+from .solvers.nsu3d import NSU3DSolver, ParallelNSU3D
 from .telemetry import (
     EpochClock,
     Timeline,
@@ -122,7 +137,10 @@ from .telemetry import (
 #: The facade surface version: bumped when the blessed surface changes
 #: shape (new exports, deprecations, contract changes) — code against it
 #: with ``assert repro.api.__api_version__ >= "4"``-style checks.
-__api_version__ = "4.0"
+#: 5.0 added the unified distributed-solve runtime surface
+#: (``Partitioner``/``DistributedDomain``/``DistributedSolveDriver``,
+#: the ``make_parallel_*`` factories and ``SimMPI``).
+__api_version__ = "5.0"
 
 __all__ = [
     # solvers — unified surface
@@ -135,6 +153,24 @@ __all__ = [
     "CaseSpec",
     "CaseResult",
     "case_result",
+    # distributed-solve runtime (one stack for both solvers)
+    "SimMPI",
+    "Partitioner",
+    "MetisLinePartitioner",
+    "SFCPartitioner",
+    "DistributedDomain",
+    "DomainSet",
+    "DomainHierarchy",
+    "LevelSpec",
+    "build_domain_set",
+    "build_domain_hierarchy",
+    "DistributedSolveDriver",
+    "PlanExchanger",
+    "HybridExchanger",
+    "ParallelNSU3D",
+    "ParallelCart3D",
+    "make_parallel_nsu3d",
+    "make_parallel_cart3d",
     # geometry / meshes
     "Sphere",
     "wing_body",
@@ -270,4 +306,44 @@ def make_nsu3d_solver(
         mg_levels=mg_levels,
         turbulence=turbulence,
         **kwargs,
+    )
+
+
+def make_parallel_nsu3d(
+    solver: NSU3DSolver,
+    nparts: int,
+    *,
+    seed: int = 0,
+    overlap: bool = False,
+    charge_compute: bool = False,
+) -> ParallelNSU3D:
+    """Decompose a serial NSU3D solver for the distributed runtime.
+
+    The returned facade runs the full multigrid hierarchy on a
+    :class:`SimMPI` world (``.run(world, ncycles, ...)``) with optional
+    overlapped ghost exchange (paper fig. 7).  The solver must be built
+    with ``turbulence=False`` — the SA source terms need distributed
+    nodal gradients and stay serial.
+    """
+    return ParallelNSU3D.from_solver(
+        solver, nparts, seed=seed, overlap=overlap,
+        charge_compute=charge_compute,
+    )
+
+
+def make_parallel_cart3d(
+    solver: Cart3DSolver,
+    nparts: int,
+    *,
+    overlap: bool = False,
+    charge_compute: bool = False,
+) -> ParallelCart3D:
+    """Decompose a serial Cart3D solver for the distributed runtime.
+
+    SFC-segment partitioning of the whole level hierarchy; the returned
+    facade runs distributed FAS cycles on a :class:`SimMPI` world with
+    optional overlapped ghost exchange (paper fig. 7).
+    """
+    return ParallelCart3D.from_solver(
+        solver, nparts, overlap=overlap, charge_compute=charge_compute,
     )

@@ -4,6 +4,7 @@ hybrid MPI/OpenMP strategies, and communication-pattern benchmarks."""
 from .exchange import (
     ExchangePlan,
     LocalHalo,
+    PendingExchange,
     build_halos,
     communication_graph,
 )
@@ -31,6 +32,7 @@ __all__ = [
     "TraceEvent",
     "ExchangePlan",
     "LocalHalo",
+    "PendingExchange",
     "build_halos",
     "communication_graph",
     "HybridProcess",

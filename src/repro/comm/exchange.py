@@ -91,6 +91,32 @@ class ExchangePlan:
             if q not in self.ghost_slots:
                 comm.recv(q, tag)
 
+    def start_copy(self, comm, arr: np.ndarray, tag: int = 0,
+                   irregular: bool = False) -> "PendingExchange":
+        """Post an owner->ghost exchange without waiting (paper fig. 7).
+
+        Receives and sends are posted immediately; ghost slots are only
+        written when :meth:`PendingExchange.finish` is called, so the
+        caller may compute on interior data while messages are in
+        transit.  ``arr`` must stay alive (and its ghost rows untouched)
+        until ``finish`` runs.
+        """
+        with _span("comm.exchange_copy_start", cat="comm", tag=tag,
+                   neighbors=self.degree()):
+            reqs = [
+                (q, comm.irecv(q, tag))
+                for q in self.neighbors if q in self.ghost_slots
+            ]
+            for q in self.neighbors:
+                if q in self.owned_slots:
+                    comm.isend(np.ascontiguousarray(arr[self.owned_slots[q]]),
+                               q, tag, irregular=irregular)
+                else:
+                    comm.isend(np.empty((0,) + arr.shape[1:], dtype=arr.dtype),
+                               q, tag, irregular=irregular)
+        return PendingExchange(plan=self, comm=comm, arr=arr, tag=tag,
+                               reqs=reqs)
+
     def exchange_add(self, comm, arr: np.ndarray, tag: int = 1,
                      irregular: bool = False) -> None:
         """Ghost accumulations -> owner (added); ghosts are then zeroed."""
@@ -116,6 +142,38 @@ class ExchangePlan:
         for q in self.neighbors:
             if q not in self.owned_slots:
                 comm.recv(q, tag)
+
+
+@dataclass
+class PendingExchange:
+    """An in-flight owner->ghost exchange started by
+    :meth:`ExchangePlan.start_copy`.
+
+    ``finish`` waits for the posted receives, writes the ghost slots and
+    drains placeholder messages; it is idempotent.  This is the paper's
+    overlapped-communication pattern: post sends, compute the interior,
+    finish the boundary.
+    """
+
+    plan: ExchangePlan
+    comm: object
+    arr: np.ndarray
+    tag: int
+    reqs: list
+    done: bool = False
+
+    def finish(self) -> np.ndarray:
+        if self.done:
+            return self.arr
+        self.done = True
+        with _span("comm.exchange_copy_finish", cat="comm", tag=self.tag,
+                   neighbors=self.plan.degree()):
+            for q, req in self.reqs:
+                self.arr[self.plan.ghost_slots[q]] = req.wait()
+            for q in self.plan.neighbors:
+                if q not in self.plan.ghost_slots:
+                    self.comm.recv(q, self.tag)
+        return self.arr
 
 
 @dataclass
@@ -150,18 +208,30 @@ class LocalHalo:
         return self.owned_global, arr[: self.nowned]
 
 
-def build_halos(nvert: int, edges: np.ndarray, part: np.ndarray) -> list:
+def build_halos(nvert: int, edges: np.ndarray, part: np.ndarray,
+                extra_ghosts: list | None = None) -> list:
     """Partition a graph into per-rank :class:`LocalHalo` views.
 
     Every edge straddling two partitions is assigned to the rank owning
     its lower-global-id endpoint (a deterministic stand-in for NSU3D's
     assignment); the other endpoint becomes a ghost there.
+
+    ``extra_ghosts``, when given, lists per rank additional global vertex
+    ids that must be resident locally even without an incident cross
+    edge — multigrid transfer operators need the coarse agglomerate of
+    every owned fine point, which this guarantees.  Off-rank entries join
+    the ghost set (and the pairwise exchange plans); owned entries are
+    ignored.
     """
     edges = np.asarray(edges, dtype=np.int64)
     part = np.asarray(part, dtype=np.int64)
     if len(part) != nvert:
         raise ConfigurationError("part must have one entry per vertex")
     nparts = int(part.max()) + 1 if nvert else 0
+    if extra_ghosts is not None and len(extra_ghosts) != nparts:
+        raise ConfigurationError(
+            "extra_ghosts must list one id array per rank"
+        )
 
     pu, pv = part[edges[:, 0]], part[edges[:, 1]]
     # owner of each edge: rank of the lower-global-id endpoint
@@ -177,6 +247,10 @@ def build_halos(nvert: int, edges: np.ndarray, part: np.ndarray) -> list:
         my_gids = np.flatnonzero(mask)
         endpoint_parts = part[my_edges]
         ghosts = np.unique(my_edges[endpoint_parts != p])
+        if extra_ghosts is not None:
+            req = np.asarray(extra_ghosts[p], dtype=np.int64)
+            req = req[part[req] != p]
+            ghosts = np.unique(np.concatenate([ghosts, req]))
         ghost_sets.append(ghosts)
 
         l2g = np.concatenate([owned, ghosts])

@@ -236,6 +236,90 @@ class HybridProcess:
                     arrays[dst][slots] = buf[offset : offset + n]
                     offset += n
 
+    def exchange_add(self, comm, arrays: dict, tag: int = 1) -> None:
+        """Hybrid ghost->owner accumulation of per-partition arrays.
+
+        The mirror of :meth:`exchange_copy`: every partition ships its
+        ghost-slot accumulations to the partition owning those vertices,
+        where they are **added**; shipped ghost slots are zeroed.  Buffer
+        layout is canonical — sorted by (destination partition, source
+        partition) — matching positionally on the receiving process.
+        """
+        trace = getattr(comm, "trace_access", None)
+        token = getattr(self, "_xchg_serial", 0)
+        self._xchg_serial = token + 1
+        remote = self._remote_procs()
+        with _span("comm.hybrid.pack", cat="comm", tag=tag,
+                   remote_procs=len(remote)):
+            reqs = {q: comm.irecv(q, tag) for q in remote}
+            for q in remote:
+                pairs = sorted(
+                    (nbr, pid)
+                    for pid in self.part_ids
+                    for nbr in self.plans[pid].neighbors
+                    if self.proc_of[nbr] == q
+                    and nbr in self.plans[pid].ghost_slots
+                )
+                chunks = []
+                for item, (dst, src) in enumerate(pairs):
+                    slots = self.plans[src].ghost_slots[dst]
+                    chunks.append(np.ascontiguousarray(arrays[src][slots]))
+                    if trace is not None:
+                        trace(f"part{src}", slots, write=True,
+                              phase=f"pack@{token}", thread=item)
+                    arrays[src][slots] = 0.0
+                buf = (
+                    np.concatenate(chunks)
+                    if chunks
+                    else np.empty((0,), dtype=np.float64)
+                )
+                comm.isend(buf, q, tag)
+        # OpenMP phase, overlapped with MPI transit: intra-process adds
+        with _span("comm.hybrid.copy", cat="comm", tag=tag):
+            item = 0
+            for pid in self.part_ids:
+                plan = self.plans[pid]
+                for nbr in plan.neighbors:
+                    if (
+                        self.proc_of[nbr] == self.rank
+                        and nbr in plan.ghost_slots
+                    ):
+                        dst_plan = self.plans[nbr]
+                        if trace is not None:
+                            trace(f"part{pid}", plan.ghost_slots[nbr],
+                                  write=True, phase=f"copy@{token}",
+                                  thread=item)
+                            trace(f"part{nbr}", dst_plan.owned_slots[pid],
+                                  write=True, phase=f"copy@{token}",
+                                  thread=item)
+                        np.add.at(
+                            arrays[nbr],
+                            dst_plan.owned_slots[pid],
+                            arrays[pid][plan.ghost_slots[nbr]],
+                        )
+                        arrays[pid][plan.ghost_slots[nbr]] = 0.0
+                        item += 1
+        # master waits, threads unpack-add (same canonical order)
+        with _span("comm.hybrid.unpack", cat="comm", tag=tag):
+            for q in remote:
+                buf = reqs[q].wait()
+                offset = 0
+                pairs = sorted(
+                    (pid, nbr)
+                    for pid in self.part_ids
+                    for nbr in self.plans[pid].neighbors
+                    if self.proc_of[nbr] == q
+                    and nbr in self.plans[pid].owned_slots
+                )
+                for item, (dst, src) in enumerate(pairs):
+                    slots = self.plans[dst].owned_slots[src]
+                    n = len(slots)
+                    if trace is not None:
+                        trace(f"part{dst}", slots, write=True,
+                              phase=f"unpack@{token}:{q}", thread=item)
+                    np.add.at(arrays[dst], slots, buf[offset : offset + n])
+                    offset += n
+
     def _remote_procs(self) -> list:
         out = set()
         for pid in self.part_ids:

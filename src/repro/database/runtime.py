@@ -928,6 +928,11 @@ class Cart3DCaseRunner:
     instance); ``__call__`` solves one wind case on the shared mesh.
     Solver construction goes through :func:`repro.api.make_cart3d_solver`
     — lint rule R005 keeps direct constructor calls out of this package.
+
+    ``nranks > 1`` runs each case through the unified distributed
+    runtime instead (:func:`repro.api.make_parallel_cart3d` on a
+    :class:`repro.api.SimMPI` world), with ``overlap=True`` selecting
+    the overlapped ghost-exchange mode (paper fig. 7).
     """
 
     solver_name = "cart3d"
@@ -945,6 +950,8 @@ class Cart3DCaseRunner:
         converged_orders: float = 2.0,
         geometry_name: str | None = None,
         chaos=None,
+        nranks: int = 1,
+        overlap: bool = False,
     ):
         self.geometry = geometry
         self.dim = dim
@@ -956,6 +963,8 @@ class Cart3DCaseRunner:
         self.converged_orders = converged_orders
         self.geometry_name = geometry_name
         self.chaos = chaos
+        self.nranks = nranks
+        self.overlap = overlap
         self._deflectable = {c.name for c in geometry.components}
 
     def describe(self) -> dict:
@@ -971,13 +980,19 @@ class Cart3DCaseRunner:
 
     def settings(self) -> dict:
         """Solver knobs that belong in the cache key."""
-        return {
+        settings = {
             "dim": self.dim,
             "base_level": self.base_level,
             "max_level": self.max_level,
             "mg_levels": self.mg_levels,
             "cycles": self.cycles,
         }
+        # serial runners keep their historical cache keys; the
+        # decomposition only enters the key when it is actually used
+        if self.nranks != 1:
+            settings["nranks"] = self.nranks
+            settings["overlap"] = self.overlap
+        return settings
 
     def configure(self, config_params: dict):
         """The deflected geometry instance for one config-space point."""
@@ -1021,5 +1036,19 @@ class Cart3DCaseRunner:
             alpha_deg=wind.get("alpha", 0.0),
             beta_deg=wind.get("beta", 0.0),
         )
-        solver.solve(ncycles=self.cycles, tol_orders=self.tol_orders)
+        if self.nranks == 1:
+            solver.solve(ncycles=self.cycles, tol_orders=self.tol_orders)
+        else:
+            par = api.make_parallel_cart3d(
+                solver, self.nranks, overlap=self.overlap
+            )
+            world = api.SimMPI(self.nranks)
+            q_global, residuals = par.run(
+                world, self.cycles, cfl=solver.cfl
+            )
+            solver.q = q_global
+            solver.history.residuals.extend(residuals)
+            # forces come from the final state; per-cycle force traces
+            # are a serial-path feature
+            solver.history.forces.append(solver.forces())
         return case_result(solver, spec, self.converged_orders)

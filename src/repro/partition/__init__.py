@@ -5,6 +5,10 @@ provides CSR graphs and the implicit-line contraction of figure 6(b);
 ``sfcpart`` is Cart3D's SFC segment partitioner with cut-cell weighting;
 ``matching`` is the greedy coarse/fine partition matcher; ``quality``
 quantifies cut, balance and surface-to-volume.
+
+Solver code does not use this package directly: the distributed-solve
+stack in :mod:`repro.runtime` wraps it behind the ``Partitioner``
+protocol (lint rule R008 enforces this statically).
 """
 
 from .graph import Graph, contract_lines, project_partition

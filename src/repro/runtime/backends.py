@@ -1,0 +1,97 @@
+"""Pluggable comm backends for the distributed solve driver.
+
+Solver kernels operate on per-partition state dicts (``{pid: array}``)
+and talk to one small Exchanger surface — ``copy``, ``add``,
+``start_copy`` and ``charge`` — so the same kernel runs under pure MPI
+(one partition per rank, :class:`~repro.comm.exchange.ExchangePlan`) or
+the paper's hybrid master-thread model (several partitions per process,
+:class:`~repro.comm.hybrid.HybridProcess`, fig. 7b) without change.
+
+``start_copy`` is the overlapped-exchange entry point (post sends,
+compute interior, finish boundary).  The hybrid backend is already
+internally overlapped — its intra-process copies run while inter-process
+messages are in transit — so its ``start_copy`` completes eagerly and
+returns an already-finished pending.
+"""
+
+from __future__ import annotations
+
+
+class PendingGroup:
+    """A batch of in-flight owner->ghost exchanges (one per partition)."""
+
+    def __init__(self, pendings: list):
+        self.pendings = pendings
+
+    def finish(self) -> None:
+        for p in self.pendings:
+            p.finish()
+
+
+#: Shared terminal pending for backends that complete eagerly.
+_DONE = PendingGroup([])
+
+
+class PlanExchanger:
+    """Pure-MPI backend: plan-based exchange per partition.
+
+    ``plans`` maps partition id -> :class:`ExchangePlan`; in pure mode a
+    rank holds exactly one partition, making every operation identical
+    (same messages, same tags, same virtual-clock charges) to the
+    historical per-solver code.
+    """
+
+    kind = "plan"
+
+    def __init__(self, comm, plans: dict):
+        self.comm = comm
+        self.plans = plans
+        #: when True, ``charge`` bills compute time to the virtual
+        #: clock so overlap benefits show in SimMPI makespans
+        self.charging = False
+
+    def copy(self, arrays: dict, tag: int = 0) -> None:
+        for pid in sorted(arrays):
+            self.plans[pid].exchange_copy(self.comm, arrays[pid], tag)
+
+    def add(self, arrays: dict, tag: int = 1) -> None:
+        for pid in sorted(arrays):
+            self.plans[pid].exchange_add(self.comm, arrays[pid], tag)
+
+    def start_copy(self, arrays: dict, tag: int = 0) -> PendingGroup:
+        return PendingGroup([
+            self.plans[pid].start_copy(self.comm, arrays[pid], tag)
+            for pid in sorted(arrays)
+        ])
+
+    def charge(self, flops: float) -> None:
+        if self.charging and flops > 0.0:
+            self.comm.compute(flops=flops)
+
+
+class HybridExchanger:
+    """Hybrid backend: one :class:`HybridProcess` serving all partitions
+    of this MPI process (paper fig. 7b master-thread model)."""
+
+    kind = "hybrid"
+
+    def __init__(self, comm, process):
+        self.comm = comm
+        self.process = process
+        self.charging = False
+
+    def copy(self, arrays: dict, tag: int = 0) -> None:
+        self.process.exchange_copy(self.comm, arrays, tag)
+
+    def add(self, arrays: dict, tag: int = 1) -> None:
+        self.process.exchange_add(self.comm, arrays, tag)
+
+    def start_copy(self, arrays: dict, tag: int = 0) -> PendingGroup:
+        # intrinsically overlapped: intra-process copies already run
+        # while inter-process messages are in flight
+        self.copy(arrays, tag)
+        return _DONE
+
+    def charge(self, flops: float) -> None:
+        if self.charging and flops > 0.0:
+            self.comm.compute(flops=flops)

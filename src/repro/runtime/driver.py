@@ -1,0 +1,279 @@
+"""The one distributed cycle loop for both solvers (tentpole piece 4).
+
+:class:`DistributedSolveDriver` owns everything the two historical
+``Parallel*`` classes each reimplemented: backend selection (pure MPI
+when ranks == partitions, hybrid master-thread when ranks <
+partitions), per-rank state initialization, the cycle loop with
+telemetry spans, the distributed FAS adapter over
+:func:`repro.runtime.multigrid.fas_cycle`, residual-history collection
+and the final owned-row gather.
+
+Solver physics enters through a *kernels* object (duck-typed; see
+:class:`SolverKernels`) whose methods all operate on per-partition
+dicts, so one partition per rank (pure MPI) and many partitions per
+process (hybrid) run the same code.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..comm.hybrid import HybridProcess, partition_owners
+from ..errors import ConfigurationError
+from ..telemetry.spans import get_tracer, span as _span
+from .backends import HybridExchanger, PlanExchanger
+from .multigrid import fas_cycle
+
+
+class SolverKernels:
+    """Protocol for the solver-specific half of a distributed solve.
+
+    State is always a ``{pid: (nlocal, nvar) array}`` dict; ``X`` an
+    Exchanger (:mod:`repro.runtime.backends`); ``doms`` a ``{pid:
+    DistributedDomain}`` dict.  Required attributes: ``name``,
+    ``coarse_cfl_fraction``.  Required methods:
+
+    ``init_state(dom)``, ``volumes(dom)``,
+    ``fix_restricted_state(dom, q)``, ``mask_forcing(dom, f)``,
+    ``smooth(X, doms, qs, *, forcing, cfl, nsteps, overlap, in_cycle)``,
+    ``defect(X, doms, qs, forcing)`` (completed residual minus forcing,
+    ghost rows zeroed), ``apply_correction(comm, X, doms, qs, dqs)``,
+    ``residual_norm(comm, X, doms, qs)``.
+    """
+
+
+class _DistributedOps:
+    """Distributed :class:`~repro.runtime.multigrid.LevelOps` adapter.
+
+    Implements the generic transfer algebra — volume-weighted state
+    restriction, defect restriction, injection prolongation along the
+    first-fine-member agglomerate maps — with exchange-adds completing
+    the owner sums and exchange-copies refreshing coarse ghosts, while
+    deferring every physics decision (BC fixup, forcing masks,
+    correction guarding) to the kernels.
+    """
+
+    #: tags for the transfer-operator exchanges (solver smoothers use
+    #: their historical tags; these are runtime-owned)
+    TAG_RESTRICT_ADD = 31
+    TAG_RESTRICT_COPY = 32
+    TAG_FORCING_ADD = 33
+
+    def __init__(self, comm, exchangers, doms, cluster_local, kernels,
+                 overlap):
+        self.comm = comm
+        self.X = exchangers
+        self.doms = doms
+        self.cluster_local = cluster_local
+        self.kernels = kernels
+        self.overlap = overlap
+        self.name = kernels.name
+        self.coarse_cfl_fraction = kernels.coarse_cfl_fraction
+        self.nlevels = len(doms)
+
+    def clone(self, qs):
+        return {p: a.copy() for p, a in qs.items()}
+
+    def smooth(self, level, qs, forcing, cfl, nsteps):
+        return self.kernels.smooth(
+            self.X[level], self.doms[level], qs, forcing=forcing, cfl=cfl,
+            nsteps=nsteps, overlap=self.overlap, in_cycle=True,
+        )
+
+    def defect(self, level, qs, forcing):
+        return self.kernels.defect(self.X[level], self.doms[level], qs,
+                                   forcing)
+
+    def _restrict_sum(self, level, values, tag):
+        """Owner-complete sum of per-fine-row ``values`` over
+        agglomerates: local accumulate, then exchange-add (ghost coarse
+        rows ship to their owners and zero)."""
+        doms_c = self.doms[level + 1]
+        cl = self.cluster_local[level]
+        acc = {}
+        for p, dom in self.doms[level].items():
+            nvar = values[p].shape[1]
+            a = np.zeros((doms_c[p].nlocal, nvar), dtype=np.float64)
+            np.add.at(a, cl[p], values[p][: dom.nowned])
+            acc[p] = a
+        self.X[level + 1].add(acc, tag=tag)
+        return acc
+
+    def restrict_state(self, level, qs):
+        kern = self.kernels
+        doms_f, doms_c = self.doms[level], self.doms[level + 1]
+        weighted = {
+            p: qs[p][: dom.nowned]
+            * kern.volumes(dom)[: dom.nowned, None]
+            for p, dom in doms_f.items()
+        }
+        # _restrict_sum slices to nowned again; already-owned-only is fine
+        acc = self._restrict_sum(level, weighted, self.TAG_RESTRICT_ADD)
+        out = {}
+        for p, dom in doms_c.items():
+            qc = acc[p] / kern.volumes(dom)[:, None]
+            out[p] = kern.fix_restricted_state(dom, qc)
+        # coarse ghosts must carry the restricted state before R_c runs
+        self.X[level + 1].copy(out, tag=self.TAG_RESTRICT_COPY)
+        return out
+
+    def coarse_forcing(self, level, q_c0, defect):
+        kern = self.kernels
+        doms_c = self.doms[level + 1]
+        restricted = self._restrict_sum(level, defect, self.TAG_FORCING_ADD)
+        rc = kern.defect(self.X[level + 1], doms_c, q_c0, None)
+        return {
+            p: kern.mask_forcing(dom, rc[p] - restricted[p])
+            for p, dom in doms_c.items()
+        }
+
+    def apply_correction(self, level, qs, q_c, q_c0):
+        # smoothers return ghost-fresh states and q_c0 was copy-refreshed
+        # after restriction, so the coarse correction is already valid on
+        # ghost agglomerates — no extra exchange needed here
+        cl = self.cluster_local[level]
+        dqs = {}
+        for p, dom in self.doms[level].items():
+            dqc = q_c[p] - q_c0[p]
+            d = np.zeros_like(qs[p])
+            d[: dom.nowned] = dqc[cl[p]]
+            dqs[p] = d
+        return self.kernels.apply_correction(
+            self.comm, self.X[level], self.doms[level], qs, dqs
+        )
+
+
+class DistributedSolveDriver:
+    """Run a domain hierarchy + kernels on a SimMPI world.
+
+    ``overlap=True`` switches the smoothers' per-stage ghost refresh to
+    the posted-send / compute-interior / finish-boundary pattern (paper
+    fig. 7); ``charge_compute=True`` additionally bills calibrated
+    kernel FLOPs to each rank's virtual clock so SimMPI makespans
+    expose the overlap benefit.
+
+    ``smoothing_only=True`` preserves the historical single-level
+    ``Parallel*`` contract — one plain smoothing step per outer cycle.
+    Hierarchy-built drivers (``Parallel*.from_solver``) leave it False
+    so a one-level hierarchy still runs the full cycle (``nu1 + nu2``
+    smoothing steps through the in-cycle guarded path), matching the
+    serial solvers' ``run_cycle`` at ``mg_levels=1``.
+    """
+
+    def __init__(self, hierarchy, kernels, qinf, *, overlap: bool = False,
+                 charge_compute: bool = False, smoothing_only: bool = False):
+        self.hierarchy = hierarchy
+        self.kernels = kernels
+        self.qinf = np.asarray(qinf, dtype=np.float64)
+        self.overlap = overlap
+        self.charge_compute = charge_compute
+        self.smoothing_only = smoothing_only
+
+    @property
+    def nparts(self) -> int:
+        return self.hierarchy.nparts
+
+    @property
+    def nlevels(self) -> int:
+        return self.hierarchy.nlevels
+
+    def run(self, world, ncycles: int, *, cfl: float, cycle: str = "W",
+            nu1: int = 1, nu2: int = 1, coarse_cfl: float | None = None):
+        """Iterate ``ncycles`` cycles; returns (global q, history).
+
+        One full cycle per outer cycle (a single-level hierarchy just
+        smooths ``nu1 + nu2`` steps), unless ``smoothing_only`` pins the
+        historical one-step-per-cycle ``Parallel*`` contract.
+        """
+        hierarchy, kernels, qinf = self.hierarchy, self.kernels, self.qinf
+        overlap, charging = self.overlap, self.charge_compute
+        smoothing_only = self.smoothing_only
+        nparts, nlevels = self.nparts, self.nlevels
+        if world.nranks == nparts:
+            proc_of = {p: p for p in range(nparts)}
+            hybrid = False
+        elif world.nranks < nparts:
+            proc_of = partition_owners(nparts, world.nranks)
+            hybrid = True
+        else:
+            raise ConfigurationError(
+                f"{world.nranks} ranks for {nparts} partitions — the "
+                "driver needs at least one partition per rank"
+            )
+
+        def body(comm):
+            pids = tuple(sorted(
+                p for p in range(nparts) if proc_of[p] == comm.rank
+            ))
+            doms = [
+                {p: hierarchy.levels[lev].domains[p] for p in pids}
+                for lev in range(nlevels)
+            ]
+            if hybrid:
+                exchangers = [
+                    HybridExchanger(comm, HybridProcess(
+                        rank=comm.rank,
+                        part_ids=pids,
+                        plans={
+                            p: hierarchy.levels[lev].domains[p].halo.plan
+                            for p in range(nparts)
+                        },
+                        proc_of=proc_of,
+                    ))
+                    for lev in range(nlevels)
+                ]
+            else:
+                exchangers = [
+                    {p: doms[lev][p].halo.plan for p in pids}
+                    for lev in range(nlevels)
+                ]
+                exchangers = [PlanExchanger(comm, plans)
+                              for plans in exchangers]
+            for x in exchangers:
+                x.charging = charging
+            cluster_local = [
+                {p: hierarchy.cluster_local[lev][p] for p in pids}
+                for lev in range(nlevels - 1)
+            ]
+            qs = {p: kernels.init_state(doms[0][p]) for p in pids}
+            history = []
+            # each rank thread pins its identity and virtual clock, so
+            # spans (here and in comm.*) land on per-rank tracks
+            with get_tracer().bind(rank=comm.rank,
+                                   clock=lambda: comm.clock):
+                for _ in range(ncycles):
+                    with _span(f"{kernels.name}.parallel_cycle",
+                               cat="solver"):
+                        if not smoothing_only:
+                            ops = _DistributedOps(
+                                comm, exchangers, doms, cluster_local,
+                                kernels, overlap,
+                            )
+                            qs = fas_cycle(
+                                ops, qs, cycle=cycle, nu1=nu1, nu2=nu2,
+                                cfl=cfl, coarse_cfl=coarse_cfl,
+                            )
+                        else:
+                            qs = kernels.smooth(
+                                exchangers[0], doms[0], qs, forcing=None,
+                                cfl=cfl, nsteps=1, overlap=overlap,
+                                in_cycle=False,
+                            )
+                        history.append(kernels.residual_norm(
+                            comm, exchangers[0], doms[0], qs
+                        ))
+            owned = [
+                (doms[0][p].halo.owned_global,
+                 qs[p][: doms[0][p].nowned])
+                for p in pids
+            ]
+            return owned, history
+
+        results = world.run(body)
+        q_global = np.empty(
+            (hierarchy.levels[0].nglobal, len(qinf)), dtype=np.float64
+        )
+        for owned, _history in results:
+            for gids, q_owned in owned:
+                q_global[gids] = q_owned
+        return q_global, results[0][1]

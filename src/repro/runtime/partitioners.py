@@ -1,0 +1,80 @@
+"""Partitioner adapters: one protocol over the two decomposition styles.
+
+The paper's two codes decompose their meshes very differently — NSU3D
+partitions the (implicit-line-contracted) dual graph METIS-style so no
+line is ever split (section III, fig. 6b), Cart3D cuts the space-filling
+curve into contiguous weighted segments on the fly (section V) — yet
+everything downstream (halos, exchange plans, the cycle driver) only
+needs the resulting partition vector.  :class:`Partitioner` is that
+contract; the two adapters wrap the existing :mod:`repro.partition`
+algorithms without changing a single assignment, so domains built
+through the runtime are bit-identical to the historical per-solver
+paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from ..partition.graph import Graph, contract_lines, project_partition
+from ..partition.metis import partition_graph
+from ..partition.sfcpart import cell_weights, sfc_partition
+
+
+@runtime_checkable
+class Partitioner(Protocol):
+    """Anything that can split a mesh into ``nparts`` pieces.
+
+    ``partition(nparts)`` returns an int64 vector assigning every global
+    vertex/cell to a rank in ``0..nparts-1``.  Determinism is part of
+    the contract: the same partitioner state and ``nparts`` must yield
+    the same vector, or halo plans built from it stop matching.
+    """
+
+    def partition(self, nparts: int) -> np.ndarray: ...
+
+
+@dataclass
+class MetisLinePartitioner:
+    """NSU3D-style graph partitioning with implicit-line contraction.
+
+    The vertex graph is contracted along the implicit lines before
+    partitioning and the partition projected back, so the
+    block-tridiagonal line solves stay rank-local (fig. 6b).
+    """
+
+    npoints: int
+    edges: np.ndarray
+    lines: list = field(default_factory=list)
+    seed: int = 0
+
+    def partition(self, nparts: int) -> np.ndarray:
+        graph = Graph.from_edges(self.npoints, self.edges)
+        if self.lines:
+            cgraph, cluster = contract_lines(graph, self.lines)
+            cpart = partition_graph(cgraph, nparts, seed=self.seed)
+            return project_partition(cluster, cpart)
+        return partition_graph(graph, nparts, seed=self.seed)
+
+
+@dataclass
+class SFCPartitioner:
+    """Cart3D-style decomposition: contiguous segments of the SFC order.
+
+    ``weights`` are per-cell work estimates (cut cells weighted 2.1x);
+    cells are assumed already sorted along the space-filling curve, as
+    the Cart3D mesh file provides them.
+    """
+
+    weights: np.ndarray
+
+    @classmethod
+    def from_level(cls, level) -> "SFCPartitioner":
+        """Adapter from a :class:`~repro.solvers.cart3d.Cart3DLevel`."""
+        return cls(weights=cell_weights(level.cut.is_cut_flow()))
+
+    def partition(self, nparts: int) -> np.ndarray:
+        return sfc_partition(self.weights, nparts)

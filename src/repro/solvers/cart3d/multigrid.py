@@ -1,25 +1,97 @@
-"""FAS multigrid cycles for the Cart3D-style solver.
+"""Serial FAS adapter for the Cart3D-style solver.
 
 Cart3D uses "the same multigrid cycling strategies as NSU3D" (paper
-section V, fig. 4): V-cycles, and the preferred W-cycles that revisit
-coarse levels 2^(l-1) times per fine-grid visit.  Because the equations
-are nonlinear, the Full Approximation Scheme is used: each coarse level
-solves its own nonlinear problem with a forcing term
+section V, fig. 4) — and since this refactor they are literally the
+same code: the cycle recursion, FAS forcing and coarse-CFL policy live
+in :mod:`repro.runtime.multigrid`, and this module supplies only the
+Cart3D-specific :class:`LevelOps`: the 5-stage RK smoother, the
+(optionally second-order fine-level) residual, the SFC-hierarchy
+transfer operators, and the physicality-guarded damped correction.
 
-    f_c = R_c(I q_f) - I (R_f(q_f) - f_f)
-
-so that at convergence the coarse correction vanishes.  Solution
-restriction is volume-weighted, residual restriction is a plain sum over
-children, prolongation is injection along the fine-to-coarse map —
-exactly the transfers the SFC hierarchy provides.
+Solution restriction is volume-weighted, residual restriction is a
+plain sum over children, prolongation is injection along the
+fine-to-coarse map — exactly the transfers the SFC hierarchy provides.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ...telemetry.spans import span as _span
+from ...runtime.multigrid import fas_cycle as _generic_fas_cycle
+from ..gas import check_physical
+from .residual import residual
 from .rk import rk_smooth
+
+#: Coarse levels run first order and need a reduced RK stability margin;
+#: 0.75 reproduces the historical hard-coded ``coarse_cfl=1.5`` at the
+#: default ``cfl=2.0`` — see the policy in :mod:`repro.runtime.multigrid`.
+COARSE_CFL_FRACTION = 0.75
+
+
+class _SerialCart3DOps:
+    """Serial :class:`~repro.runtime.multigrid.LevelOps` over the SFC
+    level hierarchy."""
+
+    name = "cart3d"
+    coarse_cfl_fraction = COARSE_CFL_FRACTION
+
+    def __init__(self, levels, transfers, qinf, flux, order2, grad_setups):
+        self.levels = levels
+        self.transfers = transfers
+        self.qinf = qinf
+        self.flux = flux
+        self.order2 = order2
+        self.grad_setups = grad_setups
+        self.nlevels = len(levels)
+
+    def _order2(self, level: int) -> bool:
+        return self.order2 and level == 0  # coarse levels run first order
+
+    def _gs(self, level: int):
+        if self.grad_setups and self._order2(level):
+            return self.grad_setups[level]
+        return None
+
+    def clone(self, q):
+        return q.copy()
+
+    def smooth(self, level, q, forcing, cfl, nsteps):
+        return rk_smooth(
+            self.levels[level], q, self.qinf, forcing=forcing, cfl=cfl,
+            flux=self.flux, order2=self._order2(level),
+            grad_setup=self._gs(level), nsteps=nsteps,
+        )
+
+    def defect(self, level, q, forcing):
+        r = residual(
+            self.levels[level], q, self.qinf, flux=self.flux,
+            order2=self._order2(level), grad_setup=self._gs(level),
+        )
+        if forcing is not None:
+            r = r - forcing
+        return r
+
+    def restrict_state(self, level, q):
+        return self.transfers[level].restrict_solution(
+            q, self.levels[level].vol, self.levels[level + 1].vol
+        )
+
+    def coarse_forcing(self, level, q_c0, defect):
+        t = self.transfers[level]
+        return self.defect(level + 1, q_c0, None) - t.restrict_residual(defect)
+
+    def apply_correction(self, level, q, q_c, q_c0):
+        dq = self.transfers[level].prolong(q_c - q_c0)
+        cand = q + dq
+        # guard: fall back to a damped correction if prolongation
+        # produced an unphysical state (strong startup transients)
+        scale = 1.0
+        while not check_physical(cand) and scale > 1e-3:
+            scale *= 0.5
+            cand = q + scale * dq
+        if check_physical(cand):
+            q = cand
+        return q
 
 
 def fas_cycle(
@@ -33,71 +105,21 @@ def fas_cycle(
     nu1: int = 1,
     nu2: int = 1,
     cfl: float = 2.0,
-    coarse_cfl: float = 1.5,
+    coarse_cfl: float | None = None,
     flux: str = "vanleer",
     order2: bool = False,
     grad_setups: list | None = None,
 ) -> np.ndarray:
-    """One multigrid cycle starting at level ``l``; returns updated q."""
-    if cycle not in ("V", "W"):
-        raise ValueError("cycle must be 'V' or 'W'")
-    with _span("cart3d.mg_level", cat="solver", level=l):
-        return _fas_level(
-            levels, transfers, q, qinf, l=l, forcing=forcing, cycle=cycle,
-            nu1=nu1, nu2=nu2, cfl=cfl, coarse_cfl=coarse_cfl, flux=flux,
-            order2=order2, grad_setups=grad_setups,
-        )
+    """One multigrid cycle starting at level ``l``; returns updated q.
 
-
-def _fas_level(
-    levels, transfers, q, qinf, l, forcing, cycle, nu1, nu2, cfl,
-    coarse_cfl, flux, order2, grad_setups,
-) -> np.ndarray:
-    level = levels[l]
-    this_cfl = cfl if l == 0 else coarse_cfl
-    use_order2 = order2 and l == 0  # coarse levels run first order
-    gs = grad_setups[l] if (grad_setups and use_order2) else None
-
-    q = rk_smooth(
-        level, q, qinf, forcing=forcing, cfl=this_cfl, flux=flux,
-        order2=use_order2, grad_setup=gs, nsteps=nu1,
-    )
-
-    if l + 1 < len(levels):
-        from .residual import residual
-
-        t = transfers[l]
-        coarse = levels[l + 1]
-        q_c0 = t.restrict_solution(q, level.vol, coarse.vol)
-        r_f = residual(level, q, qinf, flux=flux, order2=use_order2,
-                       grad_setup=gs)
-        if forcing is not None:
-            r_f = r_f - forcing
-        f_c = residual(coarse, q_c0, qinf, flux=flux) - t.restrict_residual(r_f)
-
-        q_c = q_c0.copy()
-        visits = 2 if (cycle == "W" and l + 2 < len(levels)) else 1
-        for _ in range(visits):
-            q_c = fas_cycle(
-                levels, transfers, q_c, qinf, l=l + 1, forcing=f_c,
-                cycle=cycle, nu1=nu1, nu2=nu2, cfl=cfl,
-                coarse_cfl=coarse_cfl, flux=flux, order2=order2,
-                grad_setups=grad_setups,
-            )
-        dq = t.prolong(q_c - q_c0)
-        cand = q + dq
-        # guard: fall back to a damped correction if prolongation
-        # produced an unphysical state (strong startup transients)
-        from ..gas import check_physical
-
-        scale = 1.0
-        while not check_physical(cand) and scale > 1e-3:
-            scale *= 0.5
-            cand = q + scale * dq
-        if check_physical(cand):
-            q = cand
-
-    return rk_smooth(
-        level, q, qinf, forcing=forcing, cfl=this_cfl, flux=flux,
-        order2=use_order2, grad_setup=gs, nsteps=nu2,
+    ``coarse_cfl`` now defaults to ``None`` — the unified policy
+    (``COARSE_CFL_FRACTION * cfl``) reproduces the historical hard-coded
+    1.5 at the default ``cfl=2.0``; pass ``coarse_cfl=1.5`` explicitly
+    to pin the old constant at other fine-level CFLs.
+    """
+    ops = _SerialCart3DOps(levels, transfers, qinf, flux, order2,
+                           grad_setups)
+    return _generic_fas_cycle(
+        ops, q, level=l, forcing=forcing, cycle=cycle, nu1=nu1, nu2=nu2,
+        cfl=cfl, coarse_cfl=coarse_cfl,
     )

@@ -1,15 +1,28 @@
-"""Domain-decomposed Cart3D over SimMPI (paper section V).
+"""Cart3D physics kernels for the unified distributed runtime.
 
 Cart3D partitions by cutting the space-filling curve into contiguous
 segments ("the mesh partitioner actually operates on-the-fly as the
-SFC-ordered mesh file is read"), with cut cells weighted 2.1x.  This
-driver does exactly that: the flow cells, already in SFC order, are split
-by :func:`repro.partition.sfcpart.sfc_partition`; cross-partition faces
-create ghost cells; residual evaluation accumulates to owners and the
-Runge-Kutta update runs on owned cells with ghost refresh per stage.
+SFC-ordered mesh file is read"), with cut cells weighted 2.1x.  That
+decomposition — and the halos, multigrid transfers and cycle loop built
+on it — lives in :mod:`repro.runtime` (one stack for both solvers; lint
+rule R008 keeps it that way).  This module contributes only the
+Cart3D-specific pieces:
 
-The halo machinery is shared with the NSU3D driver — the face graph of
-the Cartesian mesh plays the role of the edge graph.
+* the rank-local level payload (:class:`CartLevelPart`) built from a
+  halo — the face graph of the Cartesian mesh plays the role of the
+  edge graph,
+* :class:`Cart3DKernels` — the dict-of-partitions residual / 5-stage
+  Runge-Kutta hooks the
+  :class:`~repro.runtime.driver.DistributedSolveDriver` drives,
+* thin deprecated shims (``partition_level``, ``local_residual``,
+  ``parallel_rk_smooth``, ``parallel_residual_norm``,
+  ``LocalCartDomain``) preserving the historical single-partition call
+  signatures, and
+* the :class:`ParallelCart3D` config facade.
+
+Correctness contract (tested): per-rank results equal the serial solver
+on the same level hierarchy to floating-point-reassociation tolerance —
+smoothing and full FAS cycles, overlap on or off.
 """
 
 from __future__ import annotations
@@ -18,22 +31,27 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ...comm.exchange import LocalHalo, build_halos
-from ...comm.simmpi import SimMPI
-from ...partition.sfcpart import cell_weights, sfc_partition
-from ...telemetry.spans import get_tracer, span as _span
+from ...runtime import (
+    DistributedDomain,
+    DistributedSolveDriver,
+    LevelSpec,
+    PlanExchanger,
+    SFCPartitioner,
+    build_domain_hierarchy,
+)
 from ..fluxes import rusanov_flux, wall_flux
-from ..gas import apply_positivity_floors
+from ..gas import GAMMA, apply_positivity_floors, check_physical, pressure
 from .levels import Cart3DLevel
 from .residual import FLUX_FUNCTIONS
 from .rk import RK_COEFFS
+from .solver import FLOPS_PER_CELL_RESIDUAL
 
 
 @dataclass
-class LocalCartDomain:
-    """One rank's share of a Cart3D level."""
+class CartLevelPart:
+    """Rank-local slice of a Cart3D level (geometry in local numbering,
+    boundary lists owned-only)."""
 
-    halo: LocalHalo
     vol: np.ndarray  # (nlocal,)
     face_left: np.ndarray  # local indices of the rank's assigned faces
     face_right: np.ndarray
@@ -42,157 +60,424 @@ class LocalCartDomain:
     wall_normal: np.ndarray
     far_cell: np.ndarray  # owned-only
     far_normal: np.ndarray
-    nowned: int
 
-    @property
-    def nlocal(self) -> int:
-        return len(self.vol)
+
+class LocalCartDomain(DistributedDomain):
+    """Deprecated pre-runtime name for a Cart3D rank-local domain.
+
+    Kept so historical constructors keep working; ``nowned`` now derives
+    from the halo and the keyword is ignored.
+    """
+
+    def __init__(self, halo, vol, face_left, face_right, face_normal,
+                 wall_cell, wall_normal, far_cell, far_normal,
+                 nowned: int | None = None):
+        super().__init__(halo, CartLevelPart(
+            vol=vol, face_left=face_left, face_right=face_right,
+            face_normal=face_normal, wall_cell=wall_cell,
+            wall_normal=wall_normal, far_cell=far_cell,
+            far_normal=far_normal,
+        ))
+
+
+def _local_cart_level(level: Cart3DLevel, h, part) -> CartLevelPart:
+    """Rank-local payload for one halo of a flow level."""
+    del part  # boundary ownership follows the halo, not the partition
+    l2g = h.local_to_global()
+    g2l = np.full(level.nflow, -1, dtype=np.int64)
+    g2l[l2g] = np.arange(len(l2g))
+    owned_mask = np.zeros(level.nflow, dtype=bool)
+    owned_mask[h.owned_global] = True
+
+    wall_sel = owned_mask[level.wall_cell]
+    far_sel = owned_mask[level.far_cell]
+    return CartLevelPart(
+        vol=level.vol[l2g],
+        face_left=h.edges[:, 0],
+        face_right=h.edges[:, 1],
+        face_normal=level.face_normal[h.edge_gids],
+        wall_cell=g2l[level.wall_cell[wall_sel]],
+        wall_normal=level.wall_normal[wall_sel],
+        far_cell=g2l[level.far_cell[far_sel]],
+        far_normal=level.far_normal[far_sel],
+    )
+
+
+def _split_faces(dom) -> tuple:
+    """(interior, ghost) face split for overlapped exchange: interior
+    faces touch only owned cells (computable while ghost updates are in
+    transit).  Wall/far boundary lists are owned-only and go with the
+    interior part."""
+    cached = dom.cache.get("cart3d_split")
+    if cached is None:
+        ctx = dom.ctx
+        gmask = (ctx.face_left >= dom.nowned) | (ctx.face_right >= dom.nowned)
+        cached = (
+            (ctx.face_left[~gmask], ctx.face_right[~gmask],
+             ctx.face_normal[~gmask]),
+            (ctx.face_left[gmask], ctx.face_right[gmask],
+             ctx.face_normal[gmask]),
+        )
+        dom.cache["cart3d_split"] = cached
+    return cached
+
+
+def _globally_physical(comm, doms, qs) -> bool:
+    """check_physical over the union of owned rows, agreed by allreduce
+    (every rank makes the same damping decision, like the serial
+    global check)."""
+    bad = 0.0
+    for p, dom in doms.items():
+        if not check_physical(qs[p][: dom.nowned]):
+            bad = 1.0
+    total = comm.allreduce(np.array([bad]))
+    return total[0] == 0.0
+
+
+class Cart3DKernels:
+    """Cart3D's :class:`~repro.runtime.driver.SolverKernels`."""
+
+    name = "cart3d"
+    #: coarse levels run first order and need the reduced RK stability
+    #: margin; 0.75 reproduces the historical coarse_cfl=1.5 at the
+    #: default cfl=2.0 — see the policy in :mod:`repro.runtime.multigrid`
+    coarse_cfl_fraction = 0.75
+
+    def __init__(self, qinf: np.ndarray, flux: str = "vanleer"):
+        self.qinf = np.asarray(qinf, dtype=np.float64)
+        self.flux = flux
+
+    # -- driver hooks --------------------------------------------------------
+
+    def init_state(self, dom) -> np.ndarray:
+        return np.tile(self.qinf, (dom.nlocal, 1))
+
+    def volumes(self, dom) -> np.ndarray:
+        return dom.ctx.vol
+
+    def fix_restricted_state(self, dom, q: np.ndarray) -> np.ndarray:
+        return q  # cut-cell BCs are flux-based; no strong state fixup
+
+    def mask_forcing(self, dom, f: np.ndarray) -> np.ndarray:
+        return f
+
+    def defect(self, X, doms, qs, forcing=None) -> dict:
+        return self._completed_residual(X, doms, qs, forcing, None)
+
+    def residual_norm(self, comm, X, doms, qs) -> float:
+        """Global volume-scaled L2 density-residual norm (allreduce)."""
+        rs = self.defect(X, doms, qs, None)
+        local_sq = 0.0
+        local_n = 0.0
+        for p, dom in doms.items():
+            own = slice(0, dom.nowned)
+            local_sq += float(
+                np.sum((rs[p][own, 0] / dom.ctx.vol[own]) ** 2)
+            )
+            local_n += float(dom.nowned)
+        total = comm.allreduce(np.array([local_sq, local_n]))
+        return float(np.sqrt(total[0] / total[1]))
+
+    def apply_correction(self, comm, X, doms, qs, dqs) -> dict:
+        """Serial guard, made global: fall back to a damped correction
+        if prolongation produced an unphysical state, with the damping
+        decision agreed across ranks."""
+        cand = {p: qs[p] + dqs[p] for p in doms}
+        scale = 1.0
+        while not _globally_physical(comm, doms, cand) and scale > 1e-3:
+            scale *= 0.5
+            cand = {p: qs[p] + scale * dqs[p] for p in doms}
+        if _globally_physical(comm, doms, cand):
+            qs = cand
+        return qs
+
+    def smooth(self, X, doms, qs, *, forcing=None, cfl: float = 2.0,
+               nsteps: int = 1, overlap: bool = False,
+               in_cycle: bool = False) -> dict:
+        """Domain-decomposed 5-stage RK with ghost refresh per stage,
+        overlapped with the next stage's interior residual when
+        ``overlap`` is set.
+
+        ``in_cycle=True`` reproduces the serial smoother's globally
+        agreed stage-damping guard (multigrid parity); ``in_cycle=False``
+        keeps the historical standalone behavior of clipping to
+        positivity floors instead.
+        """
+        qs = dict(qs)
+        X.copy(qs, tag=22)
+        pending = None
+        for _ in range(nsteps):
+            if pending is not None:
+                pending.finish()
+                pending = None
+            dt = self._time_step(X, doms, qs, cfl)
+            q0 = {p: qs[p].copy() for p in doms}
+            for alpha in RK_COEFFS:
+                rs = self._completed_residual(X, doms, qs, forcing, pending)
+                pending = None
+                if in_cycle:
+                    cand = {
+                        p: q0[p]
+                        - alpha * (dt[p] / doms[p].ctx.vol)[:, None] * rs[p]
+                        for p in doms
+                    }
+                    if not _globally_physical(X.comm, doms, cand):
+                        # halve the step until physical (rarely more
+                        # than once); the decision is collective so all
+                        # ranks damp identically
+                        scale = 0.5
+                        for _ in range(6):
+                            cand = {
+                                p: q0[p] - scale * alpha
+                                * (dt[p] / doms[p].ctx.vol)[:, None] * rs[p]
+                                for p in doms
+                            }
+                            if _globally_physical(X.comm, doms, cand):
+                                break
+                            scale *= 0.5
+                        else:
+                            raise FloatingPointError(
+                                "RK stage unrecoverable: negative "
+                                "density/pressure"
+                            )
+                    qs = cand
+                else:
+                    qs = {
+                        p: apply_positivity_floors(
+                            q0[p]
+                            - alpha * (dt[p] / doms[p].ctx.vol)[:, None]
+                            * rs[p]
+                        )
+                        for p in doms
+                    }
+                if overlap:
+                    pending = X.start_copy(qs, tag=23)
+                else:
+                    X.copy(qs, tag=23)
+        if pending is not None:
+            pending.finish()
+        return qs
+
+    # -- internals -----------------------------------------------------------
+
+    def _face_residual(self, dom, q, faces, boundary: bool) -> np.ndarray:
+        """Flux accumulation over a face subset (plus the owned-only
+        wall/far boundary fluxes when ``boundary``)."""
+        flux_fn = FLUX_FUNCTIONS[self.flux]
+        ctx = dom.ctx
+        fl, fr, fn = faces
+        r = np.zeros_like(q)
+        f = flux_fn(q[fl], q[fr], fn)
+        np.add.at(r, fl, f)
+        np.add.at(r, fr, -f)
+        if boundary:
+            if len(ctx.wall_cell):
+                np.add.at(r, ctx.wall_cell,
+                          wall_flux(q[ctx.wall_cell], ctx.wall_normal))
+            if len(ctx.far_cell):
+                qf = np.broadcast_to(
+                    self.qinf, (len(ctx.far_cell), q.shape[1])
+                )
+                np.add.at(r, ctx.far_cell,
+                          rusanov_flux(q[ctx.far_cell], qf, ctx.far_normal))
+        return r
+
+    def _completed_residual(self, X, doms, qs, forcing, pending) -> dict:
+        """Residual completed across ranks: local flux accumulation
+        (split into interior/ghost faces when finishing an overlapped
+        exchange), exchange-add to owners, ghost rows zeroed, forcing
+        subtracted."""
+        rs = {}
+        if pending is None:
+            for p, dom in doms.items():
+                ctx = dom.ctx
+                faces = (ctx.face_left, ctx.face_right, ctx.face_normal)
+                rs[p] = self._face_residual(dom, qs[p], faces, True)
+            X.charge(self._flops(doms))
+        else:
+            # paper fig. 7: compute the interior while ghost values are
+            # in transit, then finish the exchange and add the
+            # ghost-touching face contributions
+            for p, dom in doms.items():
+                interior, _ghost = _split_faces(dom)
+                rs[p] = self._face_residual(dom, qs[p], interior, True)
+            X.charge(self._flops(doms))
+            pending.finish()
+            for p, dom in doms.items():
+                _interior, ghost = _split_faces(dom)
+                rs[p] = rs[p] + self._face_residual(dom, qs[p], ghost, False)
+        X.add(rs, tag=1)
+        out = {}
+        for p, dom in doms.items():
+            r = rs[p]
+            r[dom.nowned:] = 0.0
+            if forcing is not None:
+                r = r - forcing[p]
+            out[p] = r
+        return out
+
+    def _time_step(self, X, doms, qs, cfl) -> dict:
+        """Local spectral-radius accumulation completed across ranks."""
+        accs = {}
+        for p, dom in doms.items():
+            ctx = dom.ctx
+            q = qs[p]
+            pr = pressure(q)
+            c = np.sqrt(GAMMA * pr / q[:, 0])
+            u = q[:, 1:4] / q[:, 0:1]
+            acc = np.zeros((dom.nlocal, 1), dtype=np.float64)
+
+            def term(cells, normals):
+                area = np.linalg.norm(normals, axis=1)
+                un = np.abs(np.einsum("nd,nd->n", u[cells], normals))
+                np.add.at(acc[:, 0], cells, un + c[cells] * area)
+
+            term(ctx.face_left, ctx.face_normal)
+            term(ctx.face_right, ctx.face_normal)
+            if len(ctx.wall_cell):
+                term(ctx.wall_cell, ctx.wall_normal)
+            if len(ctx.far_cell):
+                term(ctx.far_cell, ctx.far_normal)
+            accs[p] = acc
+        X.add(accs, tag=21)
+        return {
+            p: cfl * dom.ctx.vol / np.maximum(accs[p][:, 0], 1e-300)
+            for p, dom in doms.items()
+        }
+
+    def _flops(self, doms) -> float:
+        return float(sum(
+            dom.nlocal * FLOPS_PER_CELL_RESIDUAL for dom in doms.values()
+        ))
+
+
+# -- deprecated single-partition shims ---------------------------------------
 
 
 def partition_level(level: Cart3DLevel, nparts: int) -> tuple[list, np.ndarray]:
-    """SFC-segment decomposition of a flow level into local domains."""
-    weights = cell_weights(level.cut.is_cut_flow())
-    part = sfc_partition(weights, nparts)
+    """SFC-segment decomposition of a flow level into local domains.
 
-    edges = np.column_stack([level.face_left, level.face_right])
-    halos = build_halos(level.nflow, edges, part)
-    domains = []
-    for h in halos:
-        l2g = h.local_to_global()
-        g2l = np.full(level.nflow, -1, dtype=np.int64)
-        g2l[l2g] = np.arange(len(l2g))
-        owned_mask = np.zeros(level.nflow, dtype=bool)
-        owned_mask[h.owned_global] = True
-
-        wall_sel = owned_mask[level.wall_cell]
-        far_sel = owned_mask[level.far_cell]
-        domains.append(
-            LocalCartDomain(
-                halo=h,
-                vol=level.vol[l2g],
-                face_left=h.edges[:, 0],
-                face_right=h.edges[:, 1],
-                face_normal=level.face_normal[h.edge_gids],
-                wall_cell=g2l[level.wall_cell[wall_sel]],
-                wall_normal=level.wall_normal[wall_sel],
-                far_cell=g2l[level.far_cell[far_sel]],
-                far_normal=level.far_normal[far_sel],
-                nowned=h.nowned,
-            )
-        )
-    return domains, part
+    .. deprecated::
+        Kept as a shim over :mod:`repro.runtime` — build domains with
+        :class:`~repro.runtime.SFCPartitioner` and
+        :func:`~repro.runtime.build_domain_set` instead.  The partition
+        vector and domain payloads are identical to the historical ones
+        (same cut-cell weighting, same curve segmentation).
+    """
+    part = SFCPartitioner.from_level(level).partition(nparts)
+    hierarchy = build_domain_hierarchy(
+        [LevelSpec(
+            nvert=level.nflow,
+            edges=np.column_stack([level.face_left, level.face_right]),
+            payload=lambda h, p: _local_cart_level(level, h, p),
+        )],
+        [],
+        part,
+    )
+    top = hierarchy.levels[0]
+    return top.domains, top.part
 
 
-def local_residual(comm, dom: LocalCartDomain, q: np.ndarray, qinf,
+def _single(comm, dom) -> tuple:
+    pid = dom.halo.rank
+    return pid, PlanExchanger(comm, {pid: dom.halo.plan})
+
+
+def local_residual(comm, dom, q: np.ndarray, qinf,
                    flux: str = "vanleer") -> np.ndarray:
-    """Complete residual on owned cells (ghost rows zeroed)."""
-    flux_fn = FLUX_FUNCTIONS[flux]
-    r = np.zeros_like(q)
-    f = flux_fn(q[dom.face_left], q[dom.face_right], dom.face_normal)
-    np.add.at(r, dom.face_left, f)
-    np.add.at(r, dom.face_right, -f)
-    if len(dom.wall_cell):
-        np.add.at(r, dom.wall_cell, wall_flux(q[dom.wall_cell], dom.wall_normal))
-    if len(dom.far_cell):
-        qf = np.broadcast_to(qinf, (len(dom.far_cell), q.shape[1]))
-        np.add.at(
-            r, dom.far_cell, rusanov_flux(q[dom.far_cell], qf, dom.far_normal)
-        )
-    dom.halo.plan.exchange_add(comm, r)
-    r[dom.nowned:] = 0.0
-    return r
-
-
-def _local_time_step(comm, dom: LocalCartDomain, q, cfl):
-    from ..gas import GAMMA, pressure
-
-    p = pressure(q)
-    c = np.sqrt(GAMMA * p / q[:, 0])
-    u = q[:, 1:4] / q[:, 0:1]
-    acc = np.zeros((dom.nlocal, 1), dtype=np.float64)
-
-    def term(cells, normals):
-        area = np.linalg.norm(normals, axis=1)
-        un = np.abs(np.einsum("nd,nd->n", u[cells], normals))
-        np.add.at(acc[:, 0], cells, un + c[cells] * area)
-
-    term(dom.face_left, dom.face_normal)
-    term(dom.face_right, dom.face_normal)
-    if len(dom.wall_cell):
-        term(dom.wall_cell, dom.wall_normal)
-    if len(dom.far_cell):
-        term(dom.far_cell, dom.far_normal)
-    dom.halo.plan.exchange_add(comm, acc, tag=21)
-    return cfl * dom.vol / np.maximum(acc[:, 0], 1e-300)
+    """Complete residual on owned cells (deprecated single-partition
+    shim over :class:`Cart3DKernels`)."""
+    pid, X = _single(comm, dom)
+    kern = Cart3DKernels(qinf, flux=flux)
+    return kern.defect(X, {pid: dom}, {pid: q})[pid]
 
 
 def parallel_rk_smooth(
     comm,
-    dom: LocalCartDomain,
+    dom,
     q: np.ndarray,
     qinf: np.ndarray,
     cfl: float = 2.0,
     flux: str = "vanleer",
     nsteps: int = 1,
 ) -> np.ndarray:
-    """Domain-decomposed 5-stage RK with ghost refresh per stage."""
-    dom.halo.plan.exchange_copy(comm, q, tag=22)
-    for _ in range(nsteps):
-        dt = _local_time_step(comm, dom, q, cfl)
-        q0 = q.copy()
-        for alpha in RK_COEFFS:
-            r = local_residual(comm, dom, q, qinf, flux=flux)
-            q = apply_positivity_floors(
-                q0 - alpha * (dt / dom.vol)[:, None] * r
-            )
-            dom.halo.plan.exchange_copy(comm, q, tag=23)
-    return q
+    """Domain-decomposed 5-stage RK (deprecated single-partition shim
+    over :class:`Cart3DKernels`)."""
+    pid, X = _single(comm, dom)
+    kern = Cart3DKernels(qinf, flux=flux)
+    return kern.smooth(X, {pid: dom}, {pid: q}, cfl=cfl, nsteps=nsteps)[pid]
 
 
-def parallel_residual_norm(comm, dom: LocalCartDomain, q, qinf,
+def parallel_residual_norm(comm, dom, q, qinf,
                            flux: str = "vanleer") -> float:
-    r = local_residual(comm, dom, q, qinf, flux=flux)
-    own = slice(0, dom.nowned)
-    local = np.array(
-        [float(np.sum((r[own, 0] / dom.vol[own]) ** 2)), float(dom.nowned)]
-    )
-    total = comm.allreduce(local)
-    return float(np.sqrt(total[0] / total[1]))
+    """Global volume-scaled L2 density-residual norm (allreduce)."""
+    pid, X = _single(comm, dom)
+    kern = Cart3DKernels(qinf, flux=flux)
+    return kern.residual_norm(comm, X, {pid: dom}, {pid: q})
 
 
 class ParallelCart3D:
-    """Facade running the decomposed Euler solver on a SimMPI world."""
+    """Config facade: the decomposed Euler solver on a SimMPI world.
+
+    The historical constructor (fine level only — pure smoothing runs)
+    keeps working; pass ``levels``/``transfers`` from a serial solver
+    (or use :meth:`from_solver`) to run full distributed FAS cycles, and
+    ``overlap=True`` for the posted-send/compute-interior/finish
+    exchange mode (fig. 7).
+    """
 
     def __init__(self, level: Cart3DLevel, qinf: np.ndarray, nparts: int,
-                 flux: str = "vanleer"):
-        self.domains, self.part = partition_level(level, nparts)
-        self.level = level
+                 flux: str = "vanleer", *, levels: list | None = None,
+                 transfers: list | None = None, overlap: bool = False,
+                 charge_compute: bool = False):
+        # the historical fine-level-only constructor runs plain
+        # smoothing steps; a caller-supplied hierarchy runs full cycles
+        # even when it has a single level (matching the serial solvers)
+        smoothing_only = levels is None
+        levels = list(levels) if levels is not None else [level]
+        clusters = [t.parent for t in transfers] if transfers else []
+        part = SFCPartitioner.from_level(levels[0]).partition(nparts)
+        specs = [
+            LevelSpec(
+                nvert=lvl.nflow,
+                edges=np.column_stack([lvl.face_left, lvl.face_right]),
+                payload=lambda h, p, lvl=lvl: _local_cart_level(lvl, h, p),
+            )
+            for lvl in levels
+        ]
+        self.hierarchy = build_domain_hierarchy(specs, clusters, part)
+        self.kernels = Cart3DKernels(qinf, flux=flux)
+        self.driver = DistributedSolveDriver(
+            self.hierarchy, self.kernels, qinf, overlap=overlap,
+            charge_compute=charge_compute, smoothing_only=smoothing_only,
+        )
+        self.domains = self.hierarchy.levels[0].domains
+        self.part = part
+        self.level = levels[0]
         self.qinf = qinf
+        self.nparts = nparts
         self.flux = flux
 
-    def run(self, world: SimMPI, ncycles: int, cfl: float = 2.0):
-        """Returns (global q over flow cells, residual history)."""
-        qinf, domains, flux = self.qinf, self.domains, self.flux
+    @classmethod
+    def from_solver(cls, solver, nparts: int, *, overlap: bool = False,
+                    charge_compute: bool = False) -> "ParallelCart3D":
+        """Decompose a serial :class:`Cart3DSolver`'s level hierarchy.
 
-        def body(comm):
-            dom = domains[comm.rank]
-            q = np.tile(qinf, (dom.nlocal, 1))
-            history = []
-            # per-rank track identity + virtual clock for all spans below
-            with get_tracer().bind(rank=comm.rank,
-                                   clock=lambda: comm.clock):
-                for _ in range(ncycles):
-                    with _span("cart3d.parallel_cycle", cat="solver"):
-                        q = parallel_rk_smooth(
-                            comm, dom, q, qinf, cfl=cfl, flux=flux
-                        )
-                        history.append(
-                            parallel_residual_norm(comm, dom, q, qinf, flux)
-                        )
-            return dom.halo.owned_global, q[: dom.nowned], history
+        The distributed path runs first order (like the serial coarse
+        levels); second-order fine-level reconstruction needs
+        distributed least-squares gradients and stays serial.
+        """
+        return cls(
+            solver.levels[0], solver.qinf, nparts, flux=solver.flux,
+            levels=solver.levels, transfers=solver.transfers,
+            overlap=overlap, charge_compute=charge_compute,
+        )
 
-        results = world.run(body)
-        q_global = np.empty((self.level.nflow, len(qinf)), dtype=np.float64)
-        for gids, q_owned, history in results:
-            q_global[gids] = q_owned
-        return q_global, results[0][2]
+    def run(self, world, ncycles: int, cfl: float = 2.0, *,
+            cycle: str = "W", nu1: int = 1, nu2: int = 1,
+            coarse_cfl: float | None = None):
+        """Iterate; returns (global q over flow cells, residual history)."""
+        return self.driver.run(
+            world, ncycles, cfl=cfl, cycle=cycle, nu1=nu1, nu2=nu2,
+            coarse_cfl=coarse_cfl,
+        )

@@ -1,25 +1,31 @@
-"""FAS agglomeration multigrid cycles for the RANS solver (fig. 4).
+"""Serial FAS adapter for the RANS solver (fig. 4).
 
-V- and W-cycles over the agglomerated hierarchy; "the multigrid W-cycle
-has been found to produce superior convergence rates and to be more
-robust, and is thus used exclusively in the NSU3D calculations."  Within
-a W-cycle the coarsest of ``n`` levels is visited ``2^(n-1)`` times per
-fine-grid visit — the communication amplification at the heart of the
-paper's InfiniBand results (figs. 16-19).
+The cycle itself — V/W recursion, FAS forcing, the coarse-CFL policy,
+per-level telemetry spans — lives in :mod:`repro.runtime.multigrid`;
+this module supplies the NSU3D-specific :class:`LevelOps`: the
+line-implicit smoother, the (optionally turbulent/viscous) residual,
+volume-weighted agglomeration transfers with strong wall-row handling,
+and the limited/floored correction.
 
-Transfers: solution restriction is volume-weighted averaging over
-agglomerates, residual restriction a plain sum, prolongation injection —
-the standard agglomeration-multigrid set.
+"The multigrid W-cycle has been found to produce superior convergence
+rates and to be more robust, and is thus used exclusively in the NSU3D
+calculations."  Within a W-cycle the coarsest of ``n`` levels is visited
+``2^(n-1)`` times per fine-grid visit — the communication amplification
+at the heart of the paper's InfiniBand results (figs. 16-19).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ...telemetry.spans import span as _span
+from ...runtime.multigrid import fas_cycle as _generic_fas_cycle
 from ..gas import apply_positivity_floors
 from .linesolve import limit_correction, smooth
-from .residual import apply_wall_bc, residual
+from .residual import apply_wall_bc, mask_wall_rows, residual
+
+#: Coarse levels tolerate the fine CFL (the historical ``coarse_cfl or
+#: cfl`` behavior) — see the policy in :mod:`repro.runtime.multigrid`.
+COARSE_CFL_FRACTION = 1.0
 
 
 def restrict_solution(q, cluster, vol_f, vol_c):
@@ -32,6 +38,71 @@ def restrict_residual(r, cluster, ncoarse):
     out = np.zeros((ncoarse, r.shape[1]), dtype=np.float64)
     np.add.at(out, cluster, r)
     return out
+
+
+class _SerialNSU3DOps:
+    """Serial :class:`~repro.runtime.multigrid.LevelOps` over the
+    agglomerated context hierarchy."""
+
+    name = "nsu3d"
+    coarse_cfl_fraction = COARSE_CFL_FRACTION
+
+    def __init__(self, contexts, maps, qinf, order2, turbulence, viscous):
+        self.contexts = contexts
+        self.maps = maps
+        self.qinf = qinf
+        self.order2 = order2
+        self.turbulence = turbulence
+        self.viscous = viscous
+        self.nlevels = len(contexts)
+
+    def _order2(self, level: int) -> bool:
+        return self.order2 and level == 0  # coarse levels run first order
+
+    def clone(self, q):
+        return q.copy()
+
+    def smooth(self, level, q, forcing, cfl, nsteps):
+        return smooth(
+            self.contexts[level], q, self.qinf, forcing=forcing, cfl=cfl,
+            nsteps=nsteps, order2=self._order2(level),
+            turbulence=self.turbulence, viscous=self.viscous,
+        )
+
+    def defect(self, level, q, forcing):
+        r = residual(
+            self.contexts[level], q, self.qinf, order2=self._order2(level),
+            turbulence=self.turbulence, viscous=self.viscous,
+        )
+        if forcing is not None:
+            r = r - forcing
+        return r
+
+    def restrict_state(self, level, q):
+        ctx = self.contexts[level]
+        coarse = self.contexts[level + 1]
+        # the restricted base state must satisfy the coarse level's own
+        # strong wall condition, or the correction q_c - q_c0 acquires a
+        # spurious momentum component at every wall agglomerate
+        return apply_wall_bc(
+            coarse,
+            restrict_solution(q, self.maps[level], ctx.volumes,
+                              coarse.volumes),
+        )
+
+    def coarse_forcing(self, level, q_c0, defect):
+        coarse = self.contexts[level + 1]
+        return mask_wall_rows(
+            coarse,
+            self.defect(level + 1, q_c0, None)
+            - restrict_residual(defect, self.maps[level], coarse.npoints),
+        )
+
+    def apply_correction(self, level, q, q_c, q_c0):
+        dq = (q_c - q_c0)[self.maps[level]]
+        return apply_positivity_floors(
+            apply_wall_bc(self.contexts[level], limit_correction(q, dq))
+        )
 
 
 def fas_cycle(
@@ -51,68 +122,8 @@ def fas_cycle(
     viscous: bool = True,
 ) -> np.ndarray:
     """One FAS cycle from level ``l`` down; returns the updated state."""
-    if cycle not in ("V", "W"):
-        raise ValueError("cycle must be 'V' or 'W'")
-    with _span("nsu3d.mg_level", cat="solver", level=l):
-        return _fas_level(
-            contexts, maps, q, qinf, l=l, forcing=forcing, cycle=cycle,
-            nu1=nu1, nu2=nu2, cfl=cfl, coarse_cfl=coarse_cfl, order2=order2,
-            turbulence=turbulence, viscous=viscous,
-        )
-
-
-def _fas_level(
-    contexts, maps, q, qinf, l, forcing, cycle, nu1, nu2, cfl,
-    coarse_cfl, order2, turbulence, viscous,
-) -> np.ndarray:
-    ctx = contexts[l]
-    this_cfl = cfl if l == 0 else (coarse_cfl or cfl)
-    use_order2 = order2 and l == 0
-
-    q = smooth(
-        ctx, q, qinf, forcing=forcing, cfl=this_cfl, nsteps=nu1,
-        order2=use_order2, turbulence=turbulence, viscous=viscous,
-    )
-
-    if l + 1 < len(contexts):
-        coarse = contexts[l + 1]
-        cluster = maps[l]
-        # the restricted base state must satisfy the coarse level's own
-        # strong wall condition, or the correction q_c - q_c0 acquires a
-        # spurious momentum component at every wall agglomerate
-        q_c0 = apply_wall_bc(
-            coarse, restrict_solution(q, cluster, ctx.volumes, coarse.volumes)
-        )
-        r_f = residual(
-            ctx, q, qinf, order2=use_order2, turbulence=turbulence,
-            viscous=viscous,
-        )
-        if forcing is not None:
-            r_f = r_f - forcing
-        from .residual import mask_wall_rows
-
-        f_c = mask_wall_rows(
-            coarse,
-            residual(coarse, q_c0, qinf, turbulence=turbulence,
-                     viscous=viscous)
-            - restrict_residual(r_f, cluster, coarse.npoints),
-        )
-
-        q_c = q_c0.copy()
-        visits = 2 if (cycle == "W" and l + 2 < len(contexts)) else 1
-        for _ in range(visits):
-            q_c = fas_cycle(
-                contexts, maps, q_c, qinf, l=l + 1, forcing=f_c,
-                cycle=cycle, nu1=nu1, nu2=nu2, cfl=cfl,
-                coarse_cfl=coarse_cfl, order2=order2,
-                turbulence=turbulence, viscous=viscous,
-            )
-        dq = (q_c - q_c0)[cluster]
-        q = apply_positivity_floors(
-            apply_wall_bc(ctx, limit_correction(q, dq))
-        )
-
-    return smooth(
-        ctx, q, qinf, forcing=forcing, cfl=this_cfl, nsteps=nu2,
-        order2=use_order2, turbulence=turbulence, viscous=viscous,
+    ops = _SerialNSU3DOps(contexts, maps, qinf, order2, turbulence, viscous)
+    return _generic_fas_cycle(
+        ops, q, level=l, forcing=forcing, cycle=cycle, nu1=nu1, nu2=nu2,
+        cfl=cfl, coarse_cfl=coarse_cfl,
     )

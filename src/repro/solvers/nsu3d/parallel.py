@@ -1,38 +1,51 @@
-"""Domain-decomposed NSU3D over SimMPI (paper section III).
+"""NSU3D physics kernels for the unified distributed runtime.
 
-Mirrors the paper's parallel structure: METIS-style partitioning of the
-(line-contracted) dual graph, ghost vertices at partition boundaries,
-single-buffer-per-neighbor packed exchanges, residual accumulation to
-owners (exchange-add) and ghost refresh (exchange-copy), and the
-preconditioned-multistage point/line-implicit smoother with the implicit
-operator's edge contributions likewise summed across ranks.
+The distributed-execution structure — partitioning, ghost numbering,
+exchange scheduling, the cycle loop, multigrid transfers — lives in
+:mod:`repro.runtime` (one stack for both solvers; lint rule R008 keeps
+it that way).  This module contributes only what is NSU3D-specific:
 
-Because implicit lines are never split by the partitioner (fig. 6b), the
-block-tridiagonal solves remain rank-local.  The driver supports the
-5-variable laminar/inviscid system; the SA source terms need distributed
-nodal gradients and are evaluated only by the serial solver (recorded in
-DESIGN.md — the paper's parallel experiments measure communication
-structure, which is identical for 5 or 6 unknowns; the performance model
-charges 6-variable traffic).
+* the rank-local :class:`FlowContext` payload built from a halo,
+* :class:`NSU3DKernels` — the dict-of-partitions residual/smoother/
+  transfer hooks the :class:`~repro.runtime.driver.DistributedSolveDriver`
+  drives (preconditioned-multistage line-implicit smoothing with the
+  implicit operator's edge contributions summed across ranks, fig. 6),
+* thin deprecated shims (``partition_domain``, ``parallel_residual``,
+  ``parallel_smooth``, ``parallel_residual_norm``, ``LocalDomain``)
+  preserving the historical single-partition call signatures, and
+* the :class:`ParallelNSU3D` config facade.
+
+Because implicit lines are never split by the partitioner (fig. 6b),
+the block-tridiagonal solves remain rank-local.  The driver supports
+the 5-variable laminar/inviscid system; the SA source terms need
+distributed nodal gradients and are evaluated only by the serial solver
+(recorded in DESIGN.md).
 
 Correctness contract (tested): per-rank results equal the serial solver
-on the same mesh to floating-point-reassociation tolerance.
+on the same mesh to floating-point-reassociation tolerance — smoothing
+and full FAS cycles, overlap on or off.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 import numpy as np
 
-from ...comm.exchange import LocalHalo, build_halos
-from ...comm.simmpi import SimMPI
-from ...telemetry.spans import get_tracer, span as _span
-from ...partition.graph import Graph, contract_lines, project_partition
-from ...partition.metis import partition_graph
+from ...errors import ConfigurationError
+from ...runtime import (
+    DistributedDomain,
+    DistributedSolveDriver,
+    LevelSpec,
+    MetisLinePartitioner,
+    PlanExchanger,
+    build_domain_hierarchy,
+)
 from ..gas import apply_positivity_floors
 from .context import FlowContext
-from .jacobians import assemble_diagonal, edge_spectral_radius
+from .jacobians import (
+    assemble_diagonal,
+    edge_spectral_radius,
+    viscous_edge_coefficient,
+)
 from .linesolve import (
     STAGE_COEFFS,
     batch_lines_by_length,
@@ -40,153 +53,300 @@ from .linesolve import (
     limit_correction,
     line_offdiag_blocks,
 )
-from .residual import apply_wall_bc, residual
+from .residual import apply_wall_bc, mask_wall_rows, residual
+from .solver import FLOPS_PER_POINT_RESIDUAL
 
 
-@dataclass
-class LocalDomain:
-    """One rank's share of the flow problem."""
+class LocalDomain(DistributedDomain):
+    """Deprecated pre-runtime name for an NSU3D rank-local domain.
 
-    halo: LocalHalo
-    ctx: FlowContext  # local numbering; boundary lists owned-only
-    nowned: int
-
-    @property
-    def nlocal(self) -> int:
-        return self.ctx.npoints
-
-
-def partition_domain(
-    ctx: FlowContext, nparts: int, seed: int = 0
-) -> tuple[list, np.ndarray]:
-    """Split a (fine-level) context into per-rank :class:`LocalDomain`.
-
-    The vertex graph is contracted along the implicit lines before
-    partitioning, so no line is ever split (fig. 6b).
+    Kept so historical constructors keep working; ``nowned`` now derives
+    from the halo and the third positional argument is ignored.
     """
-    graph = Graph.from_edges(ctx.npoints, ctx.edges)
-    if ctx.lines:
-        cgraph, cluster = contract_lines(graph, ctx.lines)
-        cpart = partition_graph(cgraph, nparts, seed=seed)
-        part = project_partition(cluster, cpart)
-    else:
-        part = partition_graph(graph, nparts, seed=seed)
 
-    halos = build_halos(ctx.npoints, ctx.edges, part)
-    domains = []
-    for h in halos:
-        l2g = h.local_to_global()
-        g2l = np.full(ctx.npoints, -1, dtype=np.int64)
-        g2l[l2g] = np.arange(len(l2g))
-        owned_mask = np.zeros(ctx.npoints, dtype=bool)
-        owned_mask[h.owned_global] = True
+    def __init__(self, halo, ctx: FlowContext, nowned: int | None = None):
+        super().__init__(halo, ctx)
 
-        def filter_boundary(verts, normals):
-            sel = owned_mask[verts]
-            return g2l[verts[sel]], normals[sel]
 
-        wall_v, wall_n = filter_boundary(ctx.wall_vert, ctx.wall_normal)
-        far_v, far_n = filter_boundary(ctx.far_vert, ctx.far_normal)
-        sym_v, sym_n = filter_boundary(ctx.sym_vert, ctx.sym_normal)
-        local_lines = [
-            g2l[line] for line in ctx.lines if part[line[0]] == h.rank
-        ]
-        local_ctx = FlowContext(
-            points=ctx.points[l2g],
-            edges=h.edges,
-            face_vectors=ctx.face_vectors[h.edge_gids],
-            volumes=ctx.volumes[l2g],
-            dist=ctx.dist[l2g],
-            mu_lam=ctx.mu_lam,
-            wall_vert=wall_v,
-            wall_normal=wall_n,
-            far_vert=far_v,
-            far_normal=far_n,
-            sym_vert=sym_v,
-            sym_normal=sym_n,
-            lines=local_lines,
-            dual=None,
+def _local_flow_context(ctx: FlowContext, h, part) -> FlowContext:
+    """Rank-local :class:`FlowContext` payload for one halo: geometry in
+    local numbering, boundary lists owned-only, lines rank-local."""
+    l2g = h.local_to_global()
+    g2l = np.full(ctx.npoints, -1, dtype=np.int64)
+    g2l[l2g] = np.arange(len(l2g))
+    owned_mask = np.zeros(ctx.npoints, dtype=bool)
+    owned_mask[h.owned_global] = True
+
+    def filter_boundary(verts, normals):
+        sel = owned_mask[verts]
+        return g2l[verts[sel]], normals[sel]
+
+    wall_v, wall_n = filter_boundary(ctx.wall_vert, ctx.wall_normal)
+    far_v, far_n = filter_boundary(ctx.far_vert, ctx.far_normal)
+    sym_v, sym_n = filter_boundary(ctx.sym_vert, ctx.sym_normal)
+    local_lines = [
+        g2l[line] for line in ctx.lines if part[line[0]] == h.rank
+    ]
+    return FlowContext(
+        points=ctx.points[l2g],
+        edges=h.edges,
+        face_vectors=ctx.face_vectors[h.edge_gids],
+        volumes=ctx.volumes[l2g],
+        dist=ctx.dist[l2g],
+        mu_lam=ctx.mu_lam,
+        wall_vert=wall_v,
+        wall_normal=wall_n,
+        far_vert=far_v,
+        far_normal=far_n,
+        sym_vert=sym_v,
+        sym_normal=sym_n,
+        lines=local_lines,
+        dual=None,
+    )
+
+
+def _split_residual_contexts(dom) -> tuple:
+    """(interior, ghost) context split for overlapped exchange: interior
+    edges touch only owned vertices (computable while ghost updates are
+    in transit); ghost edges carry everything else.  Boundary lists are
+    owned-only and go with the interior part.  Valid because the
+    parallel path runs first-order without SA sources, so the residual
+    is purely edge- and boundary-based."""
+    cached = dom.cache.get("nsu3d_split")
+    if cached is None:
+        ctx = dom.ctx
+        gmask = (ctx.edges >= dom.nowned).any(axis=1)
+        interior = FlowContext(
+            points=ctx.points, edges=ctx.edges[~gmask],
+            face_vectors=ctx.face_vectors[~gmask], volumes=ctx.volumes,
+            dist=ctx.dist, mu_lam=ctx.mu_lam, wall_vert=ctx.wall_vert,
+            wall_normal=ctx.wall_normal, far_vert=ctx.far_vert,
+            far_normal=ctx.far_normal, sym_vert=ctx.sym_vert,
+            sym_normal=ctx.sym_normal, lines=[], dual=None,
         )
-        domains.append(LocalDomain(halo=h, ctx=local_ctx, nowned=h.nowned))
-    return domains, part
+        ghost = FlowContext(
+            points=ctx.points, edges=ctx.edges[gmask],
+            face_vectors=ctx.face_vectors[gmask], volumes=ctx.volumes,
+            dist=ctx.dist, mu_lam=ctx.mu_lam, lines=[], dual=None,
+        )
+        cached = (interior, ghost)
+        dom.cache["nsu3d_split"] = cached
+    return cached
 
 
-def parallel_residual(comm, dom: LocalDomain, q: np.ndarray, qinf,
-                      viscous: bool = True) -> np.ndarray:
-    """Complete residual on owned vertices (ghost rows zeroed after the
-    exchange-add, as in the paper's figure-6 scheme)."""
-    r = residual(dom.ctx, q, qinf, turbulence=False, viscous=viscous)
-    dom.halo.plan.exchange_add(comm, r)
-    r[dom.nowned:] = 0.0
-    # remote edge contributions landed after residual()'s own masking;
-    # re-impose the strong wall rows on the completed residual
-    from .residual import mask_wall_rows
+class NSU3DKernels:
+    """NSU3D's :class:`~repro.runtime.driver.SolverKernels`."""
 
-    return mask_wall_rows(dom.ctx, r)
+    name = "nsu3d"
+    #: coarse levels tolerate the fine CFL (historical ``coarse_cfl or
+    #: cfl`` behavior) — see the policy in :mod:`repro.runtime.multigrid`
+    coarse_cfl_fraction = 1.0
 
+    def __init__(self, qinf: np.ndarray, viscous: bool = True):
+        self.qinf = np.asarray(qinf, dtype=np.float64)
+        self.viscous = viscous
 
-def _exchanged_time_step(comm, dom: LocalDomain, q, cfl):
-    """Local spectral-radius accumulation completed across ranks."""
-    ctx = dom.ctx
-    lam = edge_spectral_radius(q, ctx.edges, ctx.face_vectors)
-    from .jacobians import viscous_edge_coefficient
+    # -- driver hooks --------------------------------------------------------
 
-    kv = viscous_edge_coefficient(ctx, q)
-    acc = np.zeros((ctx.npoints, 1), dtype=np.float64)
-    np.add.at(acc[:, 0], ctx.edges[:, 0], lam + 2 * kv)
-    np.add.at(acc[:, 0], ctx.edges[:, 1], lam + 2 * kv)
-    for verts, normals in (
-        (ctx.far_vert, ctx.far_normal),
-        (ctx.sym_vert, ctx.sym_normal),
-        (ctx.wall_vert, ctx.wall_normal),
-    ):
-        if len(verts):
-            lam_b = edge_spectral_radius(
-                q[verts], np.column_stack([np.arange(len(verts))] * 2), normals
+    def init_state(self, dom) -> np.ndarray:
+        return np.tile(self.qinf, (dom.nlocal, 1))
+
+    def volumes(self, dom) -> np.ndarray:
+        return dom.ctx.volumes
+
+    def fix_restricted_state(self, dom, q: np.ndarray) -> np.ndarray:
+        # the restricted base state must satisfy the coarse level's own
+        # strong wall condition, or the correction q_c - q_c0 acquires a
+        # spurious momentum component at every wall agglomerate
+        return apply_wall_bc(dom.ctx, q)
+
+    def mask_forcing(self, dom, f: np.ndarray) -> np.ndarray:
+        return mask_wall_rows(dom.ctx, f)
+
+    def defect(self, X, doms, qs, forcing=None) -> dict:
+        return self._completed_residual(X, doms, qs, forcing, None)
+
+    def residual_norm(self, comm, X, doms, qs) -> float:
+        """Global volume-scaled L2 continuity-residual norm (allreduce)."""
+        rs = self.defect(X, doms, qs, None)
+        local_sq = 0.0
+        local_n = 0.0
+        for p, dom in doms.items():
+            own = slice(0, dom.nowned)
+            local_sq += float(
+                np.sum((rs[p][own, 0] / dom.ctx.volumes[own]) ** 2)
             )
-            np.add.at(acc[:, 0], verts, lam_b)
-    dom.halo.plan.exchange_add(comm, acc, tag=11)
-    return cfl * ctx.volumes / np.maximum(acc[:, 0], 1e-300)
+            local_n += float(dom.nowned)
+        total = comm.allreduce(np.array([local_sq, local_n]))
+        return float(np.sqrt(total[0] / total[1]))
 
+    def apply_correction(self, comm, X, doms, qs, dqs) -> dict:
+        out = {}
+        for p, dom in doms.items():
+            cand = apply_wall_bc(
+                dom.ctx, limit_correction(qs[p], dqs[p])
+            )
+            out[p] = apply_positivity_floors(cand)
+        return out
 
-def _exchanged_diagonal(comm, dom: LocalDomain, q, dt):
-    """Implicit diagonal blocks with edge contributions summed across
-    ranks (each cross edge lives on exactly one rank)."""
-    ctx = dom.ctx
-    nvar = q.shape[1]
-    # edge-only contributions: build with a huge dt and no boundaries by
-    # subtracting the V/dt identity that assemble_diagonal always adds
-    diag = assemble_diagonal(ctx, q, dt)
-    eye = np.eye(nvar)
-    vdt = (ctx.volumes / dt)[:, None, None] * eye[None, :, :]
-    edge_part = diag - vdt
-    # strong wall rows were overwritten; rebuild them after the exchange
-    flat = edge_part.reshape(ctx.npoints, nvar * nvar)
-    dom.halo.plan.exchange_add(comm, flat, tag=12)
-    total = flat.reshape(ctx.npoints, nvar, nvar) + vdt
-    w = ctx.wall_vert
-    if len(w):
-        for row in [1, 2, 3] + ([5] if nvar > 5 else []):
-            total[w, row, :] = 0.0
-            total[w, row, row] = 1.0
-    return total
+    def smooth(self, X, doms, qs, *, forcing=None, cfl: float = 10.0,
+               nsteps: int = 1, overlap: bool = False,
+               in_cycle: bool = False) -> dict:
+        """Preconditioned-multistage implicit smoothing, decomposed.
 
+        Each step freezes the implicit operator (exchanged diagonal +
+        rank-local line blocks) at the step's initial state and runs the
+        three-stage recursion; ghost refresh per stage, overlapped with
+        the next stage's interior residual when ``overlap`` is set.
+        """
+        del in_cycle  # NSU3D's guards are identical in and out of a cycle
+        qs = {p: apply_wall_bc(doms[p].ctx, qs[p]) for p in sorted(doms)}
+        X.copy(qs, tag=13)
+        pending = None
+        for _ in range(nsteps):
+            if pending is not None:
+                pending.finish()
+                pending = None
+            dt = self._time_step(X, doms, qs, cfl)
+            diag = self._diagonal(X, doms, qs, dt)
+            lineops = {p: self._line_structures(doms[p], qs[p])
+                       for p in doms}
+            q0 = {p: qs[p].copy() for p in doms}
+            for alpha in STAGE_COEFFS:
+                rs = self._completed_residual(X, doms, qs, forcing, pending)
+                pending = None
+                for p, dom in doms.items():
+                    batches, blocks, on_line = lineops[p]
+                    r = rs[p]
+                    dq = np.zeros_like(r)
+                    for length, batch in batches.items():
+                        lower, upper = blocks[length]
+                        dq[batch.reshape(-1)] = block_thomas(
+                            lower, diag[p][batch], upper, r[batch]
+                        ).reshape(-1, r.shape[1])
+                    rest = ~on_line
+                    if rest.any():
+                        dq[rest] = np.linalg.solve(
+                            diag[p][rest], r[rest][:, :, None]
+                        )[:, :, 0]
+                    cand = apply_wall_bc(
+                        dom.ctx, limit_correction(q0[p], -alpha * dq)
+                    )
+                    qs[p] = apply_positivity_floors(cand)
+                if overlap:
+                    pending = X.start_copy(qs, tag=14)
+                else:
+                    X.copy(qs, tag=14)
+        if pending is not None:
+            pending.finish()
+        return qs
 
-def parallel_smooth(
-    comm,
-    dom: LocalDomain,
-    q: np.ndarray,
-    qinf: np.ndarray,
-    cfl: float = 10.0,
-    nsteps: int = 1,
-    viscous: bool = True,
-) -> np.ndarray:
-    """Preconditioned-multistage implicit smoothing, domain-decomposed."""
-    q = apply_wall_bc(dom.ctx, q)
-    dom.halo.plan.exchange_copy(comm, q, tag=13)
-    for _ in range(nsteps):
-        dt = _exchanged_time_step(comm, dom, q, cfl)
-        diag = _exchanged_diagonal(comm, dom, q, dt)
+    # -- internals -----------------------------------------------------------
+
+    def _completed_residual(self, X, doms, qs, forcing, pending) -> dict:
+        """Residual completed across ranks: local evaluation (split into
+        interior/ghost parts when finishing an overlapped exchange),
+        exchange-add to owners, ghost rows zeroed, strong wall rows
+        re-imposed, forcing subtracted."""
+        rs = {}
+        if pending is None:
+            for p, dom in doms.items():
+                rs[p] = residual(dom.ctx, qs[p], self.qinf,
+                                 turbulence=False, viscous=self.viscous)
+            X.charge(self._flops(doms))
+        else:
+            # paper fig. 7: compute the interior while ghost values are
+            # in transit, then finish the exchange and add the
+            # ghost-touching edge contributions
+            for p, dom in doms.items():
+                interior, _ghost = _split_residual_contexts(dom)
+                rs[p] = residual(interior, qs[p], self.qinf,
+                                 turbulence=False, viscous=self.viscous)
+            X.charge(self._flops(doms))
+            pending.finish()
+            for p, dom in doms.items():
+                _interior, ghost = _split_residual_contexts(dom)
+                rs[p] = rs[p] + residual(ghost, qs[p], self.qinf,
+                                         turbulence=False,
+                                         viscous=self.viscous)
+        X.add(rs, tag=1)
+        out = {}
+        for p, dom in doms.items():
+            r = rs[p]
+            r[dom.nowned:] = 0.0
+            # remote edge contributions landed after residual()'s own
+            # masking; re-impose the strong wall rows
+            r = mask_wall_rows(dom.ctx, r)
+            if forcing is not None:
+                r = r - forcing[p]
+            out[p] = r
+        return out
+
+    def _time_step(self, X, doms, qs, cfl) -> dict:
+        """Local spectral-radius accumulation completed across ranks."""
+        accs = {}
+        for p, dom in doms.items():
+            ctx = dom.ctx
+            q = qs[p]
+            lam = edge_spectral_radius(q, ctx.edges, ctx.face_vectors)
+            kv = viscous_edge_coefficient(ctx, q)
+            acc = np.zeros((ctx.npoints, 1), dtype=np.float64)
+            np.add.at(acc[:, 0], ctx.edges[:, 0], lam + 2 * kv)
+            np.add.at(acc[:, 0], ctx.edges[:, 1], lam + 2 * kv)
+            for verts, normals in (
+                (ctx.far_vert, ctx.far_normal),
+                (ctx.sym_vert, ctx.sym_normal),
+                (ctx.wall_vert, ctx.wall_normal),
+            ):
+                if len(verts):
+                    lam_b = edge_spectral_radius(
+                        q[verts],
+                        np.column_stack([np.arange(len(verts))] * 2),
+                        normals,
+                    )
+                    np.add.at(acc[:, 0], verts, lam_b)
+            accs[p] = acc
+        X.add(accs, tag=11)
+        return {
+            p: cfl * dom.ctx.volumes / np.maximum(accs[p][:, 0], 1e-300)
+            for p, dom in doms.items()
+        }
+
+    def _diagonal(self, X, doms, qs, dt) -> dict:
+        """Implicit diagonal blocks with edge contributions summed
+        across ranks (each cross edge lives on exactly one rank)."""
+        flats = {}
+        vdts = {}
+        for p, dom in doms.items():
+            ctx = dom.ctx
+            q = qs[p]
+            nvar = q.shape[1]
+            # edge-only contributions: subtract the V/dt identity that
+            # assemble_diagonal always adds before exchanging
+            diag = assemble_diagonal(ctx, q, dt[p])
+            eye = np.eye(nvar)
+            vdt = (ctx.volumes / dt[p])[:, None, None] * eye[None, :, :]
+            edge_part = diag - vdt
+            flats[p] = edge_part.reshape(ctx.npoints, nvar * nvar)
+            vdts[p] = vdt
+        X.add(flats, tag=12)
+        out = {}
+        for p, dom in doms.items():
+            ctx = dom.ctx
+            nvar = qs[p].shape[1]
+            total = flats[p].reshape(ctx.npoints, nvar, nvar) + vdts[p]
+            # strong wall rows were summed over; rebuild them as identity
+            w = ctx.wall_vert
+            if len(w):
+                for row in [1, 2, 3] + ([5] if nvar > 5 else []):
+                    total[w, row, :] = 0.0
+                    total[w, row, row] = 1.0
+            out[p] = total
+        return out
+
+    def _line_structures(self, dom, q) -> tuple:
+        """Per-step frozen line-implicit structures (fig. 6b: lines are
+        never split, so these stay rank-local)."""
         batches = batch_lines_by_length(dom.ctx.lines)
         blocks = {
             length: line_offdiag_blocks(dom.ctx, q, batch)
@@ -195,78 +355,154 @@ def parallel_smooth(
         on_line = np.zeros(dom.nlocal, dtype=bool)
         for batch in batches.values():
             on_line[batch.ravel()] = True
+        return batches, blocks, on_line
 
-        q0 = q.copy()
-        for alpha in STAGE_COEFFS:
-            r = parallel_residual(comm, dom, q, qinf, viscous=viscous)
-            dq = np.zeros_like(q)
-            for length, batch in batches.items():
-                lower, upper = blocks[length]
-                dq[batch.reshape(-1)] = block_thomas(
-                    lower, diag[batch], upper, r[batch]
-                ).reshape(-1, q.shape[1])
-            rest = ~on_line
-            if rest.any():
-                dq[rest] = np.linalg.solve(
-                    diag[rest], r[rest][:, :, None]
-                )[:, :, 0]
-            cand = apply_wall_bc(
-                dom.ctx, limit_correction(q0, -alpha * dq)
-            )
-            q = apply_positivity_floors(cand)
-            dom.halo.plan.exchange_copy(comm, q, tag=14)
-    return q
+    def _flops(self, doms) -> float:
+        return float(sum(
+            dom.ctx.npoints * FLOPS_PER_POINT_RESIDUAL
+            for dom in doms.values()
+        ))
 
 
-def parallel_residual_norm(comm, dom: LocalDomain, q, qinf,
+# -- deprecated single-partition shims ---------------------------------------
+
+
+def partition_domain(
+    ctx: FlowContext, nparts: int, seed: int = 0
+) -> tuple[list, np.ndarray]:
+    """Split a (fine-level) context into per-rank domains.
+
+    .. deprecated::
+        Kept as a shim over :mod:`repro.runtime` — build domains with
+        :class:`~repro.runtime.MetisLinePartitioner` and
+        :func:`~repro.runtime.build_domain_set` instead.  The partition
+        vector and domain payloads are identical to the historical ones
+        (same line contraction, same seed handling, fig. 6b).
+    """
+    part = MetisLinePartitioner(
+        ctx.npoints, ctx.edges, lines=ctx.lines, seed=seed
+    ).partition(nparts)
+    hierarchy = build_domain_hierarchy(
+        [LevelSpec(
+            nvert=ctx.npoints, edges=ctx.edges,
+            payload=lambda h, p: _local_flow_context(ctx, h, p),
+        )],
+        [],
+        part,
+    )
+    level = hierarchy.levels[0]
+    return level.domains, level.part
+
+
+def _single(comm, dom) -> tuple:
+    pid = dom.halo.rank
+    return pid, PlanExchanger(comm, {pid: dom.halo.plan})
+
+
+def parallel_residual(comm, dom, q: np.ndarray, qinf,
+                      viscous: bool = True) -> np.ndarray:
+    """Complete residual on owned vertices (deprecated single-partition
+    shim over :class:`NSU3DKernels`)."""
+    pid, X = _single(comm, dom)
+    kern = NSU3DKernels(qinf, viscous=viscous)
+    return kern.defect(X, {pid: dom}, {pid: q})[pid]
+
+
+def parallel_smooth(
+    comm,
+    dom,
+    q: np.ndarray,
+    qinf: np.ndarray,
+    cfl: float = 10.0,
+    nsteps: int = 1,
+    viscous: bool = True,
+) -> np.ndarray:
+    """Preconditioned-multistage implicit smoothing (deprecated
+    single-partition shim over :class:`NSU3DKernels`)."""
+    pid, X = _single(comm, dom)
+    kern = NSU3DKernels(qinf, viscous=viscous)
+    return kern.smooth(X, {pid: dom}, {pid: q}, cfl=cfl, nsteps=nsteps)[pid]
+
+
+def parallel_residual_norm(comm, dom, q, qinf,
                            viscous: bool = True) -> float:
     """Global volume-scaled L2 continuity-residual norm (allreduce)."""
-    r = parallel_residual(comm, dom, q, qinf, viscous=viscous)
-    own = slice(0, dom.nowned)
-    local_sq = float(np.sum((r[own, 0] / dom.ctx.volumes[own]) ** 2))
-    total = comm.allreduce(np.array([local_sq, float(dom.nowned)]))
-    return float(np.sqrt(total[0] / total[1]))
+    pid, X = _single(comm, dom)
+    kern = NSU3DKernels(qinf, viscous=viscous)
+    return kern.residual_norm(comm, X, {pid: dom}, {pid: q})
 
 
 class ParallelNSU3D:
-    """Facade running the decomposed solver on a SimMPI world."""
+    """Config facade: the decomposed NSU3D solver on a SimMPI world.
+
+    The historical constructor (fine context only — pure smoothing runs)
+    keeps working; pass ``contexts``/``maps`` from a serial solver (or
+    use :meth:`from_solver`) to run full distributed FAS cycles, and
+    ``overlap=True`` for the posted-send/compute-interior/finish
+    exchange mode (fig. 7).
+    """
 
     def __init__(self, ctx: FlowContext, qinf: np.ndarray, nparts: int,
-                 seed: int = 0, viscous: bool = True):
-        self.domains, self.part = partition_domain(ctx, nparts, seed=seed)
-        self.ctx = ctx
+                 seed: int = 0, viscous: bool = True, *,
+                 contexts: list | None = None, maps: list | None = None,
+                 overlap: bool = False, charge_compute: bool = False):
+        # the historical fine-level-only constructor runs plain
+        # smoothing steps; a caller-supplied hierarchy runs full cycles
+        # even when it has a single level (matching the serial solvers)
+        smoothing_only = contexts is None
+        contexts = list(contexts) if contexts is not None else [ctx]
+        maps = list(maps) if maps is not None else []
+        if len(qinf) != 5:
+            raise ConfigurationError(
+                "the distributed NSU3D path runs the 5-variable system; "
+                "SA turbulence needs distributed nodal gradients "
+                "(serial solver only — see DESIGN.md)"
+            )
+        part = MetisLinePartitioner(
+            contexts[0].npoints, contexts[0].edges,
+            lines=contexts[0].lines, seed=seed,
+        ).partition(nparts)
+        specs = [
+            LevelSpec(
+                nvert=c.npoints, edges=c.edges,
+                payload=lambda h, p, c=c: _local_flow_context(c, h, p),
+            )
+            for c in contexts
+        ]
+        self.hierarchy = build_domain_hierarchy(specs, maps, part)
+        self.kernels = NSU3DKernels(qinf, viscous=viscous)
+        self.driver = DistributedSolveDriver(
+            self.hierarchy, self.kernels, qinf, overlap=overlap,
+            charge_compute=charge_compute, smoothing_only=smoothing_only,
+        )
+        self.domains = self.hierarchy.levels[0].domains
+        self.part = part
+        self.ctx = contexts[0]
         self.qinf = qinf
         self.nparts = nparts
         self.viscous = viscous
 
-    def run(self, world: SimMPI, ncycles: int, cfl: float = 10.0):
-        """Smooth ``ncycles`` steps; returns (global q, residual history)."""
-        qinf = self.qinf
-        domains = self.domains
-        viscous = self.viscous
+    @classmethod
+    def from_solver(cls, solver, nparts: int, *, seed: int = 0,
+                    overlap: bool = False,
+                    charge_compute: bool = False) -> "ParallelNSU3D":
+        """Decompose a serial :class:`NSU3DSolver`'s hierarchy."""
+        if solver.turbulence:
+            raise ConfigurationError(
+                "distributed NSU3D runs laminar/inviscid (5 variables); "
+                "construct the solver with turbulence=False"
+            )
+        return cls(
+            solver.contexts[0], solver.qinf, nparts, seed=seed,
+            viscous=True, contexts=solver.contexts, maps=solver.maps,
+            overlap=overlap, charge_compute=charge_compute,
+        )
 
-        def body(comm):
-            dom = domains[comm.rank]
-            q = np.tile(qinf, (dom.nlocal, 1))
-            history = []
-            # each rank thread pins its identity and virtual clock, so
-            # spans (here and in comm.exchange) land on per-rank tracks
-            with get_tracer().bind(rank=comm.rank,
-                                   clock=lambda: comm.clock):
-                for _ in range(ncycles):
-                    with _span("nsu3d.parallel_cycle", cat="solver"):
-                        q = parallel_smooth(
-                            comm, dom, q, qinf, cfl=cfl, viscous=viscous
-                        )
-                        history.append(
-                            parallel_residual_norm(
-                                comm, dom, q, qinf, viscous=viscous
-                            )
-                        )
-            return dom.halo.owned_global, q[: dom.nowned], history
-
-        results = world.run(body)
-        q_global = np.empty((self.ctx.npoints, len(qinf)), dtype=np.float64)
-        for gids, q_owned, history in results:
-            q_global[gids] = q_owned
-        return q_global, results[0][2]
+    def run(self, world, ncycles: int, cfl: float = 10.0, *,
+            cycle: str = "W", nu1: int = 1, nu2: int = 1,
+            coarse_cfl: float | None = None):
+        """Iterate; returns (global q, residual history)."""
+        return self.driver.run(
+            world, ncycles, cfl=cfl, cycle=cycle, nu1=nu1, nu2=nu2,
+            coarse_cfl=coarse_cfl,
+        )

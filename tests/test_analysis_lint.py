@@ -264,6 +264,69 @@ class TestFacadeRule:
         assert diags == []
 
 
+class TestDistributedMachineryRule:
+    def test_absolute_simmpi_import_flagged(self):
+        src = "from repro.comm.simmpi import SimMPI\n"
+        diags = diags_for(src, "src/repro/solvers/cart3d/parallel.py")
+        assert [d.rule for d in diags] == ["R008"]
+        assert "repro.runtime" in diags[0].message
+
+    def test_relative_exchange_import_flagged(self):
+        src = "from ...comm.exchange import LocalHalo, build_halos\n"
+        diags = diags_for(src, "src/repro/solvers/nsu3d/parallel.py")
+        assert [d.rule for d in diags] == ["R008"]
+
+    def test_partition_subpackage_flagged(self):
+        src = "from ...partition.sfcpart import cell_weights, sfc_partition\n"
+        diags = diags_for(src, "src/repro/solvers/cart3d/parallel.py")
+        assert [d.rule for d in diags] == ["R008"]
+
+    def test_plain_import_flagged(self):
+        src = "import repro.partition.metis\n"
+        diags = diags_for(src, "src/repro/solvers/nsu3d/mod.py")
+        assert [d.rule for d in diags] == ["R008"]
+
+    def test_comm_package_name_laundering_flagged(self):
+        # spelling the same dependency as `from ...comm import SimMPI`
+        # must not slip through
+        src = "from ...comm import SimMPI, build_halos\n"
+        diags = diags_for(src, "src/repro/solvers/nsu3d/parallel.py")
+        assert [d.rule for d in diags] == ["R008", "R008"]
+
+    def test_runtime_and_physics_imports_pass(self):
+        src = (
+            "from ...runtime import DistributedSolveDriver, PlanExchanger\n"
+            "from ...telemetry.spans import span\n"
+            "from ..gas import apply_positivity_floors\n"
+            "from .residual import residual\n"
+        )
+        assert diags_for(src, "src/repro/solvers/nsu3d/parallel.py") == []
+
+    def test_comm_hybrid_not_banned(self):
+        # only simmpi/exchange/partition are fenced off; hybrid stays
+        # importable for the analysis helpers that model it
+        src = "from ...comm.hybrid import hybrid_efficiency\n"
+        assert diags_for(src, "src/repro/solvers/nsu3d/mod.py") == []
+
+    def test_not_flagged_outside_solvers(self):
+        src = "from repro.comm.simmpi import SimMPI\n"
+        assert diags_for(src, "src/repro/database/runtime.py") == []
+        assert diags_for(src, "src/repro/runtime/driver.py") == []
+
+    def test_noqa_suppresses(self):
+        src = "from repro.comm.simmpi import SimMPI  # noqa: doc example\n"
+        assert diags_for(src, "src/repro/solvers/nsu3d/mod.py") == []
+
+    def test_shipped_solver_packages_are_clean(self):
+        """Tier-1 enforcement of the tentpole claim: all distributed
+        orchestration lives in repro.runtime, statically."""
+        repo = Path(__file__).parent.parent
+        diags = lint_paths(
+            [repo / "src" / "repro" / "solvers"], select={"R008"}
+        )
+        assert diags == []
+
+
 class TestRunner:
     def test_select_filters_rules(self):
         src = (

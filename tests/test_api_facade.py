@@ -49,7 +49,7 @@ class TestFacade:
             repro.no_such_submodule
 
     def test_api_version_is_declared(self):
-        assert api.__api_version__ == "4.0"
+        assert api.__api_version__ == "5.0"
 
     def test_all_is_complete(self):
         """Self-test of the facade contract: every public attribute is

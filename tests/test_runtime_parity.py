@@ -1,0 +1,232 @@
+"""Cross-solver parity gate for the unified distributed runtime.
+
+The refactor's contract: per-rank results equal the serial solvers on
+the same hierarchy to floating-point-reassociation tolerance, for both
+solvers, on 1/2/4 ranks, V- and W-cycles, overlap on and off, and with
+several partitions per process (the hybrid master-thread model).  The
+serial `fas_cycle` paths are themselves pinned by the existing solver
+tests, so agreement here transitively pins the distributed runtime to
+pre-refactor behavior.
+"""
+
+import numpy as np
+import pytest
+
+from repro.comm import SimMPI
+from repro.mesh.cartesian import Sphere
+from repro.mesh.unstructured import bump_channel
+from repro.solvers.cart3d import Cart3DSolver, ParallelCart3D
+from repro.solvers.cart3d import fas_cycle as cart3d_fas_cycle
+from repro.solvers.cart3d import rk_smooth
+from repro.solvers.gas import freestream
+from repro.solvers.nsu3d import (
+    NSU3DSolver,
+    ParallelNSU3D,
+    apply_wall_bc,
+    smooth,
+)
+from repro.solvers.nsu3d import fas_cycle as nsu3d_fas_cycle
+
+CFL_NSU3D = 8.0
+CFL_CART3D = 2.0
+
+
+@pytest.fixture(scope="module")
+def nsu3d_solver():
+    mesh = bump_channel(ni=8, nj=4, nk=6, wall_spacing=5e-3, ratio=1.3,
+                        bump_height=0.03)
+    return NSU3DSolver(mesh=mesh, mach=0.5, mg_levels=2, turbulence=False,
+                       cfl=CFL_NSU3D)
+
+
+@pytest.fixture(scope="module")
+def cart3d_solver():
+    sphere = Sphere(center=[0.5, 0.5, 0.5], radius=0.15)
+    return Cart3DSolver(sphere, dim=2, base_level=4, max_level=5,
+                        mg_levels=3, mach=0.4)
+
+
+def nsu3d_serial(solver, ncycles, cycle):
+    q = np.tile(solver.qinf, (solver.contexts[0].npoints, 1))
+    for _ in range(ncycles):
+        q = nsu3d_fas_cycle(
+            solver.contexts, solver.maps, q, solver.qinf, cycle=cycle,
+            cfl=CFL_NSU3D, turbulence=False,
+        )
+    return q
+
+
+def cart3d_serial(solver, ncycles, cycle):
+    q = np.tile(solver.qinf, (solver.levels[0].nflow, 1))
+    for _ in range(ncycles):
+        q = cart3d_fas_cycle(
+            solver.levels, solver.transfers, q, solver.qinf, cycle=cycle,
+            cfl=CFL_CART3D,
+        )
+    return q
+
+
+class TestNSU3DMultigridParity:
+    @pytest.mark.parametrize("nparts", [1, 2, 4])
+    @pytest.mark.parametrize("cycle", ["V", "W"])
+    def test_ranks_and_cycles(self, nsu3d_solver, nparts, cycle):
+        ref = nsu3d_serial(nsu3d_solver, 2, cycle)
+        pn = ParallelNSU3D.from_solver(nsu3d_solver, nparts)
+        qg, hist = pn.run(SimMPI(nparts), 2, cfl=CFL_NSU3D, cycle=cycle)
+        assert np.allclose(qg, ref, rtol=1e-10, atol=1e-13)
+        assert len(hist) == 2 and np.isfinite(hist).all()
+
+    @pytest.mark.parametrize("overlap", [False, True])
+    def test_overlap_modes(self, nsu3d_solver, overlap):
+        ref = nsu3d_serial(nsu3d_solver, 2, "W")
+        pn = ParallelNSU3D.from_solver(nsu3d_solver, 4, overlap=overlap)
+        qg, _ = pn.run(SimMPI(4), 2, cfl=CFL_NSU3D, cycle="W")
+        assert np.allclose(qg, ref, rtol=1e-10, atol=1e-13)
+
+    def test_hybrid_partitions_per_process(self, nsu3d_solver):
+        """4 partitions on 2 ranks (master-thread model, fig. 7b)."""
+        ref = nsu3d_serial(nsu3d_solver, 2, "W")
+        pn = ParallelNSU3D.from_solver(nsu3d_solver, 4)
+        qg, _ = pn.run(SimMPI(2), 2, cfl=CFL_NSU3D, cycle="W")
+        assert np.allclose(qg, ref, rtol=1e-10, atol=1e-13)
+
+    def test_histories_agree_across_rank_counts(self, nsu3d_solver):
+        """The convergence history is a function of the algorithm, not
+        of the decomposition."""
+        hists = []
+        for nparts, nranks, overlap in [(1, 1, False), (4, 4, False),
+                                        (4, 4, True), (4, 2, False)]:
+            pn = ParallelNSU3D.from_solver(nsu3d_solver, nparts,
+                                           overlap=overlap)
+            _, hist = pn.run(SimMPI(nranks), 2, cfl=CFL_NSU3D, cycle="W")
+            hists.append(np.asarray(hist))
+        for h in hists[1:]:
+            assert np.allclose(h, hists[0], rtol=1e-10)
+
+    def test_single_level_hierarchy_runs_full_cycles(self):
+        """``from_solver`` at ``mg_levels=1`` matches the serial
+        ``fas_cycle`` (``nu1 + nu2`` smoothing steps per cycle), not the
+        historical smoothing-only contract."""
+        mesh = bump_channel(ni=8, nj=4, nk=6, wall_spacing=5e-3, ratio=1.3,
+                            bump_height=0.03)
+        s = NSU3DSolver(mesh=mesh, mach=0.5, mg_levels=1, turbulence=False,
+                        cfl=CFL_NSU3D)
+        q_serial = np.tile(s.qinf, (s.contexts[0].npoints, 1))
+        for _ in range(2):
+            q_serial = nsu3d_fas_cycle(
+                s.contexts, s.maps, q_serial, s.qinf, cycle="W",
+                cfl=CFL_NSU3D, turbulence=False,
+            )
+        pn = ParallelNSU3D.from_solver(s, 2)
+        assert not pn.driver.smoothing_only
+        qg, _ = pn.run(SimMPI(2), 2, cfl=CFL_NSU3D, cycle="W")
+        assert np.allclose(qg, q_serial, rtol=1e-10, atol=1e-13)
+
+    def test_single_level_smoothing_unchanged(self, nsu3d_solver):
+        """Pre-refactor pin: the historical smoothing-only constructor
+        still reproduces the serial smoother exactly."""
+        ctx = nsu3d_solver.contexts[0]
+        qinf = freestream(0.5, nvar=5)
+        pn = ParallelNSU3D(ctx, qinf, nparts=3)
+        qg, hist = pn.run(SimMPI(3), ncycles=3, cfl=5.0)
+        qs = apply_wall_bc(ctx, np.tile(qinf, (ctx.npoints, 1)))
+        for _ in range(3):
+            qs = smooth(ctx, qs, qinf, cfl=5.0, nsteps=1, turbulence=False)
+        assert np.allclose(qg, qs, rtol=1e-10, atol=1e-13)
+        assert hist[-1] < hist[0]
+
+    def test_turbulent_solver_rejected(self):
+        mesh = bump_channel(ni=8, nj=4, nk=6, wall_spacing=5e-3, ratio=1.3,
+                            bump_height=0.03)
+        s = NSU3DSolver(mesh=mesh, mg_levels=2, turbulence=True)
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            ParallelNSU3D.from_solver(s, 2)
+
+
+class TestCart3DMultigridParity:
+    @pytest.mark.parametrize("nparts", [1, 2, 4])
+    @pytest.mark.parametrize("cycle", ["V", "W"])
+    def test_ranks_and_cycles(self, cart3d_solver, nparts, cycle):
+        ref = cart3d_serial(cart3d_solver, 3, cycle)
+        pc = ParallelCart3D.from_solver(cart3d_solver, nparts)
+        qg, hist = pc.run(SimMPI(nparts), 3, cfl=CFL_CART3D, cycle=cycle)
+        assert np.allclose(qg, ref, rtol=1e-10, atol=1e-13)
+        assert len(hist) == 3 and np.isfinite(hist).all()
+
+    @pytest.mark.parametrize("overlap", [False, True])
+    def test_overlap_modes(self, cart3d_solver, overlap):
+        ref = cart3d_serial(cart3d_solver, 3, "W")
+        pc = ParallelCart3D.from_solver(cart3d_solver, 4, overlap=overlap)
+        qg, _ = pc.run(SimMPI(4), 3, cfl=CFL_CART3D, cycle="W")
+        assert np.allclose(qg, ref, rtol=1e-10, atol=1e-13)
+
+    def test_hybrid_partitions_per_process(self, cart3d_solver):
+        ref = cart3d_serial(cart3d_solver, 3, "W")
+        pc = ParallelCart3D.from_solver(cart3d_solver, 4)
+        qg, _ = pc.run(SimMPI(2), 3, cfl=CFL_CART3D, cycle="W")
+        assert np.allclose(qg, ref, rtol=1e-10, atol=1e-13)
+
+    def test_coarse_cfl_default_matches_historical_constant(
+        self, cart3d_solver
+    ):
+        """Satellite regression: the unified coarse-CFL policy
+        (0.75 * cfl) must reproduce the historically hard-coded 1.5
+        exactly at the default cfl=2.0 — bit-identical states."""
+        q_default = cart3d_serial(cart3d_solver, 3, "W")
+        q_pinned = np.tile(cart3d_solver.qinf,
+                           (cart3d_solver.levels[0].nflow, 1))
+        for _ in range(3):
+            q_pinned = cart3d_fas_cycle(
+                cart3d_solver.levels, cart3d_solver.transfers, q_pinned,
+                cart3d_solver.qinf, cycle="W", cfl=2.0, coarse_cfl=1.5,
+            )
+        assert np.array_equal(q_default, q_pinned)
+
+    def test_explicit_coarse_cfl_propagates_distributed(
+        self, cart3d_solver
+    ):
+        """An explicit coarse_cfl overrides the fraction on every rank."""
+        q_serial = np.tile(cart3d_solver.qinf,
+                           (cart3d_solver.levels[0].nflow, 1))
+        for _ in range(2):
+            q_serial = cart3d_fas_cycle(
+                cart3d_solver.levels, cart3d_solver.transfers, q_serial,
+                cart3d_solver.qinf, cycle="W", cfl=2.0, coarse_cfl=1.0,
+            )
+        pc = ParallelCart3D.from_solver(cart3d_solver, 2)
+        qg, _ = pc.run(SimMPI(2), 2, cfl=2.0, cycle="W", coarse_cfl=1.0)
+        assert np.allclose(qg, q_serial, rtol=1e-10, atol=1e-13)
+
+    def test_single_level_hierarchy_runs_full_cycles(self):
+        """A one-level hierarchy built via ``from_solver`` runs the full
+        cycle (``nu1 + nu2`` smoothing steps), exactly like the serial
+        solver's ``run_cycle`` at ``mg_levels=1`` — only the historical
+        fine-level-only constructor keeps the one-step-per-cycle
+        smoothing contract (regression for the database fill path)."""
+        sphere = Sphere(center=[0.5, 0.5, 0.5], radius=0.15)
+        s = Cart3DSolver(sphere, dim=2, base_level=4, max_level=5,
+                         mg_levels=1, mach=0.4)
+        q_serial = np.tile(s.qinf, (s.levels[0].nflow, 1))
+        for _ in range(3):
+            q_serial = cart3d_fas_cycle(
+                s.levels, s.transfers, q_serial, s.qinf, cycle="W",
+                cfl=CFL_CART3D,
+            )
+        pc = ParallelCart3D.from_solver(s, 2)
+        assert not pc.driver.smoothing_only
+        qg, _ = pc.run(SimMPI(2), 3, cfl=CFL_CART3D, cycle="W")
+        assert np.allclose(qg, q_serial, rtol=1e-10, atol=1e-13)
+
+    def test_single_level_smoothing_unchanged(self, cart3d_solver):
+        """Pre-refactor pin: the historical smoothing-only constructor
+        still reproduces the serial RK smoother."""
+        level = cart3d_solver.levels[0]
+        q_serial = np.tile(cart3d_solver.qinf, (level.nflow, 1))
+        for _ in range(3):
+            q_serial = rk_smooth(level, q_serial, cart3d_solver.qinf,
+                                 cfl=2.0)
+        pc = ParallelCart3D(level, cart3d_solver.qinf, nparts=4)
+        qg, _ = pc.run(SimMPI(4), ncycles=3, cfl=2.0)
+        assert np.allclose(qg, q_serial, rtol=1e-12, atol=1e-14)
