@@ -1,6 +1,6 @@
 """Communication-correctness and code-quality analyzers.
 
-Three tools, one diagnostic vocabulary (:class:`Diagnostic`):
+Four tools, one diagnostic vocabulary (:class:`Diagnostic`):
 
 * :mod:`~repro.analysis.plancheck` — statically verify the pairwise
   consistency and schedule liveness of ``build_halos`` exchange plans;
@@ -8,13 +8,22 @@ Three tools, one diagnostic vocabulary (:class:`Diagnostic`):
   analysis over an opt-in SimMPI event trace: deadlocks, tag mismatches,
   divergent collectives, and shared-buffer races, explained immediately
   instead of hanging out the receive timeout;
+* :mod:`~repro.analysis.ghostcheck` — AST dataflow analysis of the
+  overlapped-exchange window: proves kernels never touch protected
+  ghost rows between ``start_copy`` and ``finish`` and that every
+  window closes exactly once (the static twin of the runtime
+  :class:`~repro.runtime.sanitizer.GhostSanitizer`);
 * :mod:`~repro.analysis.lint` — repo-specific AST rules (wall-clock in
   virtual-time modules, silent broad excepts, Python-level mesh loops,
-  dtype-implicit kernel allocations), runnable as
-  ``python -m repro.analysis``.
+  dtype-implicit kernel allocations, dropped/cleanup-path exchange
+  closes), runnable as ``python -m repro.analysis``.
+
+``python -m repro.analysis check`` runs the whole static battery
+(lint + ghostcheck + a plancheck self-check) with one exit code.
 """
 
 from .diagnostics import Diagnostic, errors, format_report
+from .ghostcheck import GHOST_RULES, check_file, check_paths, check_source
 from .lint import RULES, lint_file, lint_paths, lint_source
 from .plancheck import (
     check_ownership,
@@ -53,4 +62,8 @@ __all__ = [
     "lint_source",
     "lint_file",
     "lint_paths",
+    "GHOST_RULES",
+    "check_source",
+    "check_file",
+    "check_paths",
 ]

@@ -47,6 +47,21 @@ These rules encode exactly those house invariants:
   physics kernels only.  This is what keeps the "one partition → halo →
   multigrid → cycle-driver stack" claim true statically rather than by
   convention.
+* **R009 unbound-start-copy** — a ``start_copy(...)`` call used as a
+  bare expression statement: the returned
+  ``PendingExchange``/``PendingGroup`` is dropped on the floor, its
+  posted receives leak and the matching ``finish()`` can never run.
+  The deeper dataflow cousin of this rule (reads *inside* a bound
+  window) lives in :mod:`repro.analysis.ghostcheck`; R009 catches the
+  purely syntactic form everywhere, including tests and scripts.
+* **R010 finish-in-cleanup** — ``finish()`` called inside an ``except``
+  handler that never re-raises, or inside a ``finally`` block.  Since
+  ``finish()`` itself raises (:class:`~repro.errors.
+  ExchangeLifecycleError` on double-close, and it replays ghost-slot
+  writes that can fail on poisoned state), a cleanup-path call masks
+  the original error with a secondary one — exactly the failure mode
+  the durable-campaign error taxonomy exists to prevent.  Close
+  windows on the success path; in cleanup, drop the pending instead.
 
 A finding on a line containing ``noqa`` is suppressed (same idiom as
 ruff); :data:`RULES` documents each rule and the path segments it
@@ -166,6 +181,26 @@ RULES = {
             "physics kernels only"
         ),
         segments=("solvers",),
+    ),
+    "R009": Rule(
+        id="R009",
+        name="unbound-start-copy",
+        description=(
+            "start_copy(...) result discarded as a bare statement; the "
+            "pending exchange leaks and finish() can never run — bind "
+            "it, or use the blocking copy()"
+        ),
+        segments=None,
+    ),
+    "R010": Rule(
+        id="R010",
+        name="finish-in-cleanup",
+        description=(
+            "finish() inside an except handler that never re-raises or "
+            "inside a finally block; a failure there masks the original "
+            "error — close windows on the success path instead"
+        ),
+        segments=None,
     ),
 }
 
@@ -394,9 +429,73 @@ class _LintVisitor(ast.NodeVisitor):
                 )
         self.generic_visit(node)
 
+    # -- R009: start_copy result dropped on the floor --------------------------
+
+    def visit_Expr(self, node: ast.Expr) -> None:
+        if "R009" in self.rules and self._start_copy_call(node.value):
+            called_on = ast.unparse(self._start_copy_call(node.value).func)
+            self._report(
+                "R009",
+                node,
+                f"result of {called_on}(...) is discarded; bind the "
+                "pending exchange and finish() it, or use the blocking "
+                "copy() if overlap is not wanted here",
+            )
+        self.generic_visit(node)
+
+    @staticmethod
+    def _start_copy_call(expr) -> ast.Call | None:
+        if (
+            isinstance(expr, ast.Call)
+            and isinstance(expr.func, ast.Attribute)
+            and expr.func.attr == "start_copy"
+        ):
+            return expr
+        return None
+
+    # -- R010: finish() on a cleanup path --------------------------------------
+
+    def visit_Try(self, node: ast.Try) -> None:
+        if "R010" in self.rules:
+            for call in self._finish_calls(node.finalbody):
+                self._report(
+                    "R010",
+                    call,
+                    "finish() inside a finally block; if the body already "
+                    "failed, a secondary failure here (double-close, "
+                    "poisoned ghost writes) masks the original error — "
+                    "close the window on the success path",
+                )
+        self.generic_visit(node)
+
+    @staticmethod
+    def _finish_calls(stmts) -> list:
+        calls = []
+        for stmt in stmts:
+            for sub in ast.walk(stmt):
+                if (
+                    isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Attribute)
+                    and sub.func.attr == "finish"
+                ):
+                    calls.append(sub)
+        return calls
+
     # -- R002: silent broad except --------------------------------------------
 
     def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if "R010" in self.rules and not any(
+            isinstance(n, ast.Raise) for n in ast.walk(node)
+        ):
+            for call in self._finish_calls(node.body):
+                self._report(
+                    "R010",
+                    call,
+                    "finish() inside an except handler that never "
+                    "re-raises; the original failure is swallowed and a "
+                    "secondary finish() failure would mask it — re-raise "
+                    "after cleanup or drop the pending",
+                )
         broad = self._is_broad(node.type)
         caught = "bare except" if node.type is None else (
             f"except {ast.unparse(node.type)}" if node.type else "except"

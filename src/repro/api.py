@@ -76,6 +76,8 @@ from .errors import (
     CaseTimeout,
     CheckpointCorrupt,
     ConfigurationError,
+    ExchangeLifecycleError,
+    GhostRaceError,
     ReproError,
     RuntimeClosed,
     SolverDivergence,
@@ -97,6 +99,7 @@ from .runtime import (
     DistributedSolveDriver,
     DomainHierarchy,
     DomainSet,
+    GhostSanitizer,
     HybridExchanger,
     LevelSpec,
     MetisLinePartitioner,
@@ -167,6 +170,7 @@ __all__ = [
     "DistributedSolveDriver",
     "PlanExchanger",
     "HybridExchanger",
+    "GhostSanitizer",
     "ParallelNSU3D",
     "ParallelCart3D",
     "make_parallel_nsu3d",
@@ -215,6 +219,8 @@ __all__ = [
     "WorkerCrash",
     "SolverDivergence",
     "RuntimeClosed",
+    "ExchangeLifecycleError",
+    "GhostRaceError",
     # workflow + envelope
     "VariableFidelityStudy",
     "AeroInterpolant",

@@ -26,7 +26,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, ExchangeLifecycleError
 from ..telemetry.spans import span as _span
 
 
@@ -150,7 +150,10 @@ class PendingExchange:
     :meth:`ExchangePlan.start_copy`.
 
     ``finish`` waits for the posted receives, writes the ghost slots and
-    drains placeholder messages; it is idempotent.  This is the paper's
+    drains placeholder messages; it must be called **exactly once** — a
+    second call raises :class:`~repro.errors.ExchangeLifecycleError`,
+    because a double finish always means two code paths each believe
+    they own the overlap window.  This is the paper's
     overlapped-communication pattern: post sends, compute the interior,
     finish the boundary.
     """
@@ -164,7 +167,11 @@ class PendingExchange:
 
     def finish(self) -> np.ndarray:
         if self.done:
-            return self.arr
+            raise ExchangeLifecycleError(
+                f"PendingExchange.finish called twice (rank "
+                f"{self.plan.rank}, tag {self.tag}); each overlap window "
+                f"must be closed exactly once"
+            )
         self.done = True
         with _span("comm.exchange_copy_finish", cat="comm", tag=self.tag,
                    neighbors=self.plan.degree()):

@@ -97,6 +97,47 @@ class SolverDivergence(ReproError, RuntimeError):
     """A solve diverged transiently (retryable; chaos-injectable)."""
 
 
+class ExchangeLifecycleError(ReproError, RuntimeError):
+    """A pending overlapped exchange was misused — most commonly
+    ``finish()`` called twice.
+
+    A second ``finish()`` used to be silently ignored; it now raises
+    because a double finish is always a driver bug (two code paths each
+    believing they own the window), and the silent variant would mask
+    the matching *missing* finish elsewhere.
+    """
+
+
+class GhostRaceError(ReproError, RuntimeError):
+    """A kernel touched ghost state during an open overlap window.
+
+    Raised by the :class:`~repro.runtime.sanitizer.GhostSanitizer` when,
+    between ``start_copy`` and the matching ``finish()``, a kernel reads
+    ghost rows (gather/fancy indexing into the poisoned region), writes
+    the protected array, or lets the NaN canary leak into owned state.
+    Under SimMPI such an access is silently benign — ranks run
+    sequentially — but it becomes real data corruption on any backend
+    where the exchange is genuinely concurrent.
+
+    ``partition`` names the offending partition; ``span`` carries the
+    innermost open telemetry span (the kernel phase) when the global
+    tracer is enabled, so the race is attributed to the code that did
+    the read, not the exchange that detected it.
+    """
+
+    def __init__(self, detail: str, *, partition: int | None = None,
+                 span: str | None = None):
+        msg = f"ghost race: {detail}"
+        if partition is not None:
+            msg += f" [partition {partition}]"
+        if span is not None:
+            msg += f" (in telemetry span '{span}')"
+        super().__init__(msg)
+        self.detail = detail
+        self.partition = partition
+        self.span = span
+
+
 class DeadlockError(ReproError, RuntimeError):
     """A SimMPI rank blocked forever on a receive that cannot match."""
 
@@ -126,6 +167,8 @@ __all__ = [
     "CheckpointCorrupt",
     "WorkerCrash",
     "SolverDivergence",
+    "ExchangeLifecycleError",
+    "GhostRaceError",
     "DeadlockError",
     "RankFailure",
     "RuntimeClosed",

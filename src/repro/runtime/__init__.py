@@ -26,6 +26,7 @@ from .domain import (
 from .driver import DistributedSolveDriver, SolverKernels
 from .multigrid import LevelOps, effective_cfl, fas_cycle
 from .partitioners import MetisLinePartitioner, Partitioner, SFCPartitioner
+from .sanitizer import GhostSanitizer, GuardedArray, SanitizedPendingGroup
 
 __all__ = [
     "Partitioner",
@@ -46,4 +47,7 @@ __all__ = [
     "PlanExchanger",
     "HybridExchanger",
     "PendingGroup",
+    "GhostSanitizer",
+    "GuardedArray",
+    "SanitizedPendingGroup",
 ]

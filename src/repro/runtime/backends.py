@@ -12,24 +12,40 @@ compute interior, finish boundary).  The hybrid backend is already
 internally overlapped — its intra-process copies run while inter-process
 messages are in transit — so its ``start_copy`` completes eagerly and
 returns an already-finished pending.
+
+Setting ``sanitize = True`` on an exchanger arms the
+:class:`~repro.runtime.sanitizer.GhostSanitizer` for every overlap
+window it opens: ghost slots are poisoned with a NaN canary and the
+protected arrays are swapped for read-trapping guard views until the
+matching ``finish()``.
 """
 
 from __future__ import annotations
 
+from ..errors import ExchangeLifecycleError
+
 
 class PendingGroup:
-    """A batch of in-flight owner->ghost exchanges (one per partition)."""
+    """A batch of in-flight owner->ghost exchanges (one per partition).
+
+    Like the per-partition :class:`~repro.comm.exchange.PendingExchange`
+    it wraps, ``finish`` must run exactly once; a second call raises
+    :class:`~repro.errors.ExchangeLifecycleError`.
+    """
 
     def __init__(self, pendings: list):
         self.pendings = pendings
+        self.done = False
 
     def finish(self) -> None:
+        if self.done:
+            raise ExchangeLifecycleError(
+                "PendingGroup.finish called twice; each overlap window "
+                "must be closed exactly once"
+            )
+        self.done = True
         for p in self.pendings:
             p.finish()
-
-
-#: Shared terminal pending for backends that complete eagerly.
-_DONE = PendingGroup([])
 
 
 class PlanExchanger:
@@ -49,6 +65,10 @@ class PlanExchanger:
         #: when True, ``charge`` bills compute time to the virtual
         #: clock so overlap benefits show in SimMPI makespans
         self.charging = False
+        #: when True, ``start_copy`` arms the GhostSanitizer: NaN
+        #: canaries in the ghost slots plus read-trapping guard views
+        #: until the matching ``finish()``
+        self.sanitize = False
 
     def copy(self, arrays: dict, tag: int = 0) -> None:
         for pid in sorted(arrays):
@@ -58,11 +78,16 @@ class PlanExchanger:
         for pid in sorted(arrays):
             self.plans[pid].exchange_add(self.comm, arrays[pid], tag)
 
-    def start_copy(self, arrays: dict, tag: int = 0) -> PendingGroup:
-        return PendingGroup([
+    def start_copy(self, arrays: dict, tag: int = 0):
+        group = PendingGroup([
             self.plans[pid].start_copy(self.comm, arrays[pid], tag)
             for pid in sorted(arrays)
         ])
+        if self.sanitize:
+            from .sanitizer import GhostSanitizer
+
+            return GhostSanitizer(self.plans).guard(arrays, group)
+        return group
 
     def charge(self, flops: float) -> None:
         if self.charging and flops > 0.0:
@@ -79,6 +104,9 @@ class HybridExchanger:
         self.comm = comm
         self.process = process
         self.charging = False
+        #: accepted for interface symmetry; the hybrid backend has no
+        #: overlap window to sanitize (``start_copy`` completes eagerly)
+        self.sanitize = False
 
     def copy(self, arrays: dict, tag: int = 0) -> None:
         self.process.exchange_copy(self.comm, arrays, tag)
@@ -88,9 +116,11 @@ class HybridExchanger:
 
     def start_copy(self, arrays: dict, tag: int = 0) -> PendingGroup:
         # intrinsically overlapped: intra-process copies already run
-        # while inter-process messages are in flight
+        # while inter-process messages are in flight.  A fresh group per
+        # call (not a shared sentinel) keeps the exactly-once ``finish``
+        # contract enforceable.
         self.copy(arrays, tag)
-        return _DONE
+        return PendingGroup([])
 
     def charge(self, flops: float) -> None:
         if self.charging and flops > 0.0:

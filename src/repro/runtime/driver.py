@@ -152,6 +152,14 @@ class DistributedSolveDriver:
     kernel FLOPs to each rank's virtual clock so SimMPI makespans
     expose the overlap benefit.
 
+    ``sanitize=True`` arms the
+    :class:`~repro.runtime.sanitizer.GhostSanitizer` on every
+    exchanger: during each overlap window ghost slots carry a NaN
+    canary and the state arrays are swapped for read-trapping guard
+    views, so any kernel that touches ghost state before the matching
+    ``finish()`` raises :class:`~repro.errors.GhostRaceError` instead
+    of silently computing on stale data.
+
     ``smoothing_only=True`` preserves the historical single-level
     ``Parallel*`` contract — one plain smoothing step per outer cycle.
     Hierarchy-built drivers (``Parallel*.from_solver``) leave it False
@@ -161,13 +169,15 @@ class DistributedSolveDriver:
     """
 
     def __init__(self, hierarchy, kernels, qinf, *, overlap: bool = False,
-                 charge_compute: bool = False, smoothing_only: bool = False):
+                 charge_compute: bool = False, smoothing_only: bool = False,
+                 sanitize: bool = False):
         self.hierarchy = hierarchy
         self.kernels = kernels
         self.qinf = np.asarray(qinf, dtype=np.float64)
         self.overlap = overlap
         self.charge_compute = charge_compute
         self.smoothing_only = smoothing_only
+        self.sanitize = sanitize
 
     @property
     def nparts(self) -> int:
@@ -187,6 +197,7 @@ class DistributedSolveDriver:
         """
         hierarchy, kernels, qinf = self.hierarchy, self.kernels, self.qinf
         overlap, charging = self.overlap, self.charge_compute
+        sanitize = self.sanitize
         smoothing_only = self.smoothing_only
         nparts, nlevels = self.nparts, self.nlevels
         if world.nranks == nparts:
@@ -231,6 +242,7 @@ class DistributedSolveDriver:
                               for plans in exchangers]
             for x in exchangers:
                 x.charging = charging
+                x.sanitize = sanitize
             cluster_local = [
                 {p: hierarchy.cluster_local[lev][p] for p in pids}
                 for lev in range(nlevels - 1)

@@ -429,7 +429,7 @@ class ParallelCart3D:
     def __init__(self, level: Cart3DLevel, qinf: np.ndarray, nparts: int,
                  flux: str = "vanleer", *, levels: list | None = None,
                  transfers: list | None = None, overlap: bool = False,
-                 charge_compute: bool = False):
+                 charge_compute: bool = False, sanitize: bool = False):
         # the historical fine-level-only constructor runs plain
         # smoothing steps; a caller-supplied hierarchy runs full cycles
         # even when it has a single level (matching the serial solvers)
@@ -450,6 +450,7 @@ class ParallelCart3D:
         self.driver = DistributedSolveDriver(
             self.hierarchy, self.kernels, qinf, overlap=overlap,
             charge_compute=charge_compute, smoothing_only=smoothing_only,
+            sanitize=sanitize,
         )
         self.domains = self.hierarchy.levels[0].domains
         self.part = part
@@ -460,7 +461,8 @@ class ParallelCart3D:
 
     @classmethod
     def from_solver(cls, solver, nparts: int, *, overlap: bool = False,
-                    charge_compute: bool = False) -> "ParallelCart3D":
+                    charge_compute: bool = False,
+                    sanitize: bool = False) -> "ParallelCart3D":
         """Decompose a serial :class:`Cart3DSolver`'s level hierarchy.
 
         The distributed path runs first order (like the serial coarse
@@ -471,6 +473,7 @@ class ParallelCart3D:
             solver.levels[0], solver.qinf, nparts, flux=solver.flux,
             levels=solver.levels, transfers=solver.transfers,
             overlap=overlap, charge_compute=charge_compute,
+            sanitize=sanitize,
         )
 
     def run(self, world, ncycles: int, cfl: float = 2.0, *,

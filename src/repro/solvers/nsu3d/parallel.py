@@ -445,7 +445,8 @@ class ParallelNSU3D:
     def __init__(self, ctx: FlowContext, qinf: np.ndarray, nparts: int,
                  seed: int = 0, viscous: bool = True, *,
                  contexts: list | None = None, maps: list | None = None,
-                 overlap: bool = False, charge_compute: bool = False):
+                 overlap: bool = False, charge_compute: bool = False,
+                 sanitize: bool = False):
         # the historical fine-level-only constructor runs plain
         # smoothing steps; a caller-supplied hierarchy runs full cycles
         # even when it has a single level (matching the serial solvers)
@@ -474,6 +475,7 @@ class ParallelNSU3D:
         self.driver = DistributedSolveDriver(
             self.hierarchy, self.kernels, qinf, overlap=overlap,
             charge_compute=charge_compute, smoothing_only=smoothing_only,
+            sanitize=sanitize,
         )
         self.domains = self.hierarchy.levels[0].domains
         self.part = part
@@ -484,8 +486,8 @@ class ParallelNSU3D:
 
     @classmethod
     def from_solver(cls, solver, nparts: int, *, seed: int = 0,
-                    overlap: bool = False,
-                    charge_compute: bool = False) -> "ParallelNSU3D":
+                    overlap: bool = False, charge_compute: bool = False,
+                    sanitize: bool = False) -> "ParallelNSU3D":
         """Decompose a serial :class:`NSU3DSolver`'s hierarchy."""
         if solver.turbulence:
             raise ConfigurationError(
@@ -496,6 +498,7 @@ class ParallelNSU3D:
             solver.contexts[0], solver.qinf, nparts, seed=seed,
             viscous=True, contexts=solver.contexts, maps=solver.maps,
             overlap=overlap, charge_compute=charge_compute,
+            sanitize=sanitize,
         )
 
     def run(self, world, ncycles: int, cfl: float = 10.0, *,

@@ -118,6 +118,7 @@ class _LiveSpan:
             self._sid = tracer._next_sid
             tracer._next_sid += 1
         stack.append(self._sid)
+        tracer._open_names().append(self._name)
         self._t0 = tracer.now()
         return self
 
@@ -125,6 +126,7 @@ class _LiveSpan:
         tracer = self._tracer
         t1 = tracer.now()
         tracer._stack().pop()
+        tracer._open_names().pop()
         rank, thread = tracer.track()
         with tracer._lock:
             tracer.spans.append(
@@ -193,6 +195,26 @@ class Tracer:
         if stack is None:
             stack = self._local.stack = []
         return stack
+
+    def _open_names(self) -> list:
+        names = getattr(self._local, "open_names", None)
+        if names is None:
+            names = self._local.open_names = []
+        return names
+
+    def open_spans(self) -> tuple:
+        """Names of this thread's currently open spans, outermost first.
+
+        Diagnostics (the :class:`~repro.runtime.sanitizer.GhostSanitizer`
+        in particular) use this to attribute a failure to the kernel
+        phase that was executing, not the machinery that detected it.
+        """
+        return tuple(self._open_names())
+
+    def current_span(self) -> str | None:
+        """Name of this thread's innermost open span, or ``None``."""
+        names = self._open_names()
+        return names[-1] if names else None
 
     @contextmanager
     def bind(self, rank: int | None = None, thread: int | None = None,

@@ -1,0 +1,346 @@
+"""The overlap-safety race detector, both layers.
+
+Static layer (:mod:`repro.analysis.ghostcheck`): the AST dataflow pass
+must flag every way a kernel can break the ``start_copy`` … ``finish``
+contract — ghost reads mid-window, leaked or double-closed windows,
+add-reductions on in-transit arrays — while passing *clean* on the two
+shipped solvers, whose smoothers are the very pattern the analysis
+exists to police.
+
+Dynamic layer (:class:`repro.runtime.sanitizer.GhostSanitizer`): a
+planted racy kernel must die with a :class:`GhostRaceError` attributed
+to the kernel's telemetry span, while the clean kernels run the parity
+matrix untouched (that half lives in ``test_runtime_parity.py``).
+"""
+
+import numpy as np
+import pytest
+from pathlib import Path
+
+from repro import telemetry
+from repro.analysis.ghostcheck import check_paths, check_source
+from repro.comm import SimMPI, build_halos
+from repro.errors import ExchangeLifecycleError, GhostRaceError, RankFailure
+from repro.mesh.unstructured import bump_channel
+from repro.runtime import PendingGroup
+from repro.solvers.nsu3d import NSU3DSolver, ParallelNSU3D
+from repro.solvers.nsu3d.parallel import NSU3DKernels
+from repro.solvers.nsu3d.residual import residual
+
+SRC = Path(__file__).parent.parent / "src" / "repro"
+
+
+def rules(src: str) -> list:
+    return [d.rule for d in check_source(src, "t.py")]
+
+
+class TestStaticRules:
+    def test_planted_ghost_read_is_flagged(self):
+        """Acceptance fixture: a gather from a protected array between
+        start_copy and finish."""
+        diags = check_source(
+            """
+def smooth(X, qs, p):
+    pending = X.start_copy(qs, tag=7)
+    bad = qs[p] * 2.0
+    pending.finish()
+    return bad
+""",
+            "fixture.py",
+        )
+        assert [d.rule for d in diags] == ["ghost/read-in-window"]
+        assert diags[0].severity == "error"
+        assert "qs" in diags[0].message and diags[0].line == 4
+
+    def test_write_during_window_is_flagged(self):
+        assert rules(
+            """
+def f(X, qs, p):
+    pending = X.start_copy(qs, tag=1)
+    qs[p][0] = 1.0
+    pending.finish()
+"""
+        ) == ["ghost/read-in-window"]
+
+    def test_unfinished_window(self):
+        assert rules(
+            """
+def f(X, qs):
+    pending = X.start_copy(qs, tag=1)
+    return 3
+"""
+        ) == ["ghost/unfinished-window"]
+
+    def test_double_finish(self):
+        assert rules(
+            """
+def f(X, qs):
+    pending = X.start_copy(qs, tag=1)
+    pending.finish()
+    pending.finish()
+"""
+        ) == ["ghost/double-finish"]
+
+    def test_dropped_pending_bare_expression(self):
+        assert rules(
+            """
+def f(X, qs):
+    X.start_copy(qs, tag=1)
+"""
+        ) == ["ghost/dropped-pending"]
+
+    def test_dropped_pending_rebind(self):
+        assert rules(
+            """
+def f(X, qs):
+    pending = X.start_copy(qs, tag=1)
+    pending = X.start_copy(qs, tag=2)
+    pending.finish()
+"""
+        ) == ["ghost/dropped-pending"]
+
+    def test_add_reduction_in_window(self):
+        assert rules(
+            """
+def f(X, qs):
+    pending = X.start_copy(qs, tag=1)
+    X.add(qs, tag=2)
+    pending.finish()
+"""
+        ) == ["ghost/add-in-window"]
+
+    def test_noqa_suppresses(self):
+        assert rules(
+            """
+def f(X, qs, p):
+    pending = X.start_copy(qs, tag=1)
+    bad = qs[p] * 2.0  # noqa: deliberate race fixture
+    pending.finish()
+"""
+        ) == []
+
+
+class TestBlessedIdioms:
+    """The patterns the shipped kernels use must analyze race-free."""
+
+    def test_guarded_finish_loop(self):
+        """The smoothers' carry-a-pending-across-stages shape."""
+        assert rules(
+            """
+def f(X, qs, overlap):
+    pending = None
+    for step in range(3):
+        if pending is not None:
+            pending.finish()
+            pending = None
+        if overlap:
+            pending = X.start_copy(qs, tag=1)
+        else:
+            X.copy(qs, tag=1)
+    if pending is not None:
+        pending.finish()
+"""
+        ) == []
+
+    def test_cross_iteration_read_is_caught(self):
+        """Opening at the bottom of an iteration races the read at the
+        top of the next one — the loop body must be analyzed twice."""
+        assert rules(
+            """
+def f(X, qs, p):
+    pending = None
+    for step in range(3):
+        r = qs[p] + 1.0
+        if pending is not None:
+            pending.finish()
+        pending = X.start_copy(qs, tag=1)
+    pending.finish()
+"""
+        ) == ["ghost/read-in-window"]
+
+    def test_interior_split_context_blesses_reads(self):
+        assert rules(
+            """
+def f(X, qs, dom, p):
+    pending = X.start_copy(qs, tag=1)
+    interior, _ghost = _split_faces(dom)
+    r = residual(interior, qs[p])
+    pending.finish()
+"""
+        ) == []
+
+    def test_owned_bounded_slice_blesses_reads(self):
+        assert rules(
+            """
+def f(X, qs, dom, p):
+    pending = X.start_copy(qs, tag=1)
+    r = qs[p][: dom.nowned] * 2.0
+    pending.finish()
+"""
+        ) == []
+
+    def test_returned_pending_escapes(self):
+        assert rules(
+            """
+def f(X, qs):
+    pending = X.start_copy(qs, tag=1)
+    return pending
+"""
+        ) == []
+
+
+class TestInterprocedural:
+    """Passing an open pending into a helper transfers the obligation:
+    the helper is re-analyzed with the window mapped onto its params —
+    exactly how ``smooth`` hands off to ``_completed_residual``."""
+
+    HELPER_OK = """
+def f(self, X, qs, dom):
+    pending = X.start_copy(qs, tag=1)
+    r = self._helper(dom, qs, pending)
+    pending = None
+    return r
+
+def _helper(self, dom, qs, pending):
+    interior, _ghost = _split_faces(dom)
+    r1 = residual(interior, qs)
+    pending.finish()
+    _interior, ghost = _split_faces(dom)
+    r2 = residual(ghost, qs)
+    return r1 + r2
+"""
+
+    HELPER_RACY = """
+def f(self, X, qs, dom):
+    pending = X.start_copy(qs, tag=1)
+    r = self._helper(dom, qs, pending)
+    pending = None
+    return r
+
+def _helper(self, dom, qs, pending):
+    r1 = residual(dom, qs)
+    pending.finish()
+    return r1
+"""
+
+    def test_clean_helper_passes(self):
+        assert rules(self.HELPER_OK) == []
+
+    def test_racy_helper_is_flagged(self):
+        diags = check_source(self.HELPER_RACY, "t.py")
+        assert [d.rule for d in diags] == ["ghost/read-in-window"]
+        # the finding lands inside the helper, at the racy read
+        assert diags[0].line == 9
+
+
+class TestShippedSourceIsClean:
+    """Acceptance: the analysis proves the real kernels and the runtime
+    overlap machinery race-free — zero findings, not zero coverage."""
+
+    def test_solver_kernels_and_runtime_pass(self):
+        paths = [
+            SRC / "solvers" / "nsu3d" / "parallel.py",
+            SRC / "solvers" / "cart3d" / "parallel.py",
+            SRC / "runtime" / "backends.py",
+            SRC / "runtime" / "driver.py",
+            SRC / "runtime" / "sanitizer.py",
+        ]
+        for p in paths:
+            assert p.exists(), p
+        assert check_paths(paths) == []
+
+    def test_whole_tree_passes(self):
+        assert check_paths([SRC]) == []
+
+
+# -- dynamic layer -------------------------------------------------------------
+
+
+class RacyNSU3DKernels(NSU3DKernels):
+    """Planted race: evaluates the *full-context* residual (which
+    gathers ghost rows) while the exchange is still in flight, then
+    finishes — numerically near-identical under SimMPI, which is why
+    only the sanitizer can catch it."""
+
+    def _completed_residual(self, X, doms, qs, forcing, pending):
+        if pending is None:
+            return super()._completed_residual(X, doms, qs, forcing,
+                                               pending)
+        rs = {
+            p: residual(dom.ctx, qs[p], self.qinf, turbulence=False,  # noqa
+                        viscous=self.viscous)
+            for p, dom in doms.items()
+        }
+        pending.finish()
+        X.add(rs, tag=1)
+        out = {}
+        for p, dom in doms.items():
+            r = rs[p]
+            r[dom.nowned:] = 0.0
+            out[p] = r
+        return out
+
+
+@pytest.fixture(scope="module")
+def small_nsu3d():
+    mesh = bump_channel(ni=8, nj=4, nk=6, wall_spacing=5e-3, ratio=1.3,
+                        bump_height=0.03)
+    return NSU3DSolver(mesh=mesh, mach=0.5, mg_levels=2, turbulence=False,
+                       cfl=8.0)
+
+
+class TestGhostSanitizerRuntime:
+    def test_planted_race_raises_with_span_attribution(self, small_nsu3d):
+        """Acceptance: the sanitizer converts the silent race into a
+        GhostRaceError naming the partition and the kernel span."""
+        pn = ParallelNSU3D.from_solver(small_nsu3d, 4, overlap=True,
+                                       sanitize=True)
+        pn.driver.kernels = RacyNSU3DKernels(small_nsu3d.qinf,
+                                             viscous=True)
+        with telemetry.capture():
+            with pytest.raises(RankFailure) as exc_info:
+                pn.run(SimMPI(4), 2, cfl=8.0, cycle="W")
+        cause = exc_info.value.__cause__
+        assert isinstance(cause, GhostRaceError)
+        assert "ghost race" in str(cause)
+        assert cause.partition is not None
+        assert cause.span == "nsu3d.residual"
+
+    def test_racy_kernels_pass_silently_without_sanitizer(self,
+                                                          small_nsu3d):
+        """The control: unsanitized, the planted race is *benign* under
+        SimMPI's shared memory — which is exactly why the guard exists."""
+        pn = ParallelNSU3D.from_solver(small_nsu3d, 4, overlap=True)
+        pn.driver.kernels = RacyNSU3DKernels(small_nsu3d.qinf,
+                                             viscous=True)
+        qg, hist = pn.run(SimMPI(4), 2, cfl=8.0, cycle="W")
+        assert np.isfinite(qg).all() and np.isfinite(hist).all()
+
+
+class TestExchangeLifecycle:
+    def test_pending_group_double_finish_raises(self):
+        group = PendingGroup([])
+        group.finish()
+        with pytest.raises(ExchangeLifecycleError):
+            group.finish()
+
+    def test_plan_pending_double_finish_raises(self):
+        nvert = 16
+        edges = np.array(
+            [(i, i + 1) for i in range(nvert - 1)], dtype=np.int64
+        )
+        part = (np.arange(nvert) * 2) // nvert
+        halos = build_halos(nvert, edges, part)
+
+        def body(comm):
+            h = halos[comm.rank]
+            arr = np.zeros((h.nlocal, 1))
+            pending = h.plan.start_copy(comm, arr, tag=3)
+            pending.finish()
+            try:
+                pending.finish()
+            except ExchangeLifecycleError as exc:
+                return "raised" if "twice" in str(exc) else "wrong-msg"
+            return "no-raise"
+
+        assert SimMPI(2).run(body) == ["raised", "raised"]

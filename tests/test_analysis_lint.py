@@ -327,6 +327,83 @@ class TestDistributedMachineryRule:
         assert diags == []
 
 
+class TestUnboundStartCopyRule:
+    def test_bare_start_copy_statement_flagged(self):
+        src = "def f(X, qs):\n    X.start_copy(qs, tag=1)\n"
+        diags = diags_for(src, "src/repro/runtime/mod.py")
+        assert [d.rule for d in diags] == ["R009"]
+        assert "discarded" in diags[0].message
+
+    def test_bound_start_copy_passes(self):
+        src = (
+            "def f(X, qs):\n"
+            "    pending = X.start_copy(qs, tag=1)\n"
+            "    pending.finish()\n"
+        )
+        assert diags_for(src, "src/repro/runtime/mod.py") == []
+
+    def test_applies_tree_wide(self):
+        # R009 has no segment scoping: a leaked pending in a test or
+        # script is just as lost as one in a kernel
+        src = "plan.start_copy(comm, arr, tag=2)\n"
+        diags = diags_for(src, "tests/test_something.py")
+        assert [d.rule for d in diags] == ["R009"]
+
+    def test_noqa_suppresses(self):
+        src = "X.start_copy(qs, tag=1)  # noqa: fire-and-forget fixture\n"
+        assert diags_for(src, "src/repro/runtime/mod.py") == []
+
+
+class TestFinishInCleanupRule:
+    def test_finish_in_finally_flagged(self):
+        src = (
+            "def f(X, qs):\n"
+            "    pending = X.start_copy(qs, tag=1)\n"
+            "    try:\n"
+            "        g(qs)\n"
+            "    finally:\n"
+            "        pending.finish()\n"
+        )
+        diags = diags_for(src, "src/repro/runtime/mod.py",
+                          select={"R010"})
+        assert [d.rule for d in diags] == ["R010"]
+        assert "finally" in diags[0].message
+
+    def test_finish_in_swallowing_except_flagged(self):
+        src = (
+            "def f(pending, qs):\n"
+            "    try:\n"
+            "        g(qs)\n"
+            "    except ValueError:\n"
+            "        pending.finish()\n"
+        )
+        diags = diags_for(src, "src/repro/runtime/mod.py",
+                          select={"R010"})
+        assert [d.rule for d in diags] == ["R010"]
+
+    def test_finish_in_reraising_except_passes(self):
+        src = (
+            "def f(pending, qs):\n"
+            "    try:\n"
+            "        g(qs)\n"
+            "    except ValueError:\n"
+            "        pending.finish()\n"
+            "        raise\n"
+        )
+        assert diags_for(src, "src/repro/runtime/mod.py",
+                         select={"R010"}) == []
+
+    def test_finish_on_success_path_passes(self):
+        src = (
+            "def f(X, qs):\n"
+            "    pending = X.start_copy(qs, tag=1)\n"
+            "    g(qs)\n"
+            "    pending.finish()\n"
+        )
+        assert diags_for(src, "src/repro/runtime/mod.py",
+                         select={"R010"}) == []
+
+
 class TestRunner:
     def test_select_filters_rules(self):
         src = (

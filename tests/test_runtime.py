@@ -7,7 +7,7 @@ from repro.analysis.plancheck import check_plans
 from repro.comm import SimMPI, build_halos
 from repro.comm.exchange import PendingExchange
 from repro.comm.hybrid import HybridProcess, partition_owners
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ExchangeLifecycleError
 from repro.mesh.unstructured import build_dual, bump_channel, extract_lines
 from repro.runtime import (
     DistributedSolveDriver,
@@ -270,7 +270,8 @@ class TestPendingExchange:
                     pending = h.plan.start_copy(comm, arr, tag=5)
                     assert isinstance(pending, PendingExchange)
                     pending.finish()
-                    pending.finish()  # idempotent
+                    with pytest.raises(ExchangeLifecycleError):
+                        pending.finish()  # each window closes exactly once
                 else:
                     h.plan.exchange_copy(comm, arr, tag=5)
                 return arr

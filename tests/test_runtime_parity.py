@@ -76,10 +76,16 @@ class TestNSU3DMultigridParity:
         assert np.allclose(qg, ref, rtol=1e-10, atol=1e-13)
         assert len(hist) == 2 and np.isfinite(hist).all()
 
+    @pytest.mark.parametrize("sanitize", [False, True])
     @pytest.mark.parametrize("overlap", [False, True])
-    def test_overlap_modes(self, nsu3d_solver, overlap):
+    def test_overlap_modes(self, nsu3d_solver, overlap, sanitize):
+        """Parity in all overlap modes; with ``sanitize=True`` the
+        GhostSanitizer arms NaN canaries + guard views on every window,
+        so passing also proves the sanitizer raises no false positives
+        and leaves results bit-compatible."""
         ref = nsu3d_serial(nsu3d_solver, 2, "W")
-        pn = ParallelNSU3D.from_solver(nsu3d_solver, 4, overlap=overlap)
+        pn = ParallelNSU3D.from_solver(nsu3d_solver, 4, overlap=overlap,
+                                       sanitize=sanitize)
         qg, _ = pn.run(SimMPI(4), 2, cfl=CFL_NSU3D, cycle="W")
         assert np.allclose(qg, ref, rtol=1e-10, atol=1e-13)
 
@@ -155,10 +161,14 @@ class TestCart3DMultigridParity:
         assert np.allclose(qg, ref, rtol=1e-10, atol=1e-13)
         assert len(hist) == 3 and np.isfinite(hist).all()
 
+    @pytest.mark.parametrize("sanitize", [False, True])
     @pytest.mark.parametrize("overlap", [False, True])
-    def test_overlap_modes(self, cart3d_solver, overlap):
+    def test_overlap_modes(self, cart3d_solver, overlap, sanitize):
+        """Parity in all overlap modes, with and without the
+        GhostSanitizer armed (zero-false-positive gate)."""
         ref = cart3d_serial(cart3d_solver, 3, "W")
-        pc = ParallelCart3D.from_solver(cart3d_solver, 4, overlap=overlap)
+        pc = ParallelCart3D.from_solver(cart3d_solver, 4, overlap=overlap,
+                                        sanitize=sanitize)
         qg, _ = pc.run(SimMPI(4), 3, cfl=CFL_CART3D, cycle="W")
         assert np.allclose(qg, ref, rtol=1e-10, atol=1e-13)
 
