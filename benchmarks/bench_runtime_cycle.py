@@ -11,9 +11,15 @@ Two measurements per solver, written to ``results/runtime_cycle.*``:
   FLOPs charged to each rank's virtual clock (``charge_compute=True``),
   the posted-send / compute-interior / finish-boundary mode (paper
   fig. 7) should shave the exchange latency that the blocking mode
-  serializes.
+  serializes;
+* **real wall clock under ``backend="process"``** — the same cycles on
+  a spawned worker pool at 1/2/4 workers.  Unlike the SimMPI columns
+  this is true concurrency, so on a machine with >= 4 cores the 4-worker
+  column must beat the 1-worker column (``speedup`` in the JSON).
+  Pool spawn is excluded from the timing (a warm-up solve runs first).
 """
 
+import os
 import time
 
 import numpy as np
@@ -22,6 +28,7 @@ from conftest import save_result
 from repro.comm import SimMPI
 from repro.mesh.cartesian import Sphere
 from repro.mesh.unstructured import bump_channel
+from repro.runtime import RuntimeConfig
 from repro.solvers.cart3d import Cart3DSolver, ParallelCart3D
 from repro.solvers.cart3d import fas_cycle as cart3d_fas_cycle
 from repro.solvers.nsu3d import NSU3DSolver, ParallelNSU3D
@@ -29,6 +36,7 @@ from repro.solvers.nsu3d import fas_cycle as nsu3d_fas_cycle
 
 NPARTS = 4
 NCYCLES = 3
+PROCESS_WORKERS = (1, 2, 4)
 
 
 def _wall(fn) -> float:
@@ -56,6 +64,23 @@ def _measure(name, serial_cycle, make_parallel):
         par.run(world, NCYCLES, cfl=par_cfl(name))
         makespans[label] = world.max_clock()
     return rows, makespans
+
+
+def _measure_process(name, make_process):
+    """Wall time per cycle on the spawned worker pool, per worker count.
+
+    The pool persists across ``solve`` calls, so the warm-up solve both
+    spawns the workers and primes their caches; only the second solve
+    is timed.
+    """
+    rows = {}
+    for nworkers in PROCESS_WORKERS:
+        with make_process(nworkers) as par:
+            par.solve(1, cfl=par_cfl(name))  # spawn + warm-up, untimed
+            rows[f"process_{nworkers}"] = _wall(
+                lambda: par.solve(NCYCLES, cfl=par_cfl(name))
+            )
+    return rows
 
 
 def par_cfl(name: str) -> float:
@@ -88,13 +113,29 @@ def test_runtime_cycle_cost():
     results = {}
     results["nsu3d"] = _measure(
         "nsu3d", nsu3d_cycle,
-        lambda overlap: ParallelNSU3D.from_solver(ns, NPARTS,
-                                                  overlap=overlap),
+        lambda overlap: ParallelNSU3D.from_solver(
+            ns, NPARTS, config=RuntimeConfig(overlap=overlap),
+        ),
     )
     results["cart3d"] = _measure(
         "cart3d", cart3d_cycle,
-        lambda overlap: ParallelCart3D.from_solver(c3, NPARTS,
-                                                   overlap=overlap),
+        lambda overlap: ParallelCart3D.from_solver(
+            c3, NPARTS, config=RuntimeConfig(overlap=overlap),
+        ),
+    )
+
+    process = {}
+    process["nsu3d"] = _measure_process(
+        "nsu3d",
+        lambda nw: ParallelNSU3D.from_solver(
+            ns, nw, config=RuntimeConfig(backend="process"),
+        ),
+    )
+    process["cart3d"] = _measure_process(
+        "cart3d",
+        lambda nw: ParallelCart3D.from_solver(
+            c3, nw, config=RuntimeConfig(backend="process"),
+        ),
     )
 
     lines = [
@@ -102,26 +143,36 @@ def test_runtime_cycle_cost():
         f"({NPARTS} partitions, W-cycle, {NCYCLES}-cycle average)",
         "",
         f"{'solver':<8} {'serial s/cyc':>13} {'parallel s/cyc':>15} "
-        f"{'overlap s/cyc':>14} {'virt blocking':>14} {'virt overlap':>13}",
+        f"{'overlap s/cyc':>14} {'virt blocking':>14} {'virt overlap':>13} "
+        f"{'proc x1':>9} {'proc x2':>9} {'proc x4':>9} {'speedup':>8}",
     ]
     data = {}
     for name, (rows, makespans) in results.items():
+        proc = process[name]
+        speedup = proc["process_1"] / proc["process_4"]
         lines.append(
             f"{name:<8} {rows['serial']:>13.4f} {rows['parallel']:>15.4f} "
             f"{rows['overlap']:>14.4f} {makespans['blocking']:>14.6f} "
-            f"{makespans['overlap']:>13.6f}"
+            f"{makespans['overlap']:>13.6f} {proc['process_1']:>9.4f} "
+            f"{proc['process_2']:>9.4f} {proc['process_4']:>9.4f} "
+            f"{speedup:>8.2f}"
         )
         data[name] = {
             "wall_per_cycle": rows,
             "virtual_makespan": makespans,
+            "process_wall_per_cycle": proc,
+            "speedup": speedup,
             "nparts": NPARTS,
         }
+    data["cpu_count"] = os.cpu_count()
     lines += [
         "",
         "wall columns: same kernel work, SimMPI ranks run sequentially "
         "in-process, so parallel/serial measures stack overhead;",
         "virtual columns: calibrated FLOPs charged to rank clocks — "
-        "overlap hides exchange latency behind interior compute.",
+        "overlap hides exchange latency behind interior compute;",
+        "proc columns: real wall clock on the spawned worker pool "
+        f"(speedup = proc x1 / proc x4; cpu_count={os.cpu_count()}).",
     ]
     save_result("runtime_cycle", "\n".join(lines), data=data)
 
@@ -131,3 +182,9 @@ def test_runtime_cycle_cost():
         assert rows["parallel"] < rows["serial"] * 25, name
         # overlap must never make the virtual makespan worse
         assert makespans["overlap"] <= makespans["blocking"] * 1.001, name
+        # real concurrency must pay off once there are cores to use it
+        if (os.cpu_count() or 1) >= 4:
+            assert data[name]["speedup"] > 1.0, (
+                f"{name}: process backend shows no wall-clock speedup "
+                f"on {os.cpu_count()} cores"
+            )

@@ -62,6 +62,13 @@ These rules encode exactly those house invariants:
   the original error with a secondary one — exactly the failure mode
   the durable-campaign error taxonomy exists to prevent.  Close
   windows on the success path; in cleanup, drop the pending instead.
+* **R011 exchanger-construction-outside-runtime** — direct
+  ``PlanExchanger``/``HybridExchanger``/``ProcessExchanger``
+  construction anywhere outside :mod:`repro.runtime`.  Exchangers come
+  from :func:`repro.runtime.make_exchanger` (or ``RuntimeConfig``
+  backend selection in the driver) so the lifecycle flags
+  (``charging``/``sanitize``) and backend semantics stay uniform; the
+  runtime package itself is the factory's home and is exempt.
 
 A finding on a line containing ``noqa`` is suppressed (same idiom as
 ruff); :data:`RULES` documents each rule and the path segments it
@@ -97,12 +104,15 @@ DTYPE_ALLOCATORS = {"empty": 1, "zeros": 1, "ones": 1, "full": 2}
 @dataclass(frozen=True)
 class Rule:
     """One lint rule: identity, rationale, and the path segments (package
-    directory names) it applies to — ``None`` means the whole tree."""
+    directory names) it applies to — ``None`` means the whole tree.
+    ``exclude`` names segments carved *out* of the rule's scope (the
+    rule applies everywhere its ``segments`` say, except there)."""
 
     id: str
     name: str
     description: str
     segments: tuple | None
+    exclude: tuple | None = None
 
 
 RULES = {
@@ -202,6 +212,24 @@ RULES = {
         ),
         segments=None,
     ),
+    "R011": Rule(
+        id="R011",
+        name="exchanger-construction-outside-runtime",
+        description=(
+            "direct *Exchanger construction outside repro.runtime; route "
+            "through repro.runtime.make_exchanger (or RuntimeConfig "
+            "backend selection) so lifecycle flags stay uniform"
+        ),
+        segments=None,
+        exclude=("runtime",),
+    ),
+}
+
+#: Exchanger classes whose construction R011 routes through the factory.
+R011_EXCHANGER_CLASSES = {
+    "PlanExchanger",
+    "HybridExchanger",
+    "ProcessExchanger",
 }
 
 #: Solver classes whose construction R005 routes through the facade,
@@ -240,7 +268,8 @@ def active_rules(path: Path, select=None) -> list[Rule]:
     rules = [
         r
         for r in RULES.values()
-        if r.segments is None or parts.intersection(r.segments)
+        if (r.segments is None or parts.intersection(r.segments))
+        and not (r.exclude and parts.intersection(r.exclude))
     ]
     if path.name == "__main__.py":
         # CLI entry points print by design; R006 polices hot paths only
@@ -426,6 +455,17 @@ class _LintVisitor(ast.NodeVisitor):
                     f"direct {cls}(...) construction inside the database "
                     f"package; go through {FACADE_SOLVERS[cls]} so every "
                     "runtime-built solver shares the audited facade path",
+                )
+        if "R011" in self.rules and qual is not None:
+            cls = qual.rpartition(".")[2]
+            if cls in R011_EXCHANGER_CLASSES:
+                self._report(
+                    "R011",
+                    node,
+                    f"direct {cls}(...) construction outside repro.runtime; "
+                    "route through repro.runtime.make_exchanger (or "
+                    "RuntimeConfig backend selection) so lifecycle flags "
+                    "stay uniform",
                 )
         self.generic_visit(node)
 

@@ -95,6 +95,7 @@ from .mesh.unstructured import HybridMesh, bump_channel, wing_mesh
 from .comm import SimMPI
 from .perf import fill_summary_table, format_comparison, format_series_table
 from .runtime import (
+    BACKENDS,
     DistributedDomain,
     DistributedSolveDriver,
     DomainHierarchy,
@@ -105,9 +106,13 @@ from .runtime import (
     MetisLinePartitioner,
     Partitioner,
     PlanExchanger,
+    ProcessExchanger,
+    ProcessPool,
+    RuntimeConfig,
     SFCPartitioner,
     build_domain_hierarchy,
     build_domain_set,
+    make_exchanger,
 )
 from .solvers import (
     CaseResult,
@@ -143,7 +148,13 @@ from .telemetry import (
 #: 5.0 added the unified distributed-solve runtime surface
 #: (``Partitioner``/``DistributedDomain``/``DistributedSolveDriver``,
 #: the ``make_parallel_*`` factories and ``SimMPI``).
-__api_version__ = "5.0"
+#: 6.0 added unified backend selection (``RuntimeConfig`` +
+#: ``backend="sim" | "hybrid" | "process"`` across ``make_parallel_*``,
+#: ``Parallel*`` and ``Cart3DCaseRunner``), the real multi-core
+#: ``process`` backend (``ProcessExchanger``/``ProcessPool``) and the
+#: ``make_exchanger`` factory; the bare ``overlap``/``charge_compute``/
+#: ``sanitize``/``nranks`` keywords are deprecated.
+__api_version__ = "6.0"
 
 __all__ = [
     # solvers — unified surface
@@ -168,8 +179,13 @@ __all__ = [
     "build_domain_set",
     "build_domain_hierarchy",
     "DistributedSolveDriver",
+    "BACKENDS",
+    "RuntimeConfig",
     "PlanExchanger",
     "HybridExchanger",
+    "ProcessExchanger",
+    "ProcessPool",
+    "make_exchanger",
     "GhostSanitizer",
     "ParallelNSU3D",
     "ParallelCart3D",
@@ -320,20 +336,26 @@ def make_parallel_nsu3d(
     nparts: int,
     *,
     seed: int = 0,
-    overlap: bool = False,
-    charge_compute: bool = False,
+    config: RuntimeConfig | None = None,
+    backend: str | None = None,
+    overlap: bool | None = None,
+    charge_compute: bool | None = None,
+    sanitize: bool | None = None,
 ) -> ParallelNSU3D:
     """Decompose a serial NSU3D solver for the distributed runtime.
 
-    The returned facade runs the full multigrid hierarchy on a
-    :class:`SimMPI` world (``.run(world, ncycles, ...)``) with optional
-    overlapped ghost exchange (paper fig. 7).  The solver must be built
-    with ``turbulence=False`` — the SA source terms need distributed
-    nodal gradients and stay serial.
+    Execution is selected by ``config=RuntimeConfig(...)`` (or the
+    ``backend="sim" | "hybrid" | "process"`` shorthand): call
+    ``.solve(ncycles, ...)`` for the config-driven path, or
+    ``.run(world, ncycles, ...)`` with your own :class:`SimMPI` world.
+    The bare ``overlap``/``charge_compute``/``sanitize`` keywords are
+    deprecated spellings of the config fields.  The solver must be
+    built with ``turbulence=False`` — the SA source terms need
+    distributed nodal gradients and stay serial.
     """
     return ParallelNSU3D.from_solver(
-        solver, nparts, seed=seed, overlap=overlap,
-        charge_compute=charge_compute,
+        solver, nparts, seed=seed, config=config, backend=backend,
+        overlap=overlap, charge_compute=charge_compute, sanitize=sanitize,
     )
 
 
@@ -341,15 +363,23 @@ def make_parallel_cart3d(
     solver: Cart3DSolver,
     nparts: int,
     *,
-    overlap: bool = False,
-    charge_compute: bool = False,
+    config: RuntimeConfig | None = None,
+    backend: str | None = None,
+    overlap: bool | None = None,
+    charge_compute: bool | None = None,
+    sanitize: bool | None = None,
 ) -> ParallelCart3D:
     """Decompose a serial Cart3D solver for the distributed runtime.
 
-    SFC-segment partitioning of the whole level hierarchy; the returned
-    facade runs distributed FAS cycles on a :class:`SimMPI` world with
-    optional overlapped ghost exchange (paper fig. 7).
+    SFC-segment partitioning of the whole level hierarchy.  Execution
+    is selected by ``config=RuntimeConfig(...)`` (or the
+    ``backend="sim" | "hybrid" | "process"`` shorthand): call
+    ``.solve(ncycles, ...)`` for the config-driven path, or
+    ``.run(world, ncycles, ...)`` with your own :class:`SimMPI` world.
+    The bare ``overlap``/``charge_compute``/``sanitize`` keywords are
+    deprecated spellings of the config fields.
     """
     return ParallelCart3D.from_solver(
-        solver, nparts, overlap=overlap, charge_compute=charge_compute,
+        solver, nparts, config=config, backend=backend, overlap=overlap,
+        charge_compute=charge_compute, sanitize=sanitize,
     )

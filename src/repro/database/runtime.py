@@ -929,10 +929,12 @@ class Cart3DCaseRunner:
     Solver construction goes through :func:`repro.api.make_cart3d_solver`
     — lint rule R005 keeps direct constructor calls out of this package.
 
-    ``nranks > 1`` runs each case through the unified distributed
-    runtime instead (:func:`repro.api.make_parallel_cart3d` on a
-    :class:`repro.api.SimMPI` world), with ``overlap=True`` selecting
-    the overlapped ghost-exchange mode (paper fig. 7).
+    A ``config=RuntimeConfig(...)`` (or the ``backend=`` shorthand)
+    with more than one rank runs each case through the unified
+    distributed runtime instead (:func:`repro.api.make_parallel_cart3d`
+    driven by the config, so ``backend="process"`` cases execute on
+    real worker processes).  The bare ``nranks``/``overlap`` keywords
+    are deprecated spellings of the config fields.
     """
 
     solver_name = "cart3d"
@@ -950,9 +952,13 @@ class Cart3DCaseRunner:
         converged_orders: float = 2.0,
         geometry_name: str | None = None,
         chaos=None,
-        nranks: int = 1,
-        overlap: bool = False,
+        config=None,
+        backend: str | None = None,
+        nranks: int | None = None,
+        overlap: bool | None = None,
     ):
+        from ..runtime import resolve_config
+
         self.geometry = geometry
         self.dim = dim
         self.base_level = base_level
@@ -963,8 +969,20 @@ class Cart3DCaseRunner:
         self.converged_orders = converged_orders
         self.geometry_name = geometry_name
         self.chaos = chaos
-        self.nranks = nranks
-        self.overlap = overlap
+        self.config = resolve_config(
+            config, backend, where="Cart3DCaseRunner", nranks=nranks,
+            overlap=overlap,
+        )
+        if self.config.backend != "sim" and self.config.nranks is None:
+            raise errors.ConfigurationError(
+                "Cart3DCaseRunner sizes the decomposition from the "
+                "config; give RuntimeConfig an explicit nranks for "
+                f"backend={self.config.backend!r}"
+            )
+        # historical attributes (cache keys, manifests, callers)
+        self.nranks = self.config.nranks if self.config.nranks else 1
+        self.overlap = self.config.overlap
+        self.backend = self.config.backend
         self._deflectable = {c.name for c in geometry.components}
 
     def describe(self) -> dict:
@@ -992,6 +1010,8 @@ class Cart3DCaseRunner:
         if self.nranks != 1:
             settings["nranks"] = self.nranks
             settings["overlap"] = self.overlap
+        if self.backend != "sim":
+            settings["backend"] = self.backend
         return settings
 
     def configure(self, config_params: dict):
@@ -1036,16 +1056,18 @@ class Cart3DCaseRunner:
             alpha_deg=wind.get("alpha", 0.0),
             beta_deg=wind.get("beta", 0.0),
         )
-        if self.nranks == 1:
+        if self.nranks == 1 and self.backend == "sim":
             solver.solve(ncycles=self.cycles, tol_orders=self.tol_orders)
         else:
             par = api.make_parallel_cart3d(
-                solver, self.nranks, overlap=self.overlap
+                solver, self.nranks, config=self.config
             )
-            world = api.SimMPI(self.nranks)
-            q_global, residuals = par.run(
-                world, self.cycles, cfl=solver.cfl
-            )
+            try:
+                q_global, residuals = par.solve(
+                    self.cycles, cfl=solver.cfl
+                )
+            finally:
+                par.close()
             solver.q = q_global
             solver.history.residuals.extend(residuals)
             # forces come from the final state; per-cycle force traces

@@ -13,7 +13,14 @@ Solver packages contribute only physics kernels and thin config shims
 distributed execution behind this package.
 """
 
-from .backends import HybridExchanger, PendingGroup, PlanExchanger
+from .backends import (
+    HybridExchanger,
+    PendingGroup,
+    PlanExchanger,
+    ProcessExchanger,
+    make_exchanger,
+)
+from .config import BACKENDS, RuntimeConfig, resolve_config
 from .domain import (
     DistributedDomain,
     DomainHierarchy,
@@ -23,12 +30,16 @@ from .domain import (
     build_domain_set,
     derive_coarse_partition,
 )
-from .driver import DistributedSolveDriver, SolverKernels
+from .driver import DistributedSolveDriver, SolverKernels, run_rank_cycles
 from .multigrid import LevelOps, effective_cfl, fas_cycle
 from .partitioners import MetisLinePartitioner, Partitioner, SFCPartitioner
+from .process import ProcessComm, ProcessPool, SharedLayout, WorkerSpec
 from .sanitizer import GhostSanitizer, GuardedArray, SanitizedPendingGroup
 
 __all__ = [
+    "BACKENDS",
+    "RuntimeConfig",
+    "resolve_config",
     "Partitioner",
     "MetisLinePartitioner",
     "SFCPartitioner",
@@ -44,9 +55,16 @@ __all__ = [
     "fas_cycle",
     "DistributedSolveDriver",
     "SolverKernels",
+    "run_rank_cycles",
     "PlanExchanger",
     "HybridExchanger",
+    "ProcessExchanger",
+    "make_exchanger",
     "PendingGroup",
+    "ProcessComm",
+    "ProcessPool",
+    "SharedLayout",
+    "WorkerSpec",
     "GhostSanitizer",
     "GuardedArray",
     "SanitizedPendingGroup",

@@ -1,0 +1,151 @@
+"""Unified backend selection for the distributed runtime (PR 7).
+
+One frozen :class:`RuntimeConfig` replaces the ``hybrid`` / ``overlap``
+/ ``sanitize`` / ``nranks`` keywords that were previously scattered
+across ``make_parallel_*``, the ``Parallel*`` facades and
+``Cart3DCaseRunner``.  The ``backend`` selector names the execution
+model explicitly:
+
+* ``"sim"`` — in-process :class:`~repro.comm.simmpi.SimMPI` world, one
+  simulated rank thread per partition (virtual clocks, deterministic).
+* ``"hybrid"`` — SimMPI world with fewer ranks than partitions; each
+  rank's master thread serves several partitions (paper fig. 7b).
+  Requires an explicit ``nranks < nparts``.
+* ``"process"`` — spawned ``multiprocessing`` worker pool, one OS
+  process per partition with shared-memory halo exchange: the only
+  backend whose parallelism is real wall-clock concurrency.
+
+Old keyword call sites keep working through
+:func:`resolve_config`, which folds them into a config under a
+``DeprecationWarning``.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, replace
+
+from ..errors import ConfigurationError
+
+#: The blessed backend names, in documentation order.
+BACKENDS = ("sim", "hybrid", "process")
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """How a distributed solve executes — backend, rank count, exchange
+    mode and safety rails, in one immutable value.
+
+    ``nranks=None`` defaults to one rank per partition when the config
+    is :meth:`resolve`-d against a concrete partition count.  The
+    ``hybrid`` backend needs an explicit ``nranks`` smaller than the
+    partition count; the ``process`` backend pins one worker per
+    partition.
+
+    ``charge_compute`` bills calibrated kernel FLOPs to SimMPI's
+    virtual clocks and is meaningless (and rejected) under the
+    ``process`` backend, whose clock is real.
+    """
+
+    backend: str = "sim"
+    nranks: int | None = None
+    overlap: bool = False
+    sanitize: bool = False
+    charge_compute: bool = False
+    #: per-barrier / per-reply wait before a silent worker is declared
+    #: dead (``WorkerCrash``); process backend only
+    worker_timeout: float = 120.0
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise ConfigurationError(
+                f"unknown backend {self.backend!r}; choose one of "
+                f"{BACKENDS}"
+            )
+        if self.nranks is not None and self.nranks < 1:
+            raise ConfigurationError("nranks must be >= 1")
+        if self.backend == "process" and self.charge_compute:
+            raise ConfigurationError(
+                "charge_compute bills virtual SimMPI clocks; the process "
+                "backend runs on the real clock — drop charge_compute or "
+                "use backend='sim'"
+            )
+        if self.worker_timeout <= 0:
+            raise ConfigurationError("worker_timeout must be positive")
+
+    def resolve(self, nparts: int) -> "RuntimeConfig":
+        """Validate against a concrete partition count and default
+        ``nranks`` (one rank per partition for sim/process)."""
+        nranks = self.nranks
+        if self.backend == "hybrid":
+            if nranks is None:
+                raise ConfigurationError(
+                    "the hybrid backend serves several partitions per "
+                    "rank; pass an explicit nranks < nparts"
+                )
+            if nranks >= nparts:
+                raise ConfigurationError(
+                    f"hybrid needs fewer ranks than partitions "
+                    f"(got nranks={nranks}, nparts={nparts}); use "
+                    "backend='sim' for one partition per rank"
+                )
+        elif self.backend == "process":
+            if nranks is None:
+                nranks = nparts
+            if nranks != nparts:
+                raise ConfigurationError(
+                    f"the process backend runs one worker per partition "
+                    f"(got nranks={nranks}, nparts={nparts})"
+                )
+        else:  # sim
+            if nranks is None:
+                nranks = nparts
+            if nranks != nparts:
+                raise ConfigurationError(
+                    f"backend='sim' runs one rank per partition (got "
+                    f"nranks={nranks}, nparts={nparts}); use "
+                    "backend='hybrid' for several partitions per rank"
+                )
+        return replace(self, nranks=nranks)
+
+
+def resolve_config(
+    config: RuntimeConfig | None,
+    backend: str | None = None,
+    *,
+    where: str,
+    stacklevel: int = 3,
+    **legacy: bool | int | None,
+) -> RuntimeConfig:
+    """Merge the blessed (``config``/``backend``) and deprecated
+    (bare keyword) call styles into one :class:`RuntimeConfig`.
+
+    ``legacy`` holds the historical keywords (``overlap``,
+    ``charge_compute``, ``sanitize``, ``nranks``) with ``None`` meaning
+    *not passed*.  Passing any of them warns ``DeprecationWarning``;
+    combining them with ``config=`` is an error (two sources of truth).
+    ``backend=`` alone is blessed shorthand for
+    ``RuntimeConfig(backend=...)``.
+    """
+    given = {k: v for k, v in legacy.items() if v is not None}
+    if given:
+        if config is not None:
+            raise ConfigurationError(
+                f"{where}: pass either config=RuntimeConfig(...) or the "
+                f"deprecated {sorted(given)} keyword(s), not both"
+            )
+        warnings.warn(
+            f"{where}: the {sorted(given)} keyword(s) are deprecated; "
+            f"pass config=RuntimeConfig(...) instead",
+            DeprecationWarning,
+            stacklevel=stacklevel,
+        )
+        return RuntimeConfig(backend=backend or "sim", **given)
+    if config is None:
+        return RuntimeConfig(backend=backend or "sim")
+    if backend is not None and backend != config.backend:
+        raise ConfigurationError(
+            f"{where}: backend={backend!r} conflicts with "
+            f"config.backend={config.backend!r}"
+        )
+    return config

@@ -3,15 +3,19 @@
 :class:`DistributedSolveDriver` owns everything the two historical
 ``Parallel*`` classes each reimplemented: backend selection (pure MPI
 when ranks == partitions, hybrid master-thread when ranks <
-partitions), per-rank state initialization, the cycle loop with
-telemetry spans, the distributed FAS adapter over
+partitions, real spawned workers under ``backend="process"``),
+per-rank state initialization, the cycle loop with telemetry spans,
+the distributed FAS adapter over
 :func:`repro.runtime.multigrid.fas_cycle`, residual-history collection
 and the final owned-row gather.
 
 Solver physics enters through a *kernels* object (duck-typed; see
 :class:`SolverKernels`) whose methods all operate on per-partition
-dicts, so one partition per rank (pure MPI) and many partitions per
-process (hybrid) run the same code.
+dicts, so one partition per rank (pure MPI), many partitions per
+process (hybrid) and one spawned worker per partition (process) all
+run the same code: :func:`run_rank_cycles` is the shared, picklable
+per-rank body — SimMPI rank threads call it through a closure, process
+workers import it by name after spawn.
 """
 
 from __future__ import annotations
@@ -19,9 +23,11 @@ from __future__ import annotations
 import numpy as np
 
 from ..comm.hybrid import HybridProcess, partition_owners
+from ..comm.simmpi import SimMPI
 from ..errors import ConfigurationError
 from ..telemetry.spans import get_tracer, span as _span
-from .backends import HybridExchanger, PlanExchanger
+from .backends import make_exchanger
+from .config import RuntimeConfig
 from .multigrid import fas_cycle
 
 
@@ -39,6 +45,9 @@ class SolverKernels:
     ``defect(X, doms, qs, forcing)`` (completed residual minus forcing,
     ghost rows zeroed), ``apply_correction(comm, X, doms, qs, dqs)``,
     ``residual_norm(comm, X, doms, qs)``.
+
+    Kernels objects must be picklable (plain config state only): the
+    process backend ships them to spawned workers.
     """
 
 
@@ -143,14 +152,74 @@ class _DistributedOps:
         )
 
 
+def run_rank_cycles(comm, exchangers, doms, cluster_local, kernels, *,
+                    ncycles: int, cfl: float, cycle: str = "W",
+                    nu1: int = 1, nu2: int = 1,
+                    coarse_cfl: float | None = None,
+                    overlap: bool = False, smoothing_only: bool = False):
+    """One rank's whole solve: init state, iterate cycles, slice owned.
+
+    This is the picklable body shared by every backend — SimMPI rank
+    threads (sim/hybrid) call it from the driver's closure, spawned
+    process workers import it by name.  ``doms``/``cluster_local`` are
+    per-level ``{pid: ...}`` dicts restricted to this rank's
+    partitions; returns ``(owned, history)`` where ``owned`` is a list
+    of ``(owned_global_ids, owned_rows)`` pairs.
+    """
+    pids = tuple(sorted(doms[0]))
+    qs = {p: kernels.init_state(doms[0][p]) for p in pids}
+    history = []
+    # each rank pins its identity and clock (virtual under SimMPI, wall
+    # in a worker), so spans (here and in comm.*) land on per-rank tracks
+    with get_tracer().bind(rank=comm.rank, clock=lambda: comm.clock):
+        for _ in range(ncycles):
+            with _span(f"{kernels.name}.parallel_cycle", cat="solver"):
+                if not smoothing_only:
+                    ops = _DistributedOps(
+                        comm, exchangers, doms, cluster_local, kernels,
+                        overlap,
+                    )
+                    qs = fas_cycle(
+                        ops, qs, cycle=cycle, nu1=nu1, nu2=nu2,
+                        cfl=cfl, coarse_cfl=coarse_cfl,
+                    )
+                else:
+                    qs = kernels.smooth(
+                        exchangers[0], doms[0], qs, forcing=None,
+                        cfl=cfl, nsteps=1, overlap=overlap,
+                        in_cycle=False,
+                    )
+                history.append(kernels.residual_norm(
+                    comm, exchangers[0], doms[0], qs
+                ))
+    owned = [
+        (doms[0][p].halo.owned_global, qs[p][: doms[0][p].nowned])
+        for p in pids
+    ]
+    return owned, history
+
+
 class DistributedSolveDriver:
-    """Run a domain hierarchy + kernels on a SimMPI world.
+    """Run a domain hierarchy + kernels under a selected backend.
+
+    Backend selection lives in a
+    :class:`~repro.runtime.config.RuntimeConfig` (the legacy boolean
+    keywords still work and seed an equivalent config):
+
+    * ``sim``/``hybrid`` solves run on a :class:`SimMPI` world —
+      :meth:`solve` builds it, or pass your own to :meth:`run`;
+    * ``process`` solves run on a pool of spawned workers
+      (:class:`~repro.runtime.process.ProcessPool`) launched lazily on
+      first use and reused for the driver's lifetime — call
+      :meth:`close` (or use the driver as a context manager) to tear
+      the workers down.
 
     ``overlap=True`` switches the smoothers' per-stage ghost refresh to
     the posted-send / compute-interior / finish-boundary pattern (paper
     fig. 7); ``charge_compute=True`` additionally bills calibrated
     kernel FLOPs to each rank's virtual clock so SimMPI makespans
-    expose the overlap benefit.
+    expose the overlap benefit (rejected under ``process``, whose
+    clock is real).
 
     ``sanitize=True`` arms the
     :class:`~repro.runtime.sanitizer.GhostSanitizer` on every
@@ -168,16 +237,28 @@ class DistributedSolveDriver:
     serial solvers' ``run_cycle`` at ``mg_levels=1``.
     """
 
-    def __init__(self, hierarchy, kernels, qinf, *, overlap: bool = False,
-                 charge_compute: bool = False, smoothing_only: bool = False,
-                 sanitize: bool = False):
+    def __init__(self, hierarchy, kernels, qinf, *,
+                 config: RuntimeConfig | None = None,
+                 overlap: bool = False, charge_compute: bool = False,
+                 smoothing_only: bool = False, sanitize: bool = False):
+        if config is None:
+            config = RuntimeConfig(
+                overlap=overlap, charge_compute=charge_compute,
+                sanitize=sanitize,
+            )
+        config = config.resolve(hierarchy.nparts)
         self.hierarchy = hierarchy
         self.kernels = kernels
         self.qinf = np.asarray(qinf, dtype=np.float64)
-        self.overlap = overlap
-        self.charge_compute = charge_compute
+        self.config = config
+        self.backend = config.backend
+        self.nranks = config.nranks
+        self.worker_timeout = config.worker_timeout
+        self.overlap = config.overlap
+        self.charge_compute = config.charge_compute
         self.smoothing_only = smoothing_only
-        self.sanitize = sanitize
+        self.sanitize = config.sanitize
+        self._pool = None
 
     @property
     def nparts(self) -> int:
@@ -187,15 +268,69 @@ class DistributedSolveDriver:
     def nlevels(self) -> int:
         return self.hierarchy.nlevels
 
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Tear down the worker pool (no-op for thread backends; safe
+        to call twice)."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.close()
+
+    def __enter__(self) -> "DistributedSolveDriver":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _ensure_pool(self):
+        """The live worker pool, spawning one on first use.  Workers
+        capture ``overlap``/``sanitize``/``smoothing_only`` at spawn."""
+        if self._pool is None or self._pool.closed:
+            from .process import ProcessPool
+
+            self._pool = ProcessPool(
+                self.hierarchy, self.kernels,
+                nvar=len(self.qinf),
+                overlap=self.overlap,
+                smoothing_only=self.smoothing_only,
+                sanitize=self.sanitize,
+                timeout=self.worker_timeout,
+            )
+        return self._pool
+
+    # -- solves --------------------------------------------------------------
+
+    def solve(self, ncycles: int, *, cfl: float, cycle: str = "W",
+              nu1: int = 1, nu2: int = 1,
+              coarse_cfl: float | None = None):
+        """Config-driven entry point: builds the right world for the
+        selected backend; returns (global q, history)."""
+        if self.backend == "process":
+            return self._run_process(
+                ncycles, cfl=cfl, cycle=cycle, nu1=nu1, nu2=nu2,
+                coarse_cfl=coarse_cfl,
+            )
+        return self.run(
+            SimMPI(self.nranks), ncycles, cfl=cfl, cycle=cycle, nu1=nu1,
+            nu2=nu2, coarse_cfl=coarse_cfl,
+        )
+
     def run(self, world, ncycles: int, *, cfl: float, cycle: str = "W",
             nu1: int = 1, nu2: int = 1, coarse_cfl: float | None = None):
-        """Iterate ``ncycles`` cycles; returns (global q, history).
+        """Iterate ``ncycles`` cycles on ``world``; returns
+        (global q, history).
 
         One full cycle per outer cycle (a single-level hierarchy just
         smooths ``nu1 + nu2`` steps), unless ``smoothing_only`` pins the
         historical one-step-per-cycle ``Parallel*`` contract.
         """
-        hierarchy, kernels, qinf = self.hierarchy, self.kernels, self.qinf
+        if self.backend == "process":
+            raise ConfigurationError(
+                "the process backend owns its worker world; call "
+                "solve() instead of run(world, ...)"
+            )
+        hierarchy, kernels = self.hierarchy, self.kernels
         overlap, charging = self.overlap, self.charge_compute
         sanitize = self.sanitize
         smoothing_only = self.smoothing_only
@@ -222,7 +357,7 @@ class DistributedSolveDriver:
             ]
             if hybrid:
                 exchangers = [
-                    HybridExchanger(comm, HybridProcess(
+                    make_exchanger("hybrid", comm, process=HybridProcess(
                         rank=comm.rank,
                         part_ids=pids,
                         plans={
@@ -235,11 +370,11 @@ class DistributedSolveDriver:
                 ]
             else:
                 exchangers = [
-                    {p: doms[lev][p].halo.plan for p in pids}
+                    make_exchanger("plan", comm, plans={
+                        p: doms[lev][p].halo.plan for p in pids
+                    })
                     for lev in range(nlevels)
                 ]
-                exchangers = [PlanExchanger(comm, plans)
-                              for plans in exchangers]
             for x in exchangers:
                 x.charging = charging
                 x.sanitize = sanitize
@@ -247,45 +382,28 @@ class DistributedSolveDriver:
                 {p: hierarchy.cluster_local[lev][p] for p in pids}
                 for lev in range(nlevels - 1)
             ]
-            qs = {p: kernels.init_state(doms[0][p]) for p in pids}
-            history = []
-            # each rank thread pins its identity and virtual clock, so
-            # spans (here and in comm.*) land on per-rank tracks
-            with get_tracer().bind(rank=comm.rank,
-                                   clock=lambda: comm.clock):
-                for _ in range(ncycles):
-                    with _span(f"{kernels.name}.parallel_cycle",
-                               cat="solver"):
-                        if not smoothing_only:
-                            ops = _DistributedOps(
-                                comm, exchangers, doms, cluster_local,
-                                kernels, overlap,
-                            )
-                            qs = fas_cycle(
-                                ops, qs, cycle=cycle, nu1=nu1, nu2=nu2,
-                                cfl=cfl, coarse_cfl=coarse_cfl,
-                            )
-                        else:
-                            qs = kernels.smooth(
-                                exchangers[0], doms[0], qs, forcing=None,
-                                cfl=cfl, nsteps=1, overlap=overlap,
-                                in_cycle=False,
-                            )
-                        history.append(kernels.residual_norm(
-                            comm, exchangers[0], doms[0], qs
-                        ))
-            owned = [
-                (doms[0][p].halo.owned_global,
-                 qs[p][: doms[0][p].nowned])
-                for p in pids
-            ]
-            return owned, history
+            return run_rank_cycles(
+                comm, exchangers, doms, cluster_local, kernels,
+                ncycles=ncycles, cfl=cfl, cycle=cycle, nu1=nu1, nu2=nu2,
+                coarse_cfl=coarse_cfl, overlap=overlap,
+                smoothing_only=smoothing_only,
+            )
 
         results = world.run(body)
         q_global = np.empty(
-            (hierarchy.levels[0].nglobal, len(qinf)), dtype=np.float64
+            (hierarchy.levels[0].nglobal, len(self.qinf)), dtype=np.float64
         )
         for owned, _history in results:
             for gids, q_owned in owned:
                 q_global[gids] = q_owned
         return q_global, results[0][1]
+
+    def _run_process(self, ncycles: int, *, cfl: float, cycle: str,
+                     nu1: int, nu2: int, coarse_cfl: float | None):
+        """Run one solve on the (lazily spawned, reused) worker pool."""
+        pool = self._ensure_pool()
+        q_global, history = pool.run(
+            ncycles=ncycles, cfl=cfl, cycle=cycle, nu1=nu1, nu2=nu2,
+            coarse_cfl=coarse_cfl,
+        )
+        return q_global, history

@@ -1,0 +1,496 @@
+"""Spawned worker pool for the ``process`` backend (PR 7 tentpole).
+
+This is the only execution model in the tree whose parallelism is real:
+one OS process per partition, each running
+:func:`~repro.runtime.driver.run_rank_cycles` on its own core, with
+halo traffic through a single shared float64 slab instead of simulated
+messages.  The structure follows nengo_mpi's master/worker split —
+spawn once, build-from-spec in the worker, run N steps on command,
+gather — adapted to the Exchanger protocol:
+
+* :class:`SharedLayout` carves the slab: one flat block per directed
+  neighbor pair per level (sized for the widest payload, the
+  ``nvar x nvar`` block diagonals), one ``(nranks, COLLECTIVE_CAP)``
+  collective scratch, one ``(nglobal, nvar)`` gather region.
+* :class:`WorkerSpec` is the picklable build recipe a worker receives:
+  its per-level :class:`~repro.runtime.domain.DistributedDomain` (halo
+  + payload, caches dropped), cluster maps, the kernels object, and the
+  exchange-mode flags.
+* :class:`ProcessComm` gives workers the tiny comm surface the kernels
+  use — ``rank``/``clock``/``allreduce``/``wait`` — where ``wait`` is
+  the pool-wide two-phase barrier and ``allreduce`` combines rows in
+  rank order, the same summation order as SimMPI's ``_reduce``, so the
+  parity gate holds bit-for-bit across backends.
+* :class:`ProcessPool` owns the lifecycle: spawn + ready handshake,
+  ``run`` round-trips over pipes, prompt failure detection (a dead or
+  silent worker raises :class:`~repro.errors.WorkerCrash` and aborts
+  the barrier so the survivors unwind too), idempotent ``close``.
+
+Workers run their solves under a private enabled
+:class:`~repro.telemetry.spans.Tracer` whenever the master's tracer is
+enabled, and ship the recorded spans back over the pipe; the pool
+absorbs them into the master tracer so ``python -m repro.telemetry
+report`` renders a true multi-core timeline.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import multiprocessing as mp
+import time
+import traceback
+from dataclasses import dataclass
+from multiprocessing import synchronize as mp_sync
+from multiprocessing.connection import Connection
+from multiprocessing.sharedctypes import RawArray
+from threading import BrokenBarrierError
+
+import numpy as np
+
+from ..errors import ConfigurationError, RuntimeClosed, WorkerCrash
+from ..telemetry.spans import Tracer, get_tracer, set_tracer
+from .backends import make_exchanger
+from .domain import DistributedDomain, DomainHierarchy
+
+#: Doubles of per-rank scratch for one collective; kernels reduce tiny
+#: vectors (residual norms, physicality counts), so this is generous.
+COLLECTIVE_CAP = 32
+
+
+@dataclass(frozen=True)
+class SharedLayout:
+    """Offsets into the pool's one shared float64 slab.
+
+    ``pair_offsets[(level, src, dst)]`` locates the block ``src``
+    publishes for ``dst`` on ``level`` (capacity in doubles); the
+    collective and gather regions follow the pair blocks.  Built once
+    on the master and shipped to every worker, so all processes carve
+    identical views.
+    """
+
+    pair_offsets: dict
+    coll_offset: int
+    gather_offset: int
+    gather_shape: tuple
+    nranks: int
+    total: int
+
+    @classmethod
+    def build(cls, hierarchy: DomainHierarchy, nvar: int) -> "SharedLayout":
+        # widest exchanged payload: the (nvar, nvar) smoother diagonals
+        width = nvar * nvar
+        offset = 0
+        pair_offsets = {}
+        for lev in range(hierarchy.nlevels):
+            domains = hierarchy.levels[lev].domains
+            for p in range(hierarchy.nparts):
+                plan = domains[p].halo.plan
+                for q in plan.neighbors:
+                    rows = max(
+                        len(plan.owned_slots.get(q, ())),
+                        len(plan.ghost_slots.get(q, ())),
+                    )
+                    cap = max(rows, 1) * width
+                    pair_offsets[(lev, p, q)] = (offset, cap)
+                    offset += cap
+        coll_offset = offset
+        offset += hierarchy.nparts * COLLECTIVE_CAP
+        gather_offset = offset
+        gather_shape = (hierarchy.levels[0].nglobal, nvar)
+        offset += gather_shape[0] * gather_shape[1]
+        return cls(
+            pair_offsets=pair_offsets,
+            coll_offset=coll_offset,
+            gather_offset=gather_offset,
+            gather_shape=gather_shape,
+            nranks=hierarchy.nparts,
+            total=offset,
+        )
+
+    def channels(self, buf: np.ndarray, level: int, rank: int,
+                 plan: object) -> dict:
+        """``{neighbor: (out, inbound)}`` views for one worker+level."""
+        out = {}
+        for q in plan.neighbors:
+            o_off, o_cap = self.pair_offsets[(level, rank, q)]
+            i_off, i_cap = self.pair_offsets[(level, q, rank)]
+            out[q] = (buf[o_off:o_off + o_cap], buf[i_off:i_off + i_cap])
+        return out
+
+    def coll_view(self, buf: np.ndarray) -> np.ndarray:
+        n = self.nranks * COLLECTIVE_CAP
+        return buf[self.coll_offset:self.coll_offset + n].reshape(
+            self.nranks, COLLECTIVE_CAP
+        )
+
+    def gather_view(self, buf: np.ndarray) -> np.ndarray:
+        n = self.gather_shape[0] * self.gather_shape[1]
+        return buf[self.gather_offset:self.gather_offset + n].reshape(
+            self.gather_shape
+        )
+
+
+@dataclass
+class WorkerSpec:
+    """Everything one worker needs to rebuild its share of the solve.
+
+    Must pickle cleanly for ``spawn``: domains carry only their halo
+    and payload (scratch caches are dropped on the master), kernels are
+    plain config + coefficient state.
+    """
+
+    rank: int
+    nranks: int
+    #: per level: {rank: DistributedDomain} restricted to this worker
+    doms: list
+    #: per level gap: {rank: owned-fine-row -> local coarse slot}
+    cluster_local: list
+    kernels: object
+    overlap: bool
+    smoothing_only: bool
+    sanitize: bool
+    timeout: float
+
+
+class ProcessComm:
+    """The kernels' comm surface, backed by a pool-wide barrier.
+
+    ``wait`` is one barrier phase (the exchangers call it twice per
+    collective operation: publish, consume); a broken or timed-out
+    barrier — some peer died or hung — surfaces as
+    :class:`WorkerCrash` so the whole pool unwinds instead of
+    deadlocking.  ``clock`` reads real elapsed seconds from the pool's
+    shared epoch (``time.monotonic`` is system-wide on Linux), so the
+    per-rank telemetry tracks share one time base.
+    """
+
+    def __init__(self, rank: int, nranks: int, barrier: "mp_sync.Barrier",
+                 coll: np.ndarray, timeout: float, epoch: float) -> None:
+        self.rank = rank
+        self.nranks = nranks
+        self._barrier = barrier
+        self._coll = coll
+        self._timeout = timeout
+        self._epoch = epoch
+
+    @property
+    def clock(self) -> float:
+        return time.monotonic() - self._epoch
+
+    def wait(self) -> None:
+        try:
+            self._barrier.wait(self._timeout)
+        except BrokenBarrierError:
+            raise WorkerCrash(
+                f"rank {self.rank}: pool barrier broke after "
+                f"{self._timeout:.0f}s — a peer worker died or hung"
+            ) from None
+
+    def barrier(self) -> None:
+        self.wait()
+
+    def compute(self, flops: float = 0.0, seconds: float = 0.0) -> None:
+        """No-op: worker time is real time; nothing to bill."""
+
+    def allreduce(self, value: "float | np.ndarray",
+                  op: str = "sum") -> "float | np.ndarray":
+        """Reduce scalars or same-shape small arrays across all workers.
+
+        Combines rows in ascending rank order — the same order SimMPI's
+        ``_reduce`` folds rank values — so reductions are bit-identical
+        across backends.
+        """
+        arr = np.asarray(value, dtype=np.float64)
+        flat = arr.reshape(-1)
+        if len(flat) > COLLECTIVE_CAP:
+            raise ConfigurationError(
+                f"allreduce payload of {len(flat)} doubles exceeds the "
+                f"collective scratch ({COLLECTIVE_CAP})"
+            )
+        self._coll[self.rank, :len(flat)] = flat
+        self.wait()
+        acc = self._coll[0, :len(flat)].copy()
+        for r in range(1, self.nranks):
+            row = self._coll[r, :len(flat)]
+            if op == "sum":
+                acc = acc + row
+            elif op == "max":
+                acc = np.maximum(acc, row)
+            elif op == "min":
+                acc = np.minimum(acc, row)
+            else:
+                raise ConfigurationError(f"unknown allreduce op {op!r}")
+        self.wait()
+        if arr.ndim == 0:
+            return float(acc[0])
+        return acc.reshape(arr.shape)
+
+
+def _worker_main(spec: WorkerSpec, layout: SharedLayout, raw: ctypes.Array,
+                 barrier: mp_sync.Barrier, conn: Connection,
+                 epoch: float) -> None:
+    """Worker process entry point: build from spec, then serve commands.
+
+    Pipe protocol (worker side): send ``("ready", rank)`` once built;
+    then loop on ``("run", params)`` -> ``("done", rank, history,
+    spans, instants)`` until ``("shutdown",)``.  Any failure sends
+    ``("error", rank, traceback)`` and exits.
+    """
+    from .driver import run_rank_cycles
+
+    try:
+        buf = np.frombuffer(raw, dtype=np.float64)
+        comm = ProcessComm(
+            spec.rank, spec.nranks, barrier, layout.coll_view(buf),
+            spec.timeout, epoch,
+        )
+        exchangers = []
+        for lev, doms in enumerate(spec.doms):
+            plan = doms[spec.rank].halo.plan
+            x = make_exchanger(
+                "process", comm, plans={spec.rank: plan},
+                channels=layout.channels(buf, lev, spec.rank, plan),
+            )
+            x.sanitize = spec.sanitize
+            exchangers.append(x)
+        gather = layout.gather_view(buf)
+        conn.send(("ready", spec.rank))
+        while True:
+            msg = conn.recv()
+            if msg[0] == "shutdown":
+                break
+            params = dict(msg[1])
+            trace = params.pop("trace", False)
+            tracer = set_tracer(Tracer(enabled=bool(trace)))
+            owned, history = run_rank_cycles(
+                comm, exchangers, spec.doms, spec.cluster_local,
+                spec.kernels, overlap=spec.overlap,
+                smoothing_only=spec.smoothing_only, **params,
+            )
+            for gids, rows in owned:
+                gather[gids] = rows
+            conn.send((
+                "done", spec.rank, history,
+                list(tracer.spans), list(tracer.instants),
+            ))
+    except (BrokenPipeError, EOFError):
+        pass  # master went away; nothing left to report to
+    except BaseException:  # noqa: R002 — reported to the master as WorkerCrash
+        # last handler in the process: the failure is not swallowed, it
+        # crosses the pipe and resurfaces as WorkerCrash on the master
+        try:
+            conn.send(("error", spec.rank, traceback.format_exc()))
+        except OSError:
+            pass
+    finally:
+        conn.close()
+
+
+class ProcessPool:
+    """One spawned worker per partition, alive until :meth:`close`.
+
+    Spawn cost is paid once per pool — successive :meth:`run` calls
+    reuse the warm workers (and their built domains), which is what
+    makes the wall-clock benchmark honest about steady-state cycling.
+    """
+
+    def __init__(self, hierarchy: DomainHierarchy, kernels: object, *,
+                 nvar: int, overlap: bool = False,
+                 smoothing_only: bool = False, sanitize: bool = False,
+                 timeout: float = 120.0) -> None:
+        ctx = mp.get_context("spawn")
+        self.nranks = hierarchy.nparts
+        self.timeout = float(timeout)
+        self.layout = SharedLayout.build(hierarchy, nvar)
+        self._raw = RawArray(ctypes.c_double, self.layout.total)
+        self._buf = np.frombuffer(self._raw, dtype=np.float64)
+        self._barrier = ctx.Barrier(self.nranks)
+        self._epoch = time.monotonic()
+        self._procs: list = []
+        self._conns: list = []
+        self.closed = False
+        try:
+            for rank in range(self.nranks):
+                parent, child = ctx.Pipe()
+                spec = self._make_spec(hierarchy, kernels, rank, overlap,
+                                       smoothing_only, sanitize)
+                proc = ctx.Process(
+                    target=_worker_main,
+                    args=(spec, self.layout, self._raw, self._barrier,
+                          child, self._epoch),
+                    name=f"repro-worker-{rank}",
+                    daemon=True,
+                )
+                proc.start()
+                child.close()
+                self._procs.append(proc)
+                self._conns.append(parent)
+            for rank in range(self.nranks):
+                msg = self._recv(rank)
+                if msg != ("ready", rank):
+                    raise WorkerCrash(
+                        f"worker {rank} sent {msg!r} instead of the "
+                        "ready handshake"
+                    )
+        except BaseException:
+            self._fail()
+            raise
+
+    def _make_spec(self, hierarchy: DomainHierarchy, kernels: object,
+                   rank: int, overlap: bool, smoothing_only: bool,
+                   sanitize: bool) -> WorkerSpec:
+        # fresh domains (same halo + payload, empty caches): the scratch
+        # caches can hold closures and frozen operators that don't pickle
+        doms = [
+            {rank: DistributedDomain(d.halo, d.ctx)}
+            for d in (
+                hierarchy.levels[lev].domains[rank]
+                for lev in range(hierarchy.nlevels)
+            )
+        ]
+        cluster_local = [
+            {rank: hierarchy.cluster_local[lev][rank]}
+            for lev in range(hierarchy.nlevels - 1)
+        ]
+        return WorkerSpec(
+            rank=rank, nranks=self.nranks, doms=doms,
+            cluster_local=cluster_local, kernels=kernels, overlap=overlap,
+            smoothing_only=smoothing_only, sanitize=sanitize,
+            timeout=self.timeout,
+        )
+
+    # -- failure handling ----------------------------------------------------
+
+    def _recv(self, rank: int) -> tuple:
+        """One worker's next message, or :class:`WorkerCrash` if it is
+        dead or silent past the timeout."""
+        conn, proc = self._conns[rank], self._procs[rank]
+        deadline = time.monotonic() + self.timeout
+        while True:
+            try:
+                if conn.poll(0.1):
+                    return conn.recv()
+            except (EOFError, OSError):
+                raise WorkerCrash(
+                    f"worker {rank} closed its pipe unexpectedly "
+                    f"(exit code {proc.exitcode})"
+                ) from None
+            if not proc.is_alive() and not conn.poll(0):
+                raise WorkerCrash(
+                    f"worker {rank} died (exit code {proc.exitcode})"
+                )
+            if time.monotonic() > deadline:
+                raise WorkerCrash(
+                    f"worker {rank} sent nothing for {self.timeout:.0f}s"
+                )
+
+    def _fail(self) -> None:
+        """Hard teardown after a fault: break the barrier so live
+        workers unwind, then terminate everything."""
+        self.closed = True
+        self._barrier.abort()
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+        for proc in self._procs:
+            proc.join(timeout=5.0)
+        for conn in self._conns:
+            conn.close()
+
+    # -- public surface ------------------------------------------------------
+
+    def run(self, *, ncycles: int, cfl: float, cycle: str = "W",
+            nu1: int = 1, nu2: int = 1,
+            coarse_cfl: float | None = None) -> tuple:
+        """One solve on the warm pool; returns ``(q_global, history)``."""
+        if self.closed:
+            raise RuntimeClosed(
+                "ProcessPool is closed; the driver spawns a fresh pool "
+                "on the next solve"
+            )
+        master = get_tracer()
+        params = {
+            "ncycles": ncycles, "cfl": cfl, "cycle": cycle, "nu1": nu1,
+            "nu2": nu2, "coarse_cfl": coarse_cfl, "trace": master.enabled,
+        }
+        try:
+            for conn in self._conns:
+                try:
+                    conn.send(("run", params))
+                except (BrokenPipeError, OSError):
+                    raise WorkerCrash(
+                        "a worker's pipe is gone; the pool is broken"
+                    ) from None
+            histories = self._collect(master)
+        except BaseException:
+            if not self.closed:
+                self._fail()
+            raise
+        return self.layout.gather_view(self._buf).copy(), histories[0]
+
+    def _collect(self, master: Tracer) -> dict:
+        """Drain one reply per worker, polling round-robin so an error
+        from any rank surfaces promptly (not after the slowest)."""
+        histories: dict = {}
+        pending = set(range(self.nranks))
+        deadline = time.monotonic() + self.timeout
+        while pending:
+            progressed = False
+            for rank in sorted(pending):
+                conn, proc = self._conns[rank], self._procs[rank]
+                try:
+                    has_msg = conn.poll(0.05)
+                except (EOFError, OSError):
+                    raise WorkerCrash(
+                        f"worker {rank} closed its pipe unexpectedly "
+                        f"(exit code {proc.exitcode})"
+                    ) from None
+                if has_msg:
+                    msg = conn.recv()
+                    if msg[0] == "error":
+                        raise WorkerCrash(
+                            f"worker {rank} raised:\n{msg[2]}"
+                        )
+                    _tag, _rank, history, spans, instants = msg
+                    histories[rank] = history
+                    if spans or instants:
+                        master.absorb(spans, instants)
+                    pending.discard(rank)
+                    progressed = True
+                    deadline = time.monotonic() + self.timeout
+                elif not proc.is_alive() and not conn.poll(0):
+                    raise WorkerCrash(
+                        f"worker {rank} died mid-solve "
+                        f"(exit code {proc.exitcode})"
+                    )
+            if not progressed and time.monotonic() > deadline:
+                raise WorkerCrash(
+                    f"workers {sorted(pending)} sent nothing for "
+                    f"{self.timeout:.0f}s"
+                )
+        return histories
+
+    def close(self) -> None:
+        """Graceful, idempotent shutdown: ask, wait, then insist."""
+        if self.closed:
+            return
+        self.closed = True
+        for conn in self._conns:
+            try:
+                conn.send(("shutdown",))
+            except (BrokenPipeError, OSError):
+                pass  # already gone; join/terminate below still runs
+        for proc in self._procs:
+            proc.join(timeout=min(self.timeout, 10.0))
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5.0)
+        for conn in self._conns:
+            conn.close()
+
+    def __enter__(self) -> "ProcessPool":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

@@ -35,9 +35,11 @@ from ...runtime import (
     DistributedDomain,
     DistributedSolveDriver,
     LevelSpec,
-    PlanExchanger,
+    RuntimeConfig,
     SFCPartitioner,
     build_domain_hierarchy,
+    make_exchanger,
+    resolve_config,
 )
 from ..fluxes import rusanov_flux, wall_flux
 from ..gas import GAMMA, apply_positivity_floors, check_physical, pressure
@@ -380,7 +382,7 @@ def partition_level(level: Cart3DLevel, nparts: int) -> tuple[list, np.ndarray]:
 
 def _single(comm, dom) -> tuple:
     pid = dom.halo.rank
-    return pid, PlanExchanger(comm, {pid: dom.halo.plan})
+    return pid, make_exchanger("plan", comm, plans={pid: dom.halo.plan})
 
 
 def local_residual(comm, dom, q: np.ndarray, qinf,
@@ -417,19 +419,32 @@ def parallel_residual_norm(comm, dom, q, qinf,
 
 
 class ParallelCart3D:
-    """Config facade: the decomposed Euler solver on a SimMPI world.
+    """Config facade: the decomposed Euler solver under any backend.
 
-    The historical constructor (fine level only — pure smoothing runs)
-    keeps working; pass ``levels``/``transfers`` from a serial solver
-    (or use :meth:`from_solver`) to run full distributed FAS cycles, and
-    ``overlap=True`` for the posted-send/compute-interior/finish
-    exchange mode (fig. 7).
+    Execution is selected by a
+    :class:`~repro.runtime.config.RuntimeConfig` (or the ``backend=``
+    shorthand): ``sim``/``hybrid`` run on SimMPI worlds, ``process`` on
+    a spawned worker pool — call :meth:`solve` for the config-driven
+    path, or :meth:`run` with your own world for the historical SimMPI
+    signature.  The historical constructor (fine level only — pure
+    smoothing runs) keeps working; pass ``levels``/``transfers`` from a
+    serial solver (or use :meth:`from_solver`) to run full distributed
+    FAS cycles.  The bare ``overlap``/``charge_compute``/``sanitize``
+    keywords are deprecated spellings of the config fields.
     """
 
     def __init__(self, level: Cart3DLevel, qinf: np.ndarray, nparts: int,
                  flux: str = "vanleer", *, levels: list | None = None,
-                 transfers: list | None = None, overlap: bool = False,
-                 charge_compute: bool = False, sanitize: bool = False):
+                 transfers: list | None = None,
+                 config: RuntimeConfig | None = None,
+                 backend: str | None = None,
+                 overlap: bool | None = None,
+                 charge_compute: bool | None = None,
+                 sanitize: bool | None = None):
+        config = resolve_config(
+            config, backend, where="ParallelCart3D", overlap=overlap,
+            charge_compute=charge_compute, sanitize=sanitize,
+        )
         # the historical fine-level-only constructor runs plain
         # smoothing steps; a caller-supplied hierarchy runs full cycles
         # even when it has a single level (matching the serial solvers)
@@ -448,10 +463,10 @@ class ParallelCart3D:
         self.hierarchy = build_domain_hierarchy(specs, clusters, part)
         self.kernels = Cart3DKernels(qinf, flux=flux)
         self.driver = DistributedSolveDriver(
-            self.hierarchy, self.kernels, qinf, overlap=overlap,
-            charge_compute=charge_compute, smoothing_only=smoothing_only,
-            sanitize=sanitize,
+            self.hierarchy, self.kernels, qinf, config=config,
+            smoothing_only=smoothing_only,
         )
+        self.config = self.driver.config
         self.domains = self.hierarchy.levels[0].domains
         self.part = part
         self.level = levels[0]
@@ -460,27 +475,55 @@ class ParallelCart3D:
         self.flux = flux
 
     @classmethod
-    def from_solver(cls, solver, nparts: int, *, overlap: bool = False,
-                    charge_compute: bool = False,
-                    sanitize: bool = False) -> "ParallelCart3D":
+    def from_solver(cls, solver, nparts: int, *,
+                    config: RuntimeConfig | None = None,
+                    backend: str | None = None,
+                    overlap: bool | None = None,
+                    charge_compute: bool | None = None,
+                    sanitize: bool | None = None) -> "ParallelCart3D":
         """Decompose a serial :class:`Cart3DSolver`'s level hierarchy.
 
         The distributed path runs first order (like the serial coarse
         levels); second-order fine-level reconstruction needs
         distributed least-squares gradients and stays serial.
         """
+        config = resolve_config(
+            config, backend, where="ParallelCart3D.from_solver",
+            overlap=overlap, charge_compute=charge_compute,
+            sanitize=sanitize,
+        )
         return cls(
             solver.levels[0], solver.qinf, nparts, flux=solver.flux,
             levels=solver.levels, transfers=solver.transfers,
-            overlap=overlap, charge_compute=charge_compute,
-            sanitize=sanitize,
+            config=config,
         )
 
     def run(self, world, ncycles: int, cfl: float = 2.0, *,
             cycle: str = "W", nu1: int = 1, nu2: int = 1,
             coarse_cfl: float | None = None):
-        """Iterate; returns (global q over flow cells, residual history)."""
+        """Iterate on a caller-supplied SimMPI world; returns
+        (global q over flow cells, residual history)."""
         return self.driver.run(
             world, ncycles, cfl=cfl, cycle=cycle, nu1=nu1, nu2=nu2,
             coarse_cfl=coarse_cfl,
         )
+
+    def solve(self, ncycles: int, cfl: float = 2.0, *,
+              cycle: str = "W", nu1: int = 1, nu2: int = 1,
+              coarse_cfl: float | None = None):
+        """Config-driven iterate (builds the backend's own world);
+        returns (global q over flow cells, residual history)."""
+        return self.driver.solve(
+            ncycles, cfl=cfl, cycle=cycle, nu1=nu1, nu2=nu2,
+            coarse_cfl=coarse_cfl,
+        )
+
+    def close(self) -> None:
+        """Release backend resources (the process backend's workers)."""
+        self.driver.close()
+
+    def __enter__(self) -> "ParallelCart3D":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -36,8 +36,10 @@ from ...runtime import (
     DistributedSolveDriver,
     LevelSpec,
     MetisLinePartitioner,
-    PlanExchanger,
+    RuntimeConfig,
     build_domain_hierarchy,
+    make_exchanger,
+    resolve_config,
 )
 from ..gas import apply_positivity_floors
 from .context import FlowContext
@@ -396,7 +398,7 @@ def partition_domain(
 
 def _single(comm, dom) -> tuple:
     pid = dom.halo.rank
-    return pid, PlanExchanger(comm, {pid: dom.halo.plan})
+    return pid, make_exchanger("plan", comm, plans={pid: dom.halo.plan})
 
 
 def parallel_residual(comm, dom, q: np.ndarray, qinf,
@@ -433,20 +435,32 @@ def parallel_residual_norm(comm, dom, q, qinf,
 
 
 class ParallelNSU3D:
-    """Config facade: the decomposed NSU3D solver on a SimMPI world.
+    """Config facade: the decomposed NSU3D solver under any backend.
 
-    The historical constructor (fine context only — pure smoothing runs)
-    keeps working; pass ``contexts``/``maps`` from a serial solver (or
-    use :meth:`from_solver`) to run full distributed FAS cycles, and
-    ``overlap=True`` for the posted-send/compute-interior/finish
-    exchange mode (fig. 7).
+    Execution is selected by a
+    :class:`~repro.runtime.config.RuntimeConfig` (or the ``backend=``
+    shorthand): ``sim``/``hybrid`` run on SimMPI worlds, ``process`` on
+    a spawned worker pool — call :meth:`solve` for the config-driven
+    path, or :meth:`run` with your own world for the historical SimMPI
+    signature.  The historical constructor (fine context only — pure
+    smoothing runs) keeps working; pass ``contexts``/``maps`` from a
+    serial solver (or use :meth:`from_solver`) to run full distributed
+    FAS cycles.  The bare ``overlap``/``charge_compute``/``sanitize``
+    keywords are deprecated spellings of the config fields.
     """
 
     def __init__(self, ctx: FlowContext, qinf: np.ndarray, nparts: int,
                  seed: int = 0, viscous: bool = True, *,
                  contexts: list | None = None, maps: list | None = None,
-                 overlap: bool = False, charge_compute: bool = False,
-                 sanitize: bool = False):
+                 config: RuntimeConfig | None = None,
+                 backend: str | None = None,
+                 overlap: bool | None = None,
+                 charge_compute: bool | None = None,
+                 sanitize: bool | None = None):
+        config = resolve_config(
+            config, backend, where="ParallelNSU3D", overlap=overlap,
+            charge_compute=charge_compute, sanitize=sanitize,
+        )
         # the historical fine-level-only constructor runs plain
         # smoothing steps; a caller-supplied hierarchy runs full cycles
         # even when it has a single level (matching the serial solvers)
@@ -473,10 +487,10 @@ class ParallelNSU3D:
         self.hierarchy = build_domain_hierarchy(specs, maps, part)
         self.kernels = NSU3DKernels(qinf, viscous=viscous)
         self.driver = DistributedSolveDriver(
-            self.hierarchy, self.kernels, qinf, overlap=overlap,
-            charge_compute=charge_compute, smoothing_only=smoothing_only,
-            sanitize=sanitize,
+            self.hierarchy, self.kernels, qinf, config=config,
+            smoothing_only=smoothing_only,
         )
+        self.config = self.driver.config
         self.domains = self.hierarchy.levels[0].domains
         self.part = part
         self.ctx = contexts[0]
@@ -486,9 +500,17 @@ class ParallelNSU3D:
 
     @classmethod
     def from_solver(cls, solver, nparts: int, *, seed: int = 0,
-                    overlap: bool = False, charge_compute: bool = False,
-                    sanitize: bool = False) -> "ParallelNSU3D":
+                    config: RuntimeConfig | None = None,
+                    backend: str | None = None,
+                    overlap: bool | None = None,
+                    charge_compute: bool | None = None,
+                    sanitize: bool | None = None) -> "ParallelNSU3D":
         """Decompose a serial :class:`NSU3DSolver`'s hierarchy."""
+        config = resolve_config(
+            config, backend, where="ParallelNSU3D.from_solver",
+            overlap=overlap, charge_compute=charge_compute,
+            sanitize=sanitize,
+        )
         if solver.turbulence:
             raise ConfigurationError(
                 "distributed NSU3D runs laminar/inviscid (5 variables); "
@@ -497,15 +519,35 @@ class ParallelNSU3D:
         return cls(
             solver.contexts[0], solver.qinf, nparts, seed=seed,
             viscous=True, contexts=solver.contexts, maps=solver.maps,
-            overlap=overlap, charge_compute=charge_compute,
-            sanitize=sanitize,
+            config=config,
         )
 
     def run(self, world, ncycles: int, cfl: float = 10.0, *,
             cycle: str = "W", nu1: int = 1, nu2: int = 1,
             coarse_cfl: float | None = None):
-        """Iterate; returns (global q, residual history)."""
+        """Iterate on a caller-supplied SimMPI world; returns
+        (global q, residual history)."""
         return self.driver.run(
             world, ncycles, cfl=cfl, cycle=cycle, nu1=nu1, nu2=nu2,
             coarse_cfl=coarse_cfl,
         )
+
+    def solve(self, ncycles: int, cfl: float = 10.0, *,
+              cycle: str = "W", nu1: int = 1, nu2: int = 1,
+              coarse_cfl: float | None = None):
+        """Config-driven iterate (builds the backend's own world);
+        returns (global q, residual history)."""
+        return self.driver.solve(
+            ncycles, cfl=cfl, cycle=cycle, nu1=nu1, nu2=nu2,
+            coarse_cfl=coarse_cfl,
+        )
+
+    def close(self) -> None:
+        """Release backend resources (the process backend's workers)."""
+        self.driver.close()
+
+    def __enter__(self) -> "ParallelNSU3D":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -37,7 +37,7 @@ import functools
 import threading
 import time
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 
 @dataclass
@@ -309,6 +309,28 @@ class Tracer:
         """All closed spans, ordered by start time."""
         with self._lock:
             return sorted(self.spans, key=lambda s: (s.t0, s.sid))
+
+    def absorb(self, spans: list, instants: list = ()) -> None:
+        """Merge spans recorded by another tracer (another process).
+
+        Worker processes trace on private tracers and ship the closed
+        spans home; absorbing re-ids them from this tracer's sid
+        sequence (preserving parent links) so merged timelines stay
+        collision-free.  Rank/thread/clock stamps are kept as recorded.
+        """
+        mapping: dict = {}
+        with self._lock:
+            for s in (*spans, *instants):
+                mapping[s.sid] = self._next_sid
+                self._next_sid += 1
+            for s in spans:
+                self.spans.append(replace(
+                    s, sid=mapping[s.sid], parent=mapping.get(s.parent),
+                ))
+            for s in instants:
+                self.instants.append(replace(
+                    s, sid=mapping[s.sid], parent=mapping.get(s.parent),
+                ))
 
 
 #: The process-global tracer the module-level helpers route through.

@@ -49,7 +49,17 @@ class TestFacade:
             repro.no_such_submodule
 
     def test_api_version_is_declared(self):
-        assert api.__api_version__ == "5.0"
+        assert api.__api_version__ == "6.0"
+
+    def test_backend_selection_surface_exported(self):
+        for name in (
+            "RuntimeConfig", "BACKENDS", "make_exchanger",
+            "ProcessExchanger", "ProcessPool", "make_parallel_nsu3d",
+            "make_parallel_cart3d",
+        ):
+            assert name in api.__all__
+            assert getattr(api, name) is not None
+        assert api.BACKENDS == ("sim", "hybrid", "process")
 
     def test_all_is_complete(self):
         """Self-test of the facade contract: every public attribute is

@@ -14,6 +14,7 @@ import pytest
 
 from repro.comm import SimMPI
 from repro.mesh.cartesian import Sphere
+from repro.runtime import RuntimeConfig
 from repro.mesh.unstructured import bump_channel
 from repro.solvers.cart3d import Cart3DSolver, ParallelCart3D
 from repro.solvers.cart3d import fas_cycle as cart3d_fas_cycle
@@ -240,3 +241,73 @@ class TestCart3DMultigridParity:
         pc = ParallelCart3D(level, cart3d_solver.qinf, nparts=4)
         qg, _ = pc.run(SimMPI(4), ncycles=3, cfl=2.0)
         assert np.allclose(qg, q_serial, rtol=1e-12, atol=1e-14)
+
+
+class TestProcessBackendParity:
+    """The worker x cycle matrix under ``backend="process"``: real
+    spawned OS processes exchanging halos through shared memory must
+    match the serial solvers to the same tolerance as the SimMPI
+    backends.  Each pool is spawned once and reused for both cycle
+    shapes (the driver's pool-reuse contract)."""
+
+    @pytest.mark.parametrize("nparts", [1, 2, 4])
+    def test_nsu3d_ranks_and_cycles(self, nsu3d_solver, nparts):
+        pn = ParallelNSU3D.from_solver(
+            nsu3d_solver, nparts, config=RuntimeConfig(backend="process"),
+        )
+        try:
+            for cycle in ("V", "W"):
+                ref = nsu3d_serial(nsu3d_solver, 2, cycle)
+                qg, hist = pn.solve(2, cfl=CFL_NSU3D, cycle=cycle)
+                assert np.allclose(qg, ref, rtol=1e-10, atol=1e-13)
+                assert len(hist) == 2 and np.isfinite(hist).all()
+        finally:
+            pn.close()
+
+    @pytest.mark.parametrize("nparts", [1, 2, 4])
+    def test_cart3d_ranks_and_cycles(self, cart3d_solver, nparts):
+        pc = ParallelCart3D.from_solver(
+            cart3d_solver, nparts, config=RuntimeConfig(backend="process"),
+        )
+        try:
+            for cycle in ("V", "W"):
+                ref = cart3d_serial(cart3d_solver, 2, cycle)
+                qg, hist = pc.solve(2, cfl=CFL_CART3D, cycle=cycle)
+                assert np.allclose(qg, ref, rtol=1e-10, atol=1e-13)
+                assert len(hist) == 2 and np.isfinite(hist).all()
+        finally:
+            pc.close()
+
+    def test_nsu3d_overlap_and_sanitize(self, nsu3d_solver):
+        """Overlapped exchange in real concurrency, with the sanitizer's
+        NaN canaries armed inside every worker."""
+        ref = nsu3d_serial(nsu3d_solver, 2, "W")
+        with ParallelNSU3D.from_solver(
+            nsu3d_solver, 2,
+            config=RuntimeConfig(backend="process", overlap=True,
+                                 sanitize=True),
+        ) as pn:
+            qg, _ = pn.solve(2, cfl=CFL_NSU3D, cycle="W")
+        assert np.allclose(qg, ref, rtol=1e-10, atol=1e-13)
+
+    def test_cart3d_overlap_and_sanitize(self, cart3d_solver):
+        ref = cart3d_serial(cart3d_solver, 2, "W")
+        with ParallelCart3D.from_solver(
+            cart3d_solver, 2,
+            config=RuntimeConfig(backend="process", overlap=True,
+                                 sanitize=True),
+        ) as pc:
+            qg, _ = pc.solve(2, cfl=CFL_CART3D, cycle="W")
+        assert np.allclose(qg, ref, rtol=1e-10, atol=1e-13)
+
+    def test_histories_match_sim_backend(self, cart3d_solver):
+        """Same algorithm, same numbers: the process backend's residual
+        history equals the SimMPI backend's bit-for-bit (the rank-order
+        allreduce contract)."""
+        pc_sim = ParallelCart3D.from_solver(cart3d_solver, 2)
+        _, hist_sim = pc_sim.run(SimMPI(2), 2, cfl=CFL_CART3D, cycle="W")
+        with ParallelCart3D.from_solver(
+            cart3d_solver, 2, config=RuntimeConfig(backend="process"),
+        ) as pc:
+            _, hist = pc.solve(2, cfl=CFL_CART3D, cycle="W")
+        assert hist == hist_sim
