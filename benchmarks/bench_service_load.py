@@ -1,0 +1,231 @@
+"""Query-service load benchmark: bursty multi-tenant serving.
+
+The acceptance benchmark for the ``repro.service`` front end.  A
+partially filled aero-database (about 70% of a 9x9 wind grid) serves
+three tenants issuing bursty query mixes — popular repeated points,
+off-grid interpolation targets, and a few true misses that cost real
+(delayed) solves.  Asserted claims:
+
+* combined exact + surrogate hit rate >= 95% over the whole workload;
+* the cached tiers stay fast while solves occupy every runtime slot —
+  p99 of exact/surrogate latency is bounded well under one solve's
+  cost (no query waits behind an unrelated tenant's full solve);
+* a kill + restart mid-load recovers through the checkpoint journal
+  with zero recomputed cases.
+
+Results land in ``benchmarks/results/service_load.{txt,json}``.
+"""
+
+import asyncio
+import random
+import time
+
+from conftest import run_once, save_result
+
+from repro.api import (
+    CampaignCheckpoint,
+    DatabaseService,
+    FillRuntime,
+    PointQuery,
+    ResultStore,
+    TenantQuota,
+)
+from repro.service.__main__ import SyntheticRunner
+from repro.solvers.interface import CaseResult, CaseSpec
+
+SOLVE_DELAY = 0.05  # synthetic cost of one real solve, seconds
+MACHS = [round(0.30 + 0.05 * i, 2) for i in range(9)]
+ALPHAS = [float(a) for a in range(9)]
+TENANTS = ("trim", "envelope", "sim")
+
+
+class CountingRunner(SyntheticRunner):
+    def __init__(self, delay):
+        super().__init__(delay=delay)
+        self.calls = []
+
+    def __call__(self, spec, shared=None):
+        self.calls.append(spec.key)
+        return super().__call__(spec, shared)
+
+
+def prefill(store, fraction=0.7, seed=5):
+    """Persist ~fraction of the grid as already-solved cases."""
+    rng = random.Random(seed)
+    filled = 0
+    for mach in MACHS:
+        for alpha in ALPHAS:
+            if rng.random() >= fraction:
+                continue
+            spec = CaseSpec(
+                wind={"mach": mach, "alpha": alpha}, solver="synthetic"
+            )
+            store.put(CaseResult(
+                spec=spec,
+                coefficients=SyntheticRunner.coefficients(mach, alpha),
+            ))
+            filled += 1
+    return filled
+
+
+def tenant_workload(tenant, seed, n_popular=60, n_interp=36, n_miss=4):
+    """One tenant's bursty mix: popular grid points, off-grid
+    interpolation targets, and a few genuinely new cases."""
+    rng = random.Random(seed)
+    popular = [
+        (rng.choice(MACHS[:6]), rng.choice(ALPHAS[:6]))
+        for _ in range(n_popular)
+    ]
+    interp = [
+        (
+            round(rng.uniform(MACHS[1], MACHS[-2]) , 3),
+            round(rng.uniform(ALPHAS[1], ALPHAS[-2]), 3),
+        )
+        for _ in range(n_interp)
+    ]
+    # misses sit far outside the filled envelope: nothing to interpolate
+    miss = [
+        (round(1.4 + 0.05 * i, 2), round(16.0 + i, 1))
+        for i in range(n_miss)
+    ]
+    points = popular + interp + miss
+    rng.shuffle(points)
+    return [
+        PointQuery(mach=mach, alpha=alpha, tenant=tenant)
+        for mach, alpha in points
+    ]
+
+
+async def run_burst(service, queries, width=24):
+    """Issue queries in bursts of ``width`` concurrent requests."""
+    responses = []
+    for start in range(0, len(queries), width):
+        burst = queries[start:start + width]
+        responses.extend(
+            await asyncio.gather(
+                *(service.query(q) for q in burst),
+                return_exceptions=True,
+            )
+        )
+    return responses
+
+
+def build_service(runner, store, journal):
+    runtime = FillRuntime(
+        runner,
+        nnodes=1,
+        cpus_per_case=128,  # 4 solve slots
+        store=store,
+        checkpoint=CampaignCheckpoint(journal),
+    )
+    service = DatabaseService(
+        runtime,
+        quotas={tenant: TenantQuota(max_inflight=2) for tenant in TENANTS},
+        max_queue=64,
+    )
+    return runtime, service
+
+
+def test_service_load(benchmark, tmp_path):
+    journal = tmp_path / "journal.jsonl"
+
+    workload = []
+    for i, tenant in enumerate(TENANTS):
+        workload.append(tenant_workload(tenant, seed=11 + i))
+    # interleave tenants so bursts genuinely contend
+    queries = [q for wave in zip(*workload) for q in wave]
+    half = len(queries) // 2
+
+    # Each session holds its hot results in memory; only the checkpoint
+    # journal survives the kill.  The prefill is deterministic, so both
+    # sessions start from the same 70%-filled grid and everything solved
+    # during session 1 must come back through the journal alone.
+    store1 = ResultStore()
+    filled = prefill(store1)
+    runner1 = CountingRunner(SOLVE_DELAY)
+    runtime1, service1 = build_service(runner1, store1, journal)
+
+    def first_half():
+        return asyncio.run(run_burst(service1, queries[:half]))
+
+    t0 = time.perf_counter()
+    responses = run_once(benchmark, first_half)
+    # mid-load kill: the pool goes down between bursts; the journal
+    # keeps every accepted solve
+    runtime1.close()
+
+    store2 = ResultStore()
+    prefill(store2)
+    runner2 = CountingRunner(SOLVE_DELAY)
+    runtime2, service2 = build_service(runner2, store2, journal)
+    recovery = service2.recover()
+    responses += asyncio.run(run_burst(service2, queries[half:]))
+    runtime2.close()
+    wall = time.perf_counter() - t0
+
+    answered = [r for r in responses if not isinstance(r, Exception)]
+    shed = len(responses) - len(answered)
+    by_source = {"exact": 0, "surrogate": 0, "solve": 0}
+    cached_latency = []
+    coalesced = 0
+    for r in answered:
+        by_source[r.source] += 1
+        coalesced += r.coalesced
+        if r.source in ("exact", "surrogate"):
+            cached_latency.append(r.latency_seconds)
+    hit_rate = (by_source["exact"] + by_source["surrogate"]) / len(answered)
+    cached_latency.sort()
+    p50 = cached_latency[len(cached_latency) // 2]
+    p99 = cached_latency[int(len(cached_latency) * 0.99) - 1]
+    solved = runner1.calls + runner2.calls
+    recomputed = len(solved) - len(set(solved))
+    qps = len(answered) / max(wall, 1.0e-9)
+
+    # -- acceptance ---------------------------------------------------------
+    assert hit_rate >= 0.95, f"hit rate {hit_rate:.3f} < 0.95"
+    assert p99 < SOLVE_DELAY, (
+        f"cached-tier p99 {p99 * 1e3:.2f} ms not bounded under one "
+        f"solve ({SOLVE_DELAY * 1e3:.0f} ms)"
+    )
+    assert recomputed == 0, f"{recomputed} case(s) recomputed after restart"
+    assert recovery["restored"] > 0
+    assert shed == 0  # queue of 64 absorbs this workload
+
+    lines = [
+        "service_load: bursty multi-tenant query serving",
+        f"  grid prefilled          : {filled}/81 wind points (~70%)",
+        f"  tenants                 : {len(TENANTS)} "
+        f"({', '.join(TENANTS)})",
+        f"  queries answered        : {len(answered)} "
+        f"(+{shed} shed)",
+        f"  exact / surrogate / solve : {by_source['exact']} / "
+        f"{by_source['surrogate']} / {by_source['solve']} "
+        f"(+{coalesced} coalesced joiners)",
+        f"  combined hit rate       : {hit_rate:.1%} (target >= 95%)",
+        f"  cached-tier p50 / p99   : {p50 * 1e3:.3f} ms / "
+        f"{p99 * 1e3:.3f} ms (solve costs {SOLVE_DELAY * 1e3:.0f} ms)",
+        f"  sustained throughput    : {qps:,.0f} queries/s "
+        f"(wall clock, solves included)",
+        f"  kill -> restart         : {recovery['restored']} restored, "
+        f"{len(recovery['resubmitted'])} resubmitted, "
+        f"{recomputed} recomputed",
+    ]
+    save_result(
+        "service_load",
+        "\n".join(lines),
+        data={
+            "prefilled": filled,
+            "answered": len(answered),
+            "shed": shed,
+            "by_source": by_source,
+            "coalesced": coalesced,
+            "hit_rate": hit_rate,
+            "cached_p50_seconds": p50,
+            "cached_p99_seconds": p99,
+            "solve_delay_seconds": SOLVE_DELAY,
+            "queries_per_second": qps,
+            "restored": recovery["restored"],
+            "resubmitted": len(recovery["resubmitted"]),
+            "recomputed": recomputed,
+        },
+    )

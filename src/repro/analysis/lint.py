@@ -69,6 +69,16 @@ These rules encode exactly those house invariants:
   backend selection in the driver) so the lifecycle flags
   (``charging``/``sanitize``) and backend semantics stay uniform; the
   runtime package itself is the factory's home and is exempt.
+* **R012 blocking-call-in-service-coroutine** — ``time.sleep``, direct
+  solver construction, or a synchronous campaign driver
+  (``FillRuntime.run_case``/``run_tree``) inside a coroutine body in
+  :mod:`repro.service`.  The query front end's whole contract is that
+  cache and surrogate tiers answer while solves run on the worker
+  pool; one blocking call in an ``async def`` parks the event loop and
+  every tenant behind it.  Solves are submitted (``submit()``) and
+  awaited through the :class:`~repro.database.runtime.CaseHandle`
+  asyncio bridge.  Synchronous helpers (``def``) in the package —
+  including nested ones — are their own execution context and exempt.
 
 A finding on a line containing ``noqa`` is suppressed (same idiom as
 ruff); :data:`RULES` documents each rule and the path segments it
@@ -223,7 +233,21 @@ RULES = {
         segments=None,
         exclude=("runtime",),
     ),
+    "R012": Rule(
+        id="R012",
+        name="blocking-call-in-service-coroutine",
+        description=(
+            "blocking call inside a repro.service coroutine body; the "
+            "event loop must stay free to answer cache/surrogate tiers "
+            "— submit() to the runtime pool and await the CaseHandle "
+            "bridge instead"
+        ),
+        segments=("service",),
+    ),
 }
+
+#: Attribute calls R012 treats as synchronous whole-case execution.
+R012_BLOCKING_ATTRS = {"run_case", "run_tree"}
 
 #: Exchanger classes whose construction R011 routes through the factory.
 R011_EXCHANGER_CLASSES = {
@@ -333,6 +357,7 @@ class _LintVisitor(ast.NodeVisitor):
         self.path = path
         self.diagnostics: list[Diagnostic] = []
         self._aliases: dict = {}  # local name -> dotted module/attr path
+        self._func_kinds: list = []  # "async"/"sync" nesting, innermost last
 
     def _report(self, rule_id: str, node: ast.AST, message: str) -> None:
         self.diagnostics.append(
@@ -344,6 +369,24 @@ class _LintVisitor(ast.NodeVisitor):
                 line=getattr(node, "lineno", 1),
             )
         )
+
+    # -- function-kind nesting (R012: "am I in a coroutine body?") ------------
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        # a sync def nested inside a coroutine is its own execution
+        # context: calling it later is the caller's (lintable) act
+        self._func_kinds.append("sync")
+        self.generic_visit(node)
+        self._func_kinds.pop()
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._func_kinds.append("async")
+        self.generic_visit(node)
+        self._func_kinds.pop()
+
+    @property
+    def _in_coroutine(self) -> bool:
+        return bool(self._func_kinds) and self._func_kinds[-1] == "async"
 
     # -- alias tracking (import time as t; from time import perf_counter) ----
 
@@ -455,6 +498,36 @@ class _LintVisitor(ast.NodeVisitor):
                     f"direct {cls}(...) construction inside the database "
                     f"package; go through {FACADE_SOLVERS[cls]} so every "
                     "runtime-built solver shares the audited facade path",
+                )
+        if "R012" in self.rules and self._in_coroutine:
+            blocking = None
+            if qual == "time.sleep":
+                blocking = (
+                    "time.sleep(...) parks the event loop and every "
+                    "tenant behind it; use await asyncio.sleep(...)"
+                )
+            elif qual is not None and (
+                qual.rpartition(".")[2] in FACADE_SOLVERS
+            ):
+                blocking = (
+                    f"direct {qual.rpartition('.')[2]}(...) construction "
+                    "runs solver setup on the event loop; submit a "
+                    "CaseSpec to the runtime's worker pool instead"
+                )
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in R012_BLOCKING_ATTRS
+            ):
+                blocking = (
+                    f"synchronous .{node.func.attr}(...) blocks the loop "
+                    "for whole case executions; use submit() and await "
+                    "the CaseHandle bridge"
+                )
+            if blocking is not None:
+                self._report(
+                    "R012",
+                    node,
+                    f"blocking call in a service coroutine: {blocking}",
                 )
         if "R011" in self.rules and qual is not None:
             cls = qual.rpartition(".")[2]

@@ -80,6 +80,7 @@ from .errors import (
     GhostRaceError,
     ReproError,
     RuntimeClosed,
+    ServiceOverloaded,
     SolverDivergence,
     WorkerCrash,
 )
@@ -121,10 +122,20 @@ from .solvers import (
     SolverProtocol,
     case_result,
 )
+from .service import (
+    AdmissionController,
+    DatabaseService,
+    PointQuery,
+    QueryResponse,
+    ServiceCounters,
+    SurrogateConfig,
+    TenantQuota,
+)
 from .solvers.cart3d import Cart3DSolver, ParallelCart3D
 from .solvers.nsu3d import NSU3DSolver, ParallelNSU3D
 from .telemetry import (
     EpochClock,
+    LatencyHistogram,
     Timeline,
     Tracer,
     add_simmpi_trace,
@@ -154,7 +165,13 @@ from .telemetry import (
 #: ``process`` backend (``ProcessExchanger``/``ProcessPool``) and the
 #: ``make_exchanger`` factory; the bare ``overlap``/``charge_compute``/
 #: ``sanitize``/``nranks`` keywords are deprecated.
-__api_version__ = "6.0"
+#: 7.0 added the aero-database query service (``DatabaseService``,
+#: ``PointQuery``/``QueryResponse``, the ``SurrogateConfig`` surrogate
+#: tier, ``AdmissionController``/``TenantQuota`` fair-share admission
+#: with the typed ``ServiceOverloaded`` shed error), the awaitable
+#: ``CaseHandle`` bridge (``await handle`` / ``result(timeout=...)``)
+#: and ``LatencyHistogram``.
+__api_version__ = "7.0"
 
 __all__ = [
     # solvers — unified surface
@@ -225,6 +242,14 @@ __all__ = [
     "CampaignCheckpoint",
     "CheckpointState",
     "ChaosPolicy",
+    # the query service (long-running front end over the fill runtime)
+    "DatabaseService",
+    "PointQuery",
+    "QueryResponse",
+    "ServiceCounters",
+    "SurrogateConfig",
+    "AdmissionController",
+    "TenantQuota",
     # the rooted error taxonomy (home: repro.errors)
     "ReproError",
     "ConfigurationError",
@@ -235,6 +260,7 @@ __all__ = [
     "WorkerCrash",
     "SolverDivergence",
     "RuntimeClosed",
+    "ServiceOverloaded",
     "ExchangeLifecycleError",
     "GhostRaceError",
     # workflow + envelope
@@ -256,6 +282,7 @@ __all__ = [
     # telemetry — spans, timelines, Perfetto export
     "Tracer",
     "EpochClock",
+    "LatencyHistogram",
     "get_tracer",
     "set_tracer",
     "span",

@@ -54,6 +54,8 @@ solvers through the :mod:`repro.api` facade.
 
 from __future__ import annotations
 
+import asyncio
+import concurrent.futures
 import heapq
 import threading
 import time
@@ -170,6 +172,14 @@ class CaseHandle:
 
     ``hit`` is True when the submission was satisfied without a new
     execution (session dedup or persistent-store hit).
+
+    Blocking accessors take an optional ``timeout`` (seconds); the
+    awaitable bridge (:meth:`wait`, or ``await handle``) parks an
+    asyncio caller without blocking the event loop — this is how the
+    :class:`~repro.service.DatabaseService` front end rides the fill
+    runtime's thread pool.  A timeout never cancels the underlying
+    attempt (the runtime cannot preempt a running solve); it only stops
+    waiting, so a later wait on the same handle can still succeed.
     """
 
     def __init__(self, spec: CaseSpec, hit: bool = False):
@@ -182,21 +192,63 @@ class CaseHandle:
     def _resolve(self, outcome: JobOutcome) -> None:
         self._outcome = outcome
 
-    def outcome(self) -> JobOutcome:
-        """Block until the case reaches a terminal state."""
+    def outcome(self, timeout: float | None = None) -> JobOutcome:
+        """Block until the case reaches a terminal state.
+
+        With ``timeout``, raise :class:`~repro.errors.CaseTimeout` if it
+        has not resolved within that many seconds (the case keeps
+        running; only this wait gives up).
+        """
         if self._outcome is None:
             assert self._future is not None
-            self._outcome = self._future.result()
+            try:
+                self._outcome = self._future.result(timeout)
+            except concurrent.futures.TimeoutError:
+                raise errors.CaseTimeout(
+                    f"case {self.key} still unresolved after "
+                    f"{timeout}s wait"
+                ) from None
         return self._outcome
 
-    def result(self) -> CaseResult:
+    def result(self, timeout: float | None = None) -> CaseResult:
         """Block for the :class:`CaseResult`; raise on failure."""
-        out = self.outcome()
+        out = self.outcome(timeout)
         if out.result is None:
             raise errors.CaseExecutionError(
                 self.key, out.attempts, out.error or out.state
             )
         return out.result
+
+    async def wait(self, timeout: float | None = None) -> JobOutcome:
+        """Awaitable twin of :meth:`outcome` for asyncio callers.
+
+        Bridges the worker-pool future onto the running event loop
+        (``asyncio.wrap_future``) so awaiting never hard-blocks the
+        loop; the bridge is shielded so a timeout abandons only this
+        wait — it cannot cancel a queued or running case out from under
+        other waiters coalesced on the same handle.
+        """
+        if self._outcome is None:
+            assert self._future is not None
+            bridged = asyncio.wrap_future(self._future)
+            # an abandoned bridge (timeout below) must not log
+            # "exception was never retrieved" when the case later fails
+            bridged.add_done_callback(
+                lambda f: None if f.cancelled() else f.exception()
+            )
+            try:
+                self._outcome = await asyncio.wait_for(
+                    asyncio.shield(bridged), timeout
+                )
+            except (asyncio.TimeoutError, TimeoutError):
+                raise errors.CaseTimeout(
+                    f"case {self.key} still unresolved after "
+                    f"{timeout}s wait"
+                ) from None
+        return self._outcome
+
+    def __await__(self):
+        return self.wait().__await__()
 
     def done(self) -> bool:
         return self._outcome is not None or (

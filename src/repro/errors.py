@@ -158,6 +158,25 @@ class RuntimeClosed(ReproError, RuntimeError):
     """An operation was submitted to a closed :class:`FillRuntime`."""
 
 
+class ServiceOverloaded(ReproError, RuntimeError):
+    """The query service shed load instead of queueing without bound.
+
+    Raised by the :class:`~repro.service.DatabaseService` admission
+    controller when a solve-tier query arrives with the bounded waiting
+    queue already full.  Carries the ``tenant`` that was shed and the
+    queue depth at the moment of refusal so clients can back off
+    proportionally rather than re-parse the message.
+    """
+
+    def __init__(self, tenant: str, reason: str, *, queued: int = 0):
+        super().__init__(
+            f"service overloaded for tenant {tenant!r}: {reason}"
+        )
+        self.tenant = tenant
+        self.reason = reason
+        self.queued = queued
+
+
 __all__ = [
     "ReproError",
     "ConfigurationError",
@@ -172,4 +191,5 @@ __all__ = [
     "DeadlockError",
     "RankFailure",
     "RuntimeClosed",
+    "ServiceOverloaded",
 ]

@@ -1,0 +1,206 @@
+"""Surrogate tier: answer cache misses from neighboring filled cases.
+
+The variable-fidelity argument (PAPERS.md: mixed-fidelity tiering in
+the PyFR heterogeneous-computing line; the paper's own Cart3D-corrects-
+NSU3D workflow) gives the service a principled middle rung between a
+cache hit and a real solve: force/moment coefficients vary smoothly
+over the wind space, so a query landing *between* filled points can be
+interpolated from its neighbors at a small, *estimable* error — vastly
+cheaper than a solve and honest about its fidelity (every surrogate
+response is tagged ``source="surrogate"`` with the error estimate).
+
+Two interpolants over the normalized wind-space axes:
+
+* ``linear`` — least-squares affine fit when the neighbor set
+  determines one (>= ndim+1 points), else inverse-distance weighting.
+* ``rbf`` — :class:`scipy.interpolate.RBFInterpolator` (linear kernel),
+  exact at the neighbors, better curvature capture between them.
+
+The error estimate is leave-one-out cross-validation over the neighbor
+set: refit without each neighbor, predict it, take the worst miss over
+neighbors and coefficients.  With too few points for LOO the spread of
+neighbor values stands in (conservative).  Eligibility is explicit:
+:meth:`SurrogateConfig.eligible` requires ``min_neighbors`` within
+``max_distance`` (normalized units), so the tier never quietly
+extrapolates from the far side of the database.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..solvers.interface import CaseResult
+
+#: Interpolation methods :func:`interpolate` accepts.
+METHODS = ("linear", "rbf")
+
+
+@dataclass(frozen=True)
+class SurrogateConfig:
+    """Knobs of the surrogate tier.
+
+    ``max_error`` (in coefficient units) demotes a surrogate answer
+    whose LOO estimate is worse back to the solve tier: the service
+    would rather pay for a solve than serve a bad interpolation.
+    """
+
+    method: str = "linear"
+    k: int = 6
+    min_neighbors: int = 3
+    max_distance: float = 0.75
+    max_error: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.method not in METHODS:
+            raise ConfigurationError(
+                f"unknown surrogate method {self.method!r}; "
+                f"known: {METHODS}"
+            )
+        if self.min_neighbors < 2:
+            raise ConfigurationError(
+                f"min_neighbors must be >= 2, got {self.min_neighbors}"
+            )
+        if self.k < self.min_neighbors:
+            raise ConfigurationError(
+                f"k ({self.k}) must be >= min_neighbors "
+                f"({self.min_neighbors})"
+            )
+
+    def eligible(self, neighbors: list[tuple[float, CaseResult]]) -> bool:
+        """Can this neighbor set support an interpolation?"""
+        close = [d for d, _ in neighbors if d <= self.max_distance]
+        return len(close) >= self.min_neighbors
+
+    def within(self, neighbors: list[tuple[float, CaseResult]]
+               ) -> list[tuple[float, CaseResult]]:
+        """The usable support: neighbors inside ``max_distance``."""
+        return [(d, r) for d, r in neighbors if d <= self.max_distance]
+
+
+def _coordinates(wind: dict, axes: tuple[str, ...]) -> np.ndarray:
+    return np.array(
+        [float(wind[name]) for name in axes], dtype=np.float64
+    )
+
+
+def _predict(coords: np.ndarray, values: np.ndarray, at: np.ndarray,
+             method: str) -> np.ndarray:
+    """Predict coefficient rows at one point from neighbor samples.
+
+    ``coords`` is (n, ndim) neighbor positions, ``values`` (n, ncoef)
+    their coefficients, ``at`` the (ndim,) query point.
+    """
+    n, ndim = coords.shape
+    if method == "rbf" and n >= 2:
+        from scipy.interpolate import RBFInterpolator
+
+        interp = RBFInterpolator(coords, values, kernel="linear")
+        return np.asarray(interp(at[None, :])[0], dtype=np.float64)
+    if n >= ndim + 1:
+        # affine least squares: c(w) = a + b . w
+        design = np.hstack(
+            [np.ones((n, 1), dtype=np.float64), coords]
+        )
+        fit, *_ = np.linalg.lstsq(design, values, rcond=None)
+        return np.asarray(
+            np.hstack([1.0, at]) @ fit, dtype=np.float64
+        )
+    # under-determined: inverse-distance weighting
+    dist = np.linalg.norm(coords - at[None, :], axis=1)
+    if np.any(dist < 1.0e-12):
+        return np.asarray(
+            values[int(np.argmin(dist))], dtype=np.float64
+        )
+    weights = 1.0 / dist**2
+    return np.asarray(
+        (weights[:, None] * values).sum(axis=0) / weights.sum(),
+        dtype=np.float64,
+    )
+
+
+def _loo_error(coords: np.ndarray, values: np.ndarray,
+               method: str) -> float:
+    """Leave-one-out cross-validation error (worst miss, coefficient
+    units); falls back to the neighbor-value spread when the set is too
+    small to refit without a point."""
+    n = coords.shape[0]
+    if n < 3:
+        spread = values.max(axis=0) - values.min(axis=0)
+        return float(spread.max()) if spread.size else 0.0
+    worst = 0.0
+    mask = np.ones(n, dtype=bool)
+    for i in range(n):
+        mask[i] = False
+        predicted = _predict(
+            coords[mask], values[mask], coords[i], method
+        )
+        worst = max(worst, float(np.abs(predicted - values[i]).max()))
+        mask[i] = True
+    return worst
+
+
+def interpolate(
+    wind: dict,
+    neighbors: list[tuple[float, CaseResult]],
+    method: str = "linear",
+) -> tuple[dict, float]:
+    """Interpolate one wind point from ``(distance, result)`` neighbors.
+
+    Returns ``(coefficients, error_estimate)``.  Neighbors must share
+    the query's wind axes (the point index guarantees that); the
+    coefficient name set is the intersection across neighbors, so a
+    mixed-provenance group never fabricates a coefficient only some
+    neighbors carry.
+    """
+    if method not in METHODS:
+        raise ConfigurationError(
+            f"unknown surrogate method {method!r}; known: {METHODS}"
+        )
+    if not neighbors:
+        raise ConfigurationError("cannot interpolate from zero neighbors")
+    axes = tuple(sorted(
+        name for name, value in wind.items()
+        if isinstance(value, (int, float))
+    ))
+    if not axes:
+        raise ConfigurationError("query wind point has no numeric axes")
+    names: set[str] = set(neighbors[0][1].coefficients)
+    for _, result in neighbors[1:]:
+        names &= set(result.coefficients)
+    ordered = tuple(sorted(names))
+    if not ordered:
+        raise ConfigurationError(
+            "neighbor results share no coefficient names"
+        )
+    # normalize each axis by the spread the support covers, so Mach
+    # (0.0x wide) and alpha (degrees wide) weigh comparably
+    raw = np.array(
+        [_coordinates(r.spec.wind_params, axes) for _, r in neighbors],
+        dtype=np.float64,
+    )
+    at = _coordinates(wind, axes)
+    lo = np.minimum(raw.min(axis=0), at)
+    hi = np.maximum(raw.max(axis=0), at)
+    scale = np.where(hi > lo, hi - lo, 1.0)
+    coords = raw / scale
+    values = np.array(
+        [[float(r.coefficients[name]) for name in ordered]
+         for _, r in neighbors],
+        dtype=np.float64,
+    )
+    predicted = _predict(coords, values, at / scale, method)
+    if not np.all(np.isfinite(predicted)):
+        raise ConfigurationError(
+            "surrogate prediction is not finite; neighbor set is "
+            "degenerate (collinear or duplicated wind points)"
+        )
+    error = _loo_error(coords, values, method)
+    if not math.isfinite(error):
+        error = float(
+            (values.max(axis=0) - values.min(axis=0)).max()
+        )
+    return dict(zip(ordered, predicted.tolist())), error

@@ -48,10 +48,12 @@ from .spans import (
     span,
     traced,
 )
+from .stats import LatencyHistogram
 
 __all__ = [
     "NULL_SPAN",
     "EpochClock",
+    "LatencyHistogram",
     "Span",
     "Timeline",
     "TimelineEvent",

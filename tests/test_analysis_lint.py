@@ -404,6 +404,97 @@ class TestFinishInCleanupRule:
                          select={"R010"}) == []
 
 
+class TestBlockingCallInServiceCoroutine:
+    def test_time_sleep_flagged_in_service_coroutine(self):
+        src = (
+            "import time\n"
+            "async def query(self):\n"
+            "    time.sleep(0.1)\n"
+        )
+        diags = diags_for(src, "src/repro/service/frontend.py",
+                          select={"R012"})
+        assert [d.rule for d in diags] == ["R012"]
+        assert "event loop" in diags[0].message
+
+    def test_solver_construction_flagged(self):
+        src = (
+            "from repro.solvers.cart3d import Cart3DSolver\n"
+            "async def solve_inline(spec):\n"
+            "    return Cart3DSolver(spec)\n"
+        )
+        diags = diags_for(src, "src/repro/service/frontend.py",
+                          select={"R012"})
+        assert [d.rule for d in diags] == ["R012"]
+
+    def test_synchronous_campaign_drivers_flagged(self):
+        src = (
+            "async def answer(self, spec, tree):\n"
+            "    self.runtime.run_case(spec)\n"
+            "    self.runtime.run_tree(tree)\n"
+        )
+        diags = diags_for(src, "src/repro/service/frontend.py",
+                          select={"R012"})
+        assert [d.rule for d in diags] == ["R012", "R012"]
+
+    def test_sync_def_in_service_passes(self):
+        """The rule polices coroutine bodies only; synchronous helpers
+        (the CLI runner, recover()) legitimately block."""
+        src = (
+            "import time\n"
+            "def runner(spec, shared):\n"
+            "    time.sleep(0.1)\n"
+        )
+        assert diags_for(src, "src/repro/service/__main__.py",
+                         select={"R012"}) == []
+
+    def test_nested_sync_def_is_its_own_context(self):
+        src = (
+            "import time\n"
+            "async def query(self):\n"
+            "    def backoff():\n"
+            "        time.sleep(0.1)\n"
+            "    return backoff\n"
+        )
+        assert diags_for(src, "src/repro/service/frontend.py",
+                         select={"R012"}) == []
+
+    def test_not_flagged_outside_service(self):
+        src = (
+            "import time\n"
+            "async def poll(self):\n"
+            "    time.sleep(0.1)\n"
+        )
+        assert diags_for(src, "src/repro/database/runtime.py",
+                         select={"R012"}) == []
+
+    def test_awaiting_the_bridge_passes(self):
+        src = (
+            "import asyncio\n"
+            "async def query(self, spec):\n"
+            "    handle = self.runtime.submit(spec)\n"
+            "    await asyncio.sleep(0)\n"
+            "    return await handle.wait(self.solve_timeout)\n"
+        )
+        assert diags_for(src, "src/repro/service/frontend.py",
+                         select={"R012"}) == []
+
+    def test_noqa_suppresses(self):
+        src = (
+            "import time\n"
+            "async def query(self):\n"
+            "    time.sleep(0.1)  # noqa\n"
+        )
+        assert diags_for(src, "src/repro/service/frontend.py",
+                         select={"R012"}) == []
+
+    def test_shipped_service_package_is_clean(self):
+        repo = Path(__file__).parent.parent
+        diags = lint_paths(
+            [repo / "src" / "repro" / "service"], select={"R012"}
+        )
+        assert diags == []
+
+
 class TestRunner:
     def test_select_filters_rules(self):
         src = (

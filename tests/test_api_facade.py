@@ -49,7 +49,20 @@ class TestFacade:
             repro.no_such_submodule
 
     def test_api_version_is_declared(self):
-        assert api.__api_version__ == "6.0"
+        assert api.__api_version__ == "7.0"
+
+    def test_service_surface_exported(self):
+        for name in (
+            "DatabaseService", "PointQuery", "QueryResponse",
+            "ServiceCounters", "SurrogateConfig", "AdmissionController",
+            "TenantQuota", "ServiceOverloaded", "LatencyHistogram",
+        ):
+            assert name in api.__all__
+            assert getattr(api, name) is not None
+        from repro import errors, service
+
+        assert api.DatabaseService is service.DatabaseService
+        assert api.ServiceOverloaded is errors.ServiceOverloaded
 
     def test_backend_selection_surface_exported(self):
         for name in (
