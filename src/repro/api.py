@@ -84,6 +84,12 @@ from .errors import (
     SolverDivergence,
     WorkerCrash,
 )
+from .kernels import (
+    ENGINES,
+    KernelConfig,
+    make_engine,
+    resolve_kernel_config,
+)
 from .machine import CPUS_PER_NODE, Columbia, node_slots, vortex_subcluster
 from .mesh.cartesian import (
     CartesianMesh,
@@ -171,7 +177,13 @@ from .telemetry import (
 #: with the typed ``ServiceOverloaded`` shed error), the awaitable
 #: ``CaseHandle`` bridge (``await handle`` / ``result(timeout=...)``)
 #: and ``LatencyHistogram``.
-__api_version__ = "7.0"
+#: 8.0 added unified kernel-engine selection (``KernelConfig`` +
+#: ``engine="numpy" | "batched" | "numba"`` across the solver
+#: factories, ``make_parallel_*``, ``RuntimeConfig.kernels`` and
+#: ``Cart3DCaseRunner``) and the ``make_engine`` factory; the bare
+#: ``parallel``/``fastmath``/``block_size`` keywords on the solver
+#: factories are deprecated spellings of the config fields.
+__api_version__ = "8.0"
 
 __all__ = [
     # solvers — unified surface
@@ -198,6 +210,11 @@ __all__ = [
     "DistributedSolveDriver",
     "BACKENDS",
     "RuntimeConfig",
+    # kernel engines (one numerical fast path for both solvers)
+    "ENGINES",
+    "KernelConfig",
+    "make_engine",
+    "resolve_kernel_config",
     "PlanExchanger",
     "HybridExchanger",
     "ProcessExchanger",
@@ -311,6 +328,11 @@ def make_cart3d_solver(
     mach: float = 0.5,
     alpha_deg: float = 0.0,
     beta_deg: float = 0.0,
+    kernel_config: KernelConfig | None = None,
+    engine: str | None = None,
+    parallel: bool | None = None,
+    fastmath: bool | None = None,
+    block_size: int | None = None,
     **kwargs,
 ) -> Cart3DSolver:
     """Construct the inviscid Cart3D-style solver (the blessed path).
@@ -319,7 +341,16 @@ def make_cart3d_solver(
     runtime, the workflow, user scripts — goes through one audited
     function, which is what lint rule R005 checks inside
     ``repro.database``.
+
+    Kernel execution is selected by ``kernel_config=KernelConfig(...)``
+    (or the ``engine="numpy" | "batched" | "numba"`` shorthand); the
+    bare ``parallel``/``fastmath``/``block_size`` keywords are
+    deprecated spellings of the config fields.
     """
+    kernel_config = resolve_kernel_config(
+        kernel_config, engine, where="make_cart3d_solver",
+        parallel=parallel, fastmath=fastmath, block_size=block_size,
+    )
     return Cart3DSolver(
         solid,
         mesh=mesh,
@@ -330,6 +361,7 @@ def make_cart3d_solver(
         mach=mach,
         alpha_deg=alpha_deg,
         beta_deg=beta_deg,
+        kernel_config=kernel_config,
         **kwargs,
     )
 
@@ -343,9 +375,24 @@ def make_nsu3d_solver(
     reynolds: float = 1.0e5,
     mg_levels: int = 4,
     turbulence: bool = True,
+    kernel_config: KernelConfig | None = None,
+    engine: str | None = None,
+    parallel: bool | None = None,
+    fastmath: bool | None = None,
+    block_size: int | None = None,
     **kwargs,
 ) -> NSU3DSolver:
-    """Construct the high-fidelity NSU3D-style RANS solver."""
+    """Construct the high-fidelity NSU3D-style RANS solver.
+
+    Kernel execution is selected exactly like
+    :func:`make_cart3d_solver` — ``kernel_config=`` or the ``engine=``
+    shorthand, with the bare ``parallel``/``fastmath``/``block_size``
+    keywords deprecated.
+    """
+    kernel_config = resolve_kernel_config(
+        kernel_config, engine, where="make_nsu3d_solver",
+        parallel=parallel, fastmath=fastmath, block_size=block_size,
+    )
     return NSU3DSolver(
         mesh=mesh,
         mach=mach,
@@ -354,6 +401,7 @@ def make_nsu3d_solver(
         reynolds=reynolds,
         mg_levels=mg_levels,
         turbulence=turbulence,
+        kernel_config=kernel_config,
         **kwargs,
     )
 
@@ -365,6 +413,8 @@ def make_parallel_nsu3d(
     seed: int = 0,
     config: RuntimeConfig | None = None,
     backend: str | None = None,
+    kernel_config: KernelConfig | None = None,
+    engine: str | None = None,
     overlap: bool | None = None,
     charge_compute: bool | None = None,
     sanitize: bool | None = None,
@@ -375,14 +425,23 @@ def make_parallel_nsu3d(
     ``backend="sim" | "hybrid" | "process"`` shorthand): call
     ``.solve(ncycles, ...)`` for the config-driven path, or
     ``.run(world, ncycles, ...)`` with your own :class:`SimMPI` world.
-    The bare ``overlap``/``charge_compute``/``sanitize`` keywords are
-    deprecated spellings of the config fields.  The solver must be
-    built with ``turbulence=False`` — the SA source terms need
-    distributed nodal gradients and stay serial.
+    The kernel engine rides along the same way —
+    ``kernel_config=KernelConfig(...)`` / the ``engine=`` shorthand /
+    ``config.kernels``; when none of them is given the serial solver's
+    own engine carries over.  The bare
+    ``overlap``/``charge_compute``/``sanitize`` keywords are deprecated
+    spellings of the config fields.  The solver must be built with
+    ``turbulence=False`` — the SA source terms need distributed nodal
+    gradients and stay serial.
     """
+    if kernel_config is not None or engine is not None:
+        kernel_config = resolve_kernel_config(
+            kernel_config, engine, where="make_parallel_nsu3d"
+        )
     return ParallelNSU3D.from_solver(
         solver, nparts, seed=seed, config=config, backend=backend,
-        overlap=overlap, charge_compute=charge_compute, sanitize=sanitize,
+        kernel_config=kernel_config, overlap=overlap,
+        charge_compute=charge_compute, sanitize=sanitize,
     )
 
 
@@ -392,6 +451,8 @@ def make_parallel_cart3d(
     *,
     config: RuntimeConfig | None = None,
     backend: str | None = None,
+    kernel_config: KernelConfig | None = None,
+    engine: str | None = None,
     overlap: bool | None = None,
     charge_compute: bool | None = None,
     sanitize: bool | None = None,
@@ -403,10 +464,19 @@ def make_parallel_cart3d(
     ``backend="sim" | "hybrid" | "process"`` shorthand): call
     ``.solve(ncycles, ...)`` for the config-driven path, or
     ``.run(world, ncycles, ...)`` with your own :class:`SimMPI` world.
-    The bare ``overlap``/``charge_compute``/``sanitize`` keywords are
-    deprecated spellings of the config fields.
+    The kernel engine rides along the same way —
+    ``kernel_config=KernelConfig(...)`` / the ``engine=`` shorthand /
+    ``config.kernels``; when none of them is given the serial solver's
+    own engine carries over.  The bare
+    ``overlap``/``charge_compute``/``sanitize`` keywords are deprecated
+    spellings of the config fields.
     """
+    if kernel_config is not None or engine is not None:
+        kernel_config = resolve_kernel_config(
+            kernel_config, engine, where="make_parallel_cart3d"
+        )
     return ParallelCart3D.from_solver(
-        solver, nparts, config=config, backend=backend, overlap=overlap,
+        solver, nparts, config=config, backend=backend,
+        kernel_config=kernel_config, overlap=overlap,
         charge_compute=charge_compute, sanitize=sanitize,
     )

@@ -987,6 +987,12 @@ class Cart3DCaseRunner:
     driven by the config, so ``backend="process"`` cases execute on
     real worker processes).  The bare ``nranks``/``overlap`` keywords
     are deprecated spellings of the config fields.
+
+    The kernel engine is selected by ``kernel_config=KernelConfig(...)``
+    (or the ``engine=`` shorthand, or ``config.kernels``) and applies to
+    every case the runner solves, serial or distributed.  Engines are
+    numerically interchangeable (parity-tested), so the choice stays
+    *out* of :meth:`settings` — cached results are engine-independent.
     """
 
     solver_name = "cart3d"
@@ -1006,10 +1012,13 @@ class Cart3DCaseRunner:
         chaos=None,
         config=None,
         backend: str | None = None,
+        kernel_config=None,
+        engine: str | None = None,
         nranks: int | None = None,
         overlap: bool | None = None,
     ):
-        from ..runtime import resolve_config
+        from ..kernels import resolve_kernel_config
+        from ..runtime import merge_kernel_config, resolve_config
 
         self.geometry = geometry
         self.dim = dim
@@ -1024,6 +1033,13 @@ class Cart3DCaseRunner:
         self.config = resolve_config(
             config, backend, where="Cart3DCaseRunner", nranks=nranks,
             overlap=overlap,
+        )
+        if kernel_config is not None or engine is not None:
+            kernel_config = resolve_kernel_config(
+                kernel_config, engine, where="Cart3DCaseRunner"
+            )
+        self.config = merge_kernel_config(
+            self.config, kernel_config, "Cart3DCaseRunner"
         )
         if self.config.backend != "sim" and self.config.nranks is None:
             raise errors.ConfigurationError(
@@ -1107,6 +1123,7 @@ class Cart3DCaseRunner:
             mach=wind.get("mach", 0.5),
             alpha_deg=wind.get("alpha", 0.0),
             beta_deg=wind.get("beta", 0.0),
+            kernel_config=self.config.kernels,
         )
         if self.nranks == 1 and self.backend == "sim":
             solver.solve(ncycles=self.cycles, tol_orders=self.tol_orders)

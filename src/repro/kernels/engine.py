@@ -1,0 +1,142 @@
+"""The kernel-engine contract and the dispatch seam.
+
+:class:`KernelEngine` is the runtime-checkable protocol every engine
+implements: the six hot primitives the solvers dispatch through —
+scatter accumulation, Euler-Jacobian block assembly (single and
+per-edge-pair), dense block solves (one-shot and frozen/factored),
+grouped block-tridiagonal Thomas sweeps, and the RK stage update.
+
+Dispatch is ambient: the solver modules call :func:`get_engine` at their
+hot sites, and the facades (serial solvers, the ``SolverKernels``
+adapters, the case runner) activate their configured engine around each
+cycle with :func:`use_engine`.  The default — with nothing activated —
+is the reference numpy engine, so every historical entry point keeps its
+bitwise behavior.  The active engine rides a :class:`contextvars.
+ContextVar`, which makes the selection thread-local-by-default (SimMPI
+rank threads inherit a copy of the context) and safe to nest.
+
+:func:`make_engine` turns a :class:`~repro.kernels.config.KernelConfig`
+(or bare engine name) into an engine instance; ``"numba"`` degrades to
+``"batched"`` with a :class:`RuntimeWarning` when numba is absent.
+"""
+
+from __future__ import annotations
+
+import warnings
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Any, Iterator, Protocol, runtime_checkable
+
+import numpy as np
+
+from .batched import BatchedEngine
+from .config import KernelConfig
+from .numpy_engine import NumpyEngine
+
+
+class BlockFactor(Protocol):
+    """A frozen, reusable factorization of point-implicit diagonals."""
+
+    def solve(self, rhs: np.ndarray) -> np.ndarray: ...
+
+
+@runtime_checkable
+class KernelEngine(Protocol):
+    """The six hot primitives every kernel engine provides.
+
+    ``scatter_add`` mutates ``out`` in place (the accumulation pattern
+    behind residuals, gradients and the implicit diagonal); everything
+    else is pure.  ``thomas`` takes a list of ``(lower, diag, upper,
+    rhs)`` block-tridiagonal groups — one per line-length class — and
+    returns their solutions in order, which is the seam that lets the
+    batched engine fuse groups into padded slabs.
+    """
+
+    name: str
+
+    def scatter_add(
+        self, out: np.ndarray, idx: np.ndarray, contrib: np.ndarray
+    ) -> None: ...
+
+    def euler_jacobian(
+        self, q: np.ndarray, normal: np.ndarray
+    ) -> np.ndarray: ...
+
+    def edge_jacobians(
+        self, qa: np.ndarray, qb: np.ndarray, normal: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]: ...
+
+    def block_solve(
+        self, diag: np.ndarray, rhs: np.ndarray
+    ) -> np.ndarray: ...
+
+    def block_factor(self, diag: np.ndarray) -> BlockFactor: ...
+
+    def thomas(self, systems: list) -> list: ...
+
+    def rk_update(
+        self, q0: np.ndarray, scale: np.ndarray, r: np.ndarray
+    ) -> np.ndarray: ...
+
+
+#: The reference engine — the ambient default at every dispatch site.
+_REFERENCE = NumpyEngine()
+
+_ACTIVE: ContextVar[Any] = ContextVar("repro_kernel_engine", default=None)
+
+
+def get_engine() -> KernelEngine:
+    """The engine active in this context (reference engine by default)."""
+    engine = _ACTIVE.get()
+    return engine if engine is not None else _REFERENCE
+
+
+@contextmanager
+def use_engine(engine: KernelEngine | None) -> Iterator[KernelEngine]:
+    """Activate ``engine`` for the dynamic extent of the ``with`` block.
+
+    ``None`` re-activates the reference engine (useful for pinning a
+    bit-exact region inside a batched solve).
+    """
+    token = _ACTIVE.set(engine)
+    try:
+        yield engine if engine is not None else _REFERENCE
+    finally:
+        _ACTIVE.reset(token)
+
+
+def make_engine(
+    config: KernelConfig | str | None = None,
+) -> KernelEngine:
+    """Build the engine a :class:`KernelConfig` (or bare name) selects.
+
+    ``"numba"`` is behind a soft import: when numba is missing the call
+    warns :class:`RuntimeWarning` and returns the batched engine built
+    from the same knobs, so configured campaigns run everywhere.
+    """
+    if config is None:
+        config = KernelConfig()
+    elif isinstance(config, str):
+        config = KernelConfig(engine=config)
+    if config.engine == "numpy":
+        return _REFERENCE
+    if config.engine == "batched":
+        return BatchedEngine(block_size=config.resolved_block_size)
+    from .numba_engine import NumbaEngine, load_numba
+
+    try:
+        load_numba()
+    except ImportError:
+        warnings.warn(
+            "engine='numba' requested but numba is not importable "
+            "(install the repro[kernels] extra); degrading to the "
+            "batched engine",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return BatchedEngine(block_size=config.resolved_block_size)
+    return NumbaEngine(
+        block_size=config.resolved_block_size,
+        parallel=config.parallel,
+        fastmath=config.fastmath,
+    )

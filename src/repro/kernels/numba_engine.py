@@ -1,0 +1,130 @@
+"""Optional numba-compiled twins of the scatter/update kernels.
+
+The engine is a :class:`~repro.kernels.batched.BatchedEngine` whose two
+memory-bound primitives — scatter accumulation and the RK stage update —
+are replaced by ``@njit(cache=True)`` loops (optionally ``parallel=True``
+with ``prange`` and ``fastmath=True``).  The linear-algebra kernels
+(block solves, Thomas slabs) stay on the batched numpy path: they spend
+their time inside LAPACK already, where a JIT adds nothing.
+
+numba is an *optional* dependency (the ``repro[kernels]`` extra).  The
+import is soft: :func:`~repro.kernels.engine.make_engine` calls
+:func:`load_numba` and degrades to the batched engine with a
+:class:`RuntimeWarning` when it raises — campaigns configured with
+``engine="numba"`` still run everywhere, just without the JIT.
+Compiled dispatchers are cached per ``(parallel, fastmath)`` in a
+module-level table, never on the engine instance, so engine objects
+stay picklable and travel to process workers inside ``WorkerSpec``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from .batched import BatchedEngine
+from .config import DEFAULT_BLOCK_SIZE
+
+
+def load_numba() -> Any:
+    """Import numba (the soft-import seam the fallback tests patch)."""
+    import numba
+
+    return numba
+
+
+#: Compiled kernel tables keyed by (parallel, fastmath).
+_COMPILED: dict = {}
+
+
+def _kernels(parallel: bool, fastmath: bool) -> dict:
+    """Compile (or fetch) the jitted twins for one knob combination."""
+    key = (parallel, fastmath)
+    table = _COMPILED.get(key)
+    if table is not None:
+        return table
+    numba = load_numba()
+    njit = numba.njit
+    step = numba.prange if parallel else range
+
+    @njit(cache=True, parallel=parallel, fastmath=fastmath)
+    def scatter_add_1d(out, idx, contrib):
+        for e in range(idx.shape[0]):
+            out[idx[e]] += contrib[e]
+
+    @njit(cache=True, parallel=parallel, fastmath=fastmath)
+    def scatter_add_2d(out, idx, contrib):
+        ncols = out.shape[1]
+        for e in range(idx.shape[0]):
+            row = idx[e]
+            for j in range(ncols):
+                out[row, j] += contrib[e, j]
+
+    @njit(cache=True, parallel=parallel, fastmath=fastmath)
+    def rk_update(q0, scale, r):
+        out = np.empty_like(q0)
+        ncols = q0.shape[1]
+        for i in step(q0.shape[0]):
+            s = scale[i]
+            for j in range(ncols):
+                out[i, j] = q0[i, j] - s * r[i, j]
+        return out
+
+    table = {
+        "scatter_add_1d": scatter_add_1d,
+        "scatter_add_2d": scatter_add_2d,
+        "rk_update": rk_update,
+    }
+    _COMPILED[key] = table
+    return table
+
+
+class NumbaEngine(BatchedEngine):
+    """JIT-compiled :class:`~repro.kernels.engine.KernelEngine`."""
+
+    name = "numba"
+
+    def __init__(
+        self,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        parallel: bool = False,
+        fastmath: bool = False,
+    ):
+        super().__init__(block_size=block_size)
+        self.parallel = bool(parallel)
+        self.fastmath = bool(fastmath)
+
+    def scatter_add(
+        self, out: np.ndarray, idx: np.ndarray, contrib: np.ndarray
+    ) -> None:
+        idx = np.ascontiguousarray(idx, dtype=np.int64)
+        if idx.shape[0] == 0:
+            return
+        table = _kernels(self.parallel, self.fastmath)
+        contrib = np.broadcast_to(
+            np.asarray(contrib, dtype=np.float64),
+            (idx.shape[0],) + out.shape[1:],
+        )
+        if out.ndim == 1:
+            table["scatter_add_1d"](out, idx, np.ascontiguousarray(contrib))
+        elif out.ndim == 2:
+            table["scatter_add_2d"](out, idx, np.ascontiguousarray(contrib))
+        else:
+            # higher-rank blocks (N, j, k): flatten the block axes; the
+            # jitted 2-D loop covers every case the solvers emit
+            flat = out.reshape(out.shape[0], -1)
+            table["scatter_add_2d"](
+                flat, idx,
+                np.ascontiguousarray(contrib.reshape(idx.shape[0], -1)),
+            )
+
+    def rk_update(
+        self, q0: np.ndarray, scale: np.ndarray, r: np.ndarray
+    ) -> np.ndarray:
+        table = _kernels(self.parallel, self.fastmath)
+        return table["rk_update"](
+            np.ascontiguousarray(q0),
+            np.ascontiguousarray(scale),
+            np.ascontiguousarray(r),
+        )

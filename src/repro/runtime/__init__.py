@@ -20,7 +20,12 @@ from .backends import (
     ProcessExchanger,
     make_exchanger,
 )
-from .config import BACKENDS, RuntimeConfig, resolve_config
+from .config import (
+    BACKENDS,
+    RuntimeConfig,
+    merge_kernel_config,
+    resolve_config,
+)
 from .domain import (
     DistributedDomain,
     DomainHierarchy,
@@ -39,6 +44,7 @@ from .sanitizer import GhostSanitizer, GuardedArray, SanitizedPendingGroup
 __all__ = [
     "BACKENDS",
     "RuntimeConfig",
+    "merge_kernel_config",
     "resolve_config",
     "Partitioner",
     "MetisLinePartitioner",

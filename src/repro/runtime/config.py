@@ -26,6 +26,7 @@ import warnings
 from dataclasses import dataclass, replace
 
 from ..errors import ConfigurationError
+from ..kernels import KernelConfig
 
 #: The blessed backend names, in documentation order.
 BACKENDS = ("sim", "hybrid", "process")
@@ -55,6 +56,10 @@ class RuntimeConfig:
     #: per-barrier / per-reply wait before a silent worker is declared
     #: dead (``WorkerCrash``); process backend only
     worker_timeout: float = 120.0
+    #: numerical kernel engine the solver kernels run on (``None`` means
+    #: the reference numpy engine); travels with the config into process
+    #: workers, so every backend runs the same engine
+    kernels: KernelConfig | None = None
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
@@ -149,3 +154,25 @@ def resolve_config(
             f"config.backend={config.backend!r}"
         )
     return config
+
+
+def merge_kernel_config(
+    config: RuntimeConfig,
+    kernel_config: KernelConfig | None,
+    where: str,
+) -> RuntimeConfig:
+    """Fold a separately-passed ``kernel_config`` into a runtime config.
+
+    The facades accept the engine selection both ways — embedded in the
+    :class:`RuntimeConfig` (``kernels=``) or as a standalone
+    ``kernel_config=`` keyword.  Passing both with different values is
+    two sources of truth and an error.
+    """
+    if kernel_config is None:
+        return config
+    if config.kernels is not None and config.kernels != kernel_config:
+        raise ConfigurationError(
+            f"{where}: kernel_config={kernel_config!r} conflicts with "
+            f"config.kernels={config.kernels!r}"
+        )
+    return replace(config, kernels=kernel_config)

@@ -31,6 +31,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ...kernels import KernelConfig, make_engine, use_engine
 from ...runtime import (
     DistributedDomain,
     DistributedSolveDriver,
@@ -39,6 +40,7 @@ from ...runtime import (
     SFCPartitioner,
     build_domain_hierarchy,
     make_exchanger,
+    merge_kernel_config,
     resolve_config,
 )
 from ..fluxes import rusanov_flux, wall_flux
@@ -145,9 +147,16 @@ class Cart3DKernels:
     #: default cfl=2.0 — see the policy in :mod:`repro.runtime.multigrid`
     coarse_cfl_fraction = 0.75
 
-    def __init__(self, qinf: np.ndarray, flux: str = "vanleer"):
+    def __init__(self, qinf: np.ndarray, flux: str = "vanleer",
+                 kernel_config: KernelConfig | None = None):
         self.qinf = np.asarray(qinf, dtype=np.float64)
         self.flux = flux
+        self.kernel_config = (
+            kernel_config if kernel_config is not None else KernelConfig()
+        )
+        # engines hold no compiled state, so the kernels object (and with
+        # it the engine choice) stays picklable for WorkerSpec transport
+        self.engine = make_engine(self.kernel_config)
 
     # -- driver hooks --------------------------------------------------------
 
@@ -164,11 +173,12 @@ class Cart3DKernels:
         return f
 
     def defect(self, X, doms, qs, forcing=None) -> dict:
-        return self._completed_residual(X, doms, qs, forcing, None)
+        with use_engine(self.engine):
+            return self._completed_residual(X, doms, qs, forcing, None)
 
     def residual_norm(self, comm, X, doms, qs) -> float:
         """Global volume-scaled L2 density-residual norm (allreduce)."""
-        rs = self.defect(X, doms, qs, None)
+        rs = self.defect(X, doms, qs)
         local_sq = 0.0
         local_n = 0.0
         for p, dom in doms.items():
@@ -205,59 +215,64 @@ class Cart3DKernels:
         keeps the historical standalone behavior of clipping to
         positivity floors instead.
         """
-        qs = dict(qs)
-        X.copy(qs, tag=22)
-        pending = None
-        for _ in range(nsteps):
+        engine = self.engine
+        with use_engine(engine):
+            qs = dict(qs)
+            X.copy(qs, tag=22)
+            pending = None
+            for _ in range(nsteps):
+                if pending is not None:
+                    pending.finish()
+                    pending = None
+                dt = self._time_step(X, doms, qs, cfl)
+                dtov = {p: dt[p] / doms[p].ctx.vol for p in doms}
+                q0 = {p: qs[p].copy() for p in doms}
+                for alpha in RK_COEFFS:
+                    rs = self._completed_residual(
+                        X, doms, qs, forcing, pending
+                    )
+                    pending = None
+                    if in_cycle:
+                        cand = {
+                            p: engine.rk_update(q0[p], alpha * dtov[p], rs[p])
+                            for p in doms
+                        }
+                        if not _globally_physical(X.comm, doms, cand):
+                            # halve the step until physical (rarely more
+                            # than once); the decision is collective so
+                            # all ranks damp identically
+                            scale = 0.5
+                            for _ in range(6):
+                                cand = {
+                                    p: engine.rk_update(
+                                        q0[p], scale * alpha * dtov[p], rs[p]
+                                    )
+                                    for p in doms
+                                }
+                                if _globally_physical(X.comm, doms, cand):
+                                    break
+                                scale *= 0.5
+                            else:
+                                raise FloatingPointError(
+                                    "RK stage unrecoverable: negative "
+                                    "density/pressure"
+                                )
+                        qs = cand
+                    else:
+                        qs = {
+                            p: apply_positivity_floors(
+                                engine.rk_update(
+                                    q0[p], alpha * dtov[p], rs[p]
+                                )
+                            )
+                            for p in doms
+                        }
+                    if overlap:
+                        pending = X.start_copy(qs, tag=23)
+                    else:
+                        X.copy(qs, tag=23)
             if pending is not None:
                 pending.finish()
-                pending = None
-            dt = self._time_step(X, doms, qs, cfl)
-            q0 = {p: qs[p].copy() for p in doms}
-            for alpha in RK_COEFFS:
-                rs = self._completed_residual(X, doms, qs, forcing, pending)
-                pending = None
-                if in_cycle:
-                    cand = {
-                        p: q0[p]
-                        - alpha * (dt[p] / doms[p].ctx.vol)[:, None] * rs[p]
-                        for p in doms
-                    }
-                    if not _globally_physical(X.comm, doms, cand):
-                        # halve the step until physical (rarely more
-                        # than once); the decision is collective so all
-                        # ranks damp identically
-                        scale = 0.5
-                        for _ in range(6):
-                            cand = {
-                                p: q0[p] - scale * alpha
-                                * (dt[p] / doms[p].ctx.vol)[:, None] * rs[p]
-                                for p in doms
-                            }
-                            if _globally_physical(X.comm, doms, cand):
-                                break
-                            scale *= 0.5
-                        else:
-                            raise FloatingPointError(
-                                "RK stage unrecoverable: negative "
-                                "density/pressure"
-                            )
-                    qs = cand
-                else:
-                    qs = {
-                        p: apply_positivity_floors(
-                            q0[p]
-                            - alpha * (dt[p] / doms[p].ctx.vol)[:, None]
-                            * rs[p]
-                        )
-                        for p in doms
-                    }
-                if overlap:
-                    pending = X.start_copy(qs, tag=23)
-                else:
-                    X.copy(qs, tag=23)
-        if pending is not None:
-            pending.finish()
         return qs
 
     # -- internals -----------------------------------------------------------
@@ -266,22 +281,27 @@ class Cart3DKernels:
         """Flux accumulation over a face subset (plus the owned-only
         wall/far boundary fluxes when ``boundary``)."""
         flux_fn = FLUX_FUNCTIONS[self.flux]
+        engine = self.engine
         ctx = dom.ctx
         fl, fr, fn = faces
         r = np.zeros_like(q)
         f = flux_fn(q[fl], q[fr], fn)
-        np.add.at(r, fl, f)
-        np.add.at(r, fr, -f)
+        engine.scatter_add(r, fl, f)
+        engine.scatter_add(r, fr, -f)
         if boundary:
             if len(ctx.wall_cell):
-                np.add.at(r, ctx.wall_cell,
-                          wall_flux(q[ctx.wall_cell], ctx.wall_normal))
+                engine.scatter_add(
+                    r, ctx.wall_cell,
+                    wall_flux(q[ctx.wall_cell], ctx.wall_normal),
+                )
             if len(ctx.far_cell):
                 qf = np.broadcast_to(
                     self.qinf, (len(ctx.far_cell), q.shape[1])
                 )
-                np.add.at(r, ctx.far_cell,
-                          rusanov_flux(q[ctx.far_cell], qf, ctx.far_normal))
+                engine.scatter_add(
+                    r, ctx.far_cell,
+                    rusanov_flux(q[ctx.far_cell], qf, ctx.far_normal),
+                )
         return r
 
     def _completed_residual(self, X, doms, qs, forcing, pending) -> dict:
@@ -320,6 +340,7 @@ class Cart3DKernels:
 
     def _time_step(self, X, doms, qs, cfl) -> dict:
         """Local spectral-radius accumulation completed across ranks."""
+        engine = self.engine
         accs = {}
         for p, dom in doms.items():
             ctx = dom.ctx
@@ -332,7 +353,7 @@ class Cart3DKernels:
             def term(cells, normals):
                 area = np.linalg.norm(normals, axis=1)
                 un = np.abs(np.einsum("nd,nd->n", u[cells], normals))
-                np.add.at(acc[:, 0], cells, un + c[cells] * area)
+                engine.scatter_add(acc[:, 0], cells, un + c[cells] * area)
 
             term(ctx.face_left, ctx.face_normal)
             term(ctx.face_right, ctx.face_normal)
@@ -438,6 +459,7 @@ class ParallelCart3D:
                  transfers: list | None = None,
                  config: RuntimeConfig | None = None,
                  backend: str | None = None,
+                 kernel_config: KernelConfig | None = None,
                  overlap: bool | None = None,
                  charge_compute: bool | None = None,
                  sanitize: bool | None = None):
@@ -445,6 +467,7 @@ class ParallelCart3D:
             config, backend, where="ParallelCart3D", overlap=overlap,
             charge_compute=charge_compute, sanitize=sanitize,
         )
+        config = merge_kernel_config(config, kernel_config, "ParallelCart3D")
         # the historical fine-level-only constructor runs plain
         # smoothing steps; a caller-supplied hierarchy runs full cycles
         # even when it has a single level (matching the serial solvers)
@@ -461,7 +484,9 @@ class ParallelCart3D:
             for lvl in levels
         ]
         self.hierarchy = build_domain_hierarchy(specs, clusters, part)
-        self.kernels = Cart3DKernels(qinf, flux=flux)
+        self.kernels = Cart3DKernels(
+            qinf, flux=flux, kernel_config=config.kernels
+        )
         self.driver = DistributedSolveDriver(
             self.hierarchy, self.kernels, qinf, config=config,
             smoothing_only=smoothing_only,
@@ -478,6 +503,7 @@ class ParallelCart3D:
     def from_solver(cls, solver, nparts: int, *,
                     config: RuntimeConfig | None = None,
                     backend: str | None = None,
+                    kernel_config: KernelConfig | None = None,
                     overlap: bool | None = None,
                     charge_compute: bool | None = None,
                     sanitize: bool | None = None) -> "ParallelCart3D":
@@ -485,17 +511,21 @@ class ParallelCart3D:
 
         The distributed path runs first order (like the serial coarse
         levels); second-order fine-level reconstruction needs
-        distributed least-squares gradients and stays serial.
+        distributed least-squares gradients and stays serial.  With no
+        explicit engine selection the solver's own ``kernel_config``
+        carries over.
         """
         config = resolve_config(
             config, backend, where="ParallelCart3D.from_solver",
             overlap=overlap, charge_compute=charge_compute,
             sanitize=sanitize,
         )
+        if kernel_config is None and config.kernels is None:
+            kernel_config = getattr(solver, "kernel_config", None)
         return cls(
             solver.levels[0], solver.qinf, nparts, flux=solver.flux,
             levels=solver.levels, transfers=solver.transfers,
-            config=config,
+            config=config, kernel_config=kernel_config,
         )
 
     def run(self, world, ncycles: int, cfl: float = 2.0, *,

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ...kernels import get_engine
 from ..fluxes import roe_flux, rusanov_flux, van_leer_flux, wall_flux
 from .levels import Cart3DLevel
 
@@ -35,8 +36,9 @@ def ls_gradient_setup(level: Cart3DLevel) -> tuple[np.ndarray, np.ndarray]:
     a = np.zeros((level.nflow, dim, dim), dtype=np.float64)
     dr = centers[level.face_right] - centers[level.face_left]
     outer = dr[:, :, None] * dr[:, None, :]
-    np.add.at(a, level.face_left, outer)
-    np.add.at(a, level.face_right, outer)
+    engine = get_engine()
+    engine.scatter_add(a, level.face_left, outer)
+    engine.scatter_add(a, level.face_right, outer)
     # regularize rank-deficient cells
     scale = np.trace(a, axis1=1, axis2=2)
     eye = np.eye(dim)[None, :, :]
@@ -53,8 +55,9 @@ def ls_gradients(
     dr = centers[level.face_right] - centers[level.face_left]
     dq = q[level.face_right] - q[level.face_left]
     contrib = dr[:, :, None] * dq[:, None, :]
-    np.add.at(rhs, level.face_left, contrib)
-    np.add.at(rhs, level.face_right, contrib)
+    engine = get_engine()
+    engine.scatter_add(rhs, level.face_left, contrib)
+    engine.scatter_add(rhs, level.face_right, contrib)
     return np.einsum("nij,njk->nik", ainv, rhs)
 
 
@@ -68,6 +71,7 @@ def residual(
 ) -> np.ndarray:
     """Net-outflow residual (nflow, 5); zero at steady state."""
     flux_fn = FLUX_FUNCTIONS[flux]
+    engine = get_engine()
     r = np.zeros_like(q)
 
     ql = q[level.face_left]
@@ -95,16 +99,16 @@ def residual(
             qr[bad] = q[level.face_right][bad]
 
     f = flux_fn(ql, qr, level.face_normal)
-    np.add.at(r, level.face_left, f)
-    np.add.at(r, level.face_right, -f)
+    engine.scatter_add(r, level.face_left, f)
+    engine.scatter_add(r, level.face_right, -f)
 
     if len(level.wall_cell):
         fw = wall_flux(q[level.wall_cell], level.wall_normal)
-        np.add.at(r, level.wall_cell, fw)
+        engine.scatter_add(r, level.wall_cell, fw)
     if len(level.far_cell):
         qf = np.broadcast_to(qinf, (len(level.far_cell), q.shape[1]))
         ff = rusanov_flux(q[level.far_cell], qf, level.far_normal)
-        np.add.at(r, level.far_cell, ff)
+        engine.scatter_add(r, level.far_cell, ff)
     return r
 
 
@@ -124,13 +128,14 @@ def spectral_radius(level: Cart3DLevel, q: np.ndarray) -> np.ndarray:
     p = pressure(q)
     c = np.sqrt(GAMMA * p / q[:, 0])
     u = q[:, 1:4] / q[:, 0:1]
+    engine = get_engine()
     out = np.zeros(level.nflow, dtype=np.float64)
 
     def face_term(cells, normals, other=None):
         area = np.linalg.norm(normals, axis=1)
         un = np.abs(np.einsum("nd,nd->n", u[cells], normals))
         lam = un + c[cells] * area
-        np.add.at(out, cells, lam)
+        engine.scatter_add(out, cells, lam)
 
     face_term(level.face_left, level.face_normal)
     face_term(level.face_right, level.face_normal)

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ...kernels import get_engine
 from ...telemetry.spans import traced
 from .levels import Cart3DLevel
 from .residual import residual, spectral_radius
@@ -43,21 +44,23 @@ def rk_smooth(
     """
     from ..gas import check_physical
 
+    engine = get_engine()
     q = q.copy()
     for _ in range(nsteps):
         dt = local_time_step(level, q, cfl)
+        dt_over_vol = dt / level.vol
         q0 = q
         for alpha in RK_COEFFS:
             r = residual(level, q, qinf, flux=flux, order2=order2,
                          grad_setup=grad_setup)
             if forcing is not None:
                 r = r - forcing
-            cand = q0 - alpha * (dt / level.vol)[:, None] * r
+            cand = engine.rk_update(q0, alpha * dt_over_vol, r)
             if not check_physical(cand):
                 # halve the step until physical (rarely more than once)
                 scale = 0.5
                 for _ in range(6):
-                    cand = q0 - scale * alpha * (dt / level.vol)[:, None] * r
+                    cand = engine.rk_update(q0, scale * alpha * dt_over_vol, r)
                     if check_physical(cand):
                         break
                     scale *= 0.5

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ...kernels import KernelConfig, make_engine, use_engine
 from ...machine.counters import PerfCounters
 from ...mesh.cartesian import CartesianMesh
 from ...mesh.cartesian.geometry import ImplicitSolid
@@ -55,6 +56,7 @@ class Cart3DSolver:
         order2: bool = False,
         curve: str = "hilbert",
         counters: PerfCounters | None = None,
+        kernel_config: KernelConfig | None = None,
     ):
         self.levels, self.transfers = build_levels(
             solid, mesh=mesh, dim=dim, base_level=base_level,
@@ -68,6 +70,10 @@ class Cart3DSolver:
         self.cfl = cfl
         self.order2 = order2
         self.counters = counters if counters is not None else PerfCounters()
+        self.kernel_config = (
+            kernel_config if kernel_config is not None else KernelConfig()
+        )
+        self.engine = make_engine(self.kernel_config)
         self.grad_setups = (
             [ls_gradient_setup(self.levels[0])] if order2 else None
         )
@@ -96,7 +102,7 @@ class Cart3DSolver:
 
     def run_cycle(self, cycle: str = "W") -> float:
         """One multigrid cycle; returns the post-cycle residual norm."""
-        with self.counters.region("mg_cycle"):
+        with self.counters.region("mg_cycle"), use_engine(self.engine):
             self.q = fas_cycle(
                 self.levels, self.transfers, self.q, self.qinf,
                 cycle=cycle, cfl=self.cfl, flux=self.flux,
@@ -108,11 +114,7 @@ class Cart3DSolver:
                 for i, lvl in enumerate(self.levels)
             )
             self.counters.add_flops(work)
-        r = residual_norm(
-            self.levels[0], self.q, self.qinf, flux=self.flux,
-            order2=self.order2,
-            grad_setup=self.grad_setups[0] if self.grad_setups else None,
-        )
+        r = self.residual_norm()
         self.history.residuals.append(r)
         self.history.forces.append(self.forces())
         return r
@@ -188,18 +190,21 @@ class Cart3DSolver:
         return centers, pressure(self.q[level.wall_cell])
 
     def residual_norm(self) -> float:
-        return residual_norm(
-            self.levels[0], self.q, self.qinf, flux=self.flux,
-            order2=self.order2,
-            grad_setup=self.grad_setups[0] if self.grad_setups else None,
-        )
+        with use_engine(self.engine):
+            return residual_norm(
+                self.levels[0], self.q, self.qinf, flux=self.flux,
+                order2=self.order2,
+                grad_setup=self.grad_setups[0] if self.grad_setups else None,
+            )
 
     def level_residual(self, lvl: int) -> np.ndarray:
         """Raw residual on one level (used by the parallel driver's
         consistency tests)."""
-        return residual(
-            self.levels[lvl],
-            self.q if lvl == 0 else np.tile(self.qinf, (self.levels[lvl].nflow, 1)),
-            self.qinf,
-            flux=self.flux,
-        )
+        with use_engine(self.engine):
+            return residual(
+                self.levels[lvl],
+                self.q if lvl == 0
+                else np.tile(self.qinf, (self.levels[lvl].nflow, 1)),
+                self.qinf,
+                flux=self.flux,
+            )

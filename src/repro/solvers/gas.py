@@ -12,6 +12,8 @@ conversions untouched (it is advected like a passive scalar).
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
+
 import numpy as np
 
 GAMMA = 1.4
@@ -20,6 +22,43 @@ GM1 = GAMMA - 1.0
 #: Variable counts: Euler (Cart3D) and RANS+SA (NSU3D)
 NVAR_EULER = 5
 NVAR_RANS = 6
+
+
+@dataclass(frozen=True)
+class VariableLayout:
+    """Column roles in an ``(N, nvar)`` conservative state array.
+
+    Both solvers store ``[rho, rho u, rho v, rho w, rho E]`` in the
+    first five columns; anything beyond is a turbulence working
+    variable.  Code that treats specific columns specially (correction
+    limiting, positivity handling) should read the slots from here
+    rather than hard-coding indices, so wider state vectors keep
+    working.
+    """
+
+    nvar: int
+    density: int = 0
+    momentum: tuple[int, int, int] = (1, 2, 3)
+    energy: int = 4
+    #: turbulence working-variable columns (empty for pure Euler states)
+    turbulence: tuple[int, ...] = field(init=False)
+    #: columns guarded by relative-change limiting (thermodynamic state)
+    limited: tuple[int, ...] = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.nvar < NVAR_EULER:
+            raise ValueError(
+                f"state needs at least {NVAR_EULER} variables, got {self.nvar}"
+            )
+        object.__setattr__(
+            self, "turbulence", tuple(range(NVAR_EULER, self.nvar))
+        )
+        object.__setattr__(self, "limited", (self.density, self.energy))
+
+
+def variable_layout(nvar: int) -> VariableLayout:
+    """The :class:`VariableLayout` for an ``nvar``-wide state."""
+    return VariableLayout(nvar=int(nvar))
 
 
 def primitive_to_conservative(prim: np.ndarray) -> np.ndarray:

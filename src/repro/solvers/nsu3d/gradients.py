@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ...kernels import get_engine
 from ...mesh.unstructured.dual import DualMesh
 
 
@@ -29,11 +30,12 @@ def green_gauss(dual: DualMesh, fields: np.ndarray) -> np.ndarray:
     a = dual.edges[:, 0]
     b = dual.edges[:, 1]
     mid = 0.5 * (fields[a] + fields[b])  # (E, k)
+    engine = get_engine()
     contrib = dual.face_vectors[:, :, None] * mid[:, None, :]
-    np.add.at(grad, a, contrib)
-    np.add.at(grad, b, -contrib)
+    engine.scatter_add(grad, a, contrib)
+    engine.scatter_add(grad, b, -contrib)
     bcontrib = dual.bnormal[:, :, None] * fields[dual.bvert][:, None, :]
-    np.add.at(grad, dual.bvert, bcontrib)
+    engine.scatter_add(grad, dual.bvert, bcontrib)
     grad /= dual.volumes[:, None, None]
     return grad
 

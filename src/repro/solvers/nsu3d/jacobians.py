@@ -24,7 +24,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..gas import GAMMA, GM1, conservative_to_primitive
+from ...kernels import get_engine
+from ..gas import GAMMA, conservative_to_primitive
 from .context import FlowContext
 from .turbulence import CW1, eddy_viscosity
 
@@ -34,34 +35,10 @@ def euler_jacobian(q: np.ndarray, normal: np.ndarray) -> np.ndarray:
 
     ``q`` is (N, nvar >= 5); ``normal`` (N, 3) carries the face area.
     Returns (N, nvar, nvar); the SA row/column holds passive advection.
+    The assembly itself lives in :mod:`repro.kernels` and runs on the
+    active engine.
     """
-    q = np.asarray(q, dtype=np.float64)
-    nvar = q.shape[1]
-    prim = conservative_to_primitive(q)
-    u = prim[:, 1:4]
-    n = np.asarray(normal, dtype=np.float64)
-    vn = np.einsum("nd,nd->n", u, n)  # u . S (area-weighted)
-    phi = 0.5 * GM1 * np.sum(u * u, axis=1)
-    h = (q[:, 4] + prim[:, 4]) / prim[:, 0]
-
-    a = np.zeros((len(q), nvar, nvar), dtype=np.float64)
-    a[:, 0, 1:4] = n
-    for i in range(3):
-        a[:, 1 + i, 0] = phi * n[:, i] - u[:, i] * vn
-        for j in range(3):
-            a[:, 1 + i, 1 + j] = (
-                u[:, i] * n[:, j] - GM1 * u[:, j] * n[:, i]
-            )
-        a[:, 1 + i, 1 + i] += vn
-        a[:, 1 + i, 4] = GM1 * n[:, i]
-    a[:, 4, 0] = vn * (phi - h)
-    a[:, 4, 1:4] = h[:, None] * n - GM1 * u * vn[:, None]
-    a[:, 4, 4] = GAMMA * vn
-    if nvar > 5:
-        # passive advection of rho nu_hat; cross-coupling to the mean
-        # flow is frozen (standard loosely-coupled Jacobian)
-        a[:, 5, 5] = vn
-    return a
+    return get_engine().euler_jacobian(q, normal)
 
 
 def edge_spectral_radius(q: np.ndarray, edges, face_vectors) -> np.ndarray:
@@ -113,14 +90,14 @@ def assemble_diagonal(
     kv = viscous_edge_coefficient(ctx, q)
     scal = 0.5 * lam + kv  # identity part, both endpoints
 
+    engine = get_engine()
     scal_acc = np.zeros(n, dtype=np.float64)
-    np.add.at(scal_acc, a, scal)
-    np.add.at(scal_acc, b, scal)
+    engine.scatter_add(scal_acc, a, scal)
+    engine.scatter_add(scal_acc, b, scal)
     if include_convective_jacobian:
-        ja = euler_jacobian(q[a], ctx.face_vectors)
-        jb = euler_jacobian(q[b], ctx.face_vectors)
-        np.add.at(diag, a, 0.5 * ja)
-        np.add.at(diag, b, -0.5 * jb)
+        ja, jb = engine.edge_jacobians(q[a], q[b], ctx.face_vectors)
+        engine.scatter_add(diag, a, 0.5 * ja)
+        engine.scatter_add(diag, b, -0.5 * jb)
     diag += scal_acc[:, None, None] * eye[None, :, :]
 
     # boundary spectral radii keep the diagonal dominant at boundaries
@@ -136,7 +113,7 @@ def assemble_diagonal(
                 normals,
             )
             contrib = 0.5 * lam_b[:, None, None] * eye[None, :, :]
-            np.add.at(diag, verts, contrib)
+            engine.scatter_add(diag, verts, contrib)
 
     # SA destruction linearization (adds to the diagonal only)
     if nvar > 5:
@@ -163,8 +140,7 @@ def edge_offdiagonals(
     lam = edge_spectral_radius(q, ctx.edges, ctx.face_vectors)
     kv = viscous_edge_coefficient(ctx, q)
     eye = np.eye(nvar)[None, :, :]
-    ja = euler_jacobian(q[a], ctx.face_vectors)
-    jb = euler_jacobian(q[b], ctx.face_vectors)
+    ja, jb = get_engine().edge_jacobians(q[a], q[b], ctx.face_vectors)
     scal = (0.5 * lam + kv)[:, None, None] * eye
     off_ab = 0.5 * jb - scal
     off_ba = -0.5 * ja - scal
@@ -175,9 +151,10 @@ def local_time_step(ctx: FlowContext, q: np.ndarray, cfl: float) -> np.ndarray:
     """CFL-scaled local pseudo-time step per vertex."""
     lam = edge_spectral_radius(q, ctx.edges, ctx.face_vectors)
     kv = viscous_edge_coefficient(ctx, q)
+    engine = get_engine()
     acc = np.zeros(ctx.npoints, dtype=np.float64)
-    np.add.at(acc, ctx.edges[:, 0], lam + 2 * kv)
-    np.add.at(acc, ctx.edges[:, 1], lam + 2 * kv)
+    engine.scatter_add(acc, ctx.edges[:, 0], lam + 2 * kv)
+    engine.scatter_add(acc, ctx.edges[:, 1], lam + 2 * kv)
     for verts, normals in (
         (ctx.far_vert, ctx.far_normal),
         (ctx.sym_vert, ctx.sym_normal),
@@ -189,5 +166,5 @@ def local_time_step(ctx: FlowContext, q: np.ndarray, cfl: float) -> np.ndarray:
                 np.column_stack([np.arange(len(verts))] * 2),
                 normals,
             )
-            np.add.at(acc, verts, lam_b)
+            engine.scatter_add(acc, verts, lam_b)
     return cfl * ctx.volumes / np.maximum(acc, 1e-300)

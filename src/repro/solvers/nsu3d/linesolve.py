@@ -16,7 +16,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from ...kernels import get_engine
 from ...telemetry.spans import traced
+from ..gas import variable_layout
 from .context import FlowContext
 from .jacobians import assemble_diagonal, edge_offdiagonals, local_time_step
 from .residual import apply_wall_bc, residual
@@ -24,19 +26,25 @@ from .residual import apply_wall_bc, residual
 
 def limit_correction(q, dq, max_change: float = 0.2):
     """Per-point scaling so density, total energy and the turbulence
-    variable change boundedly per step — the standard guard against
-    violent startup corrections from coarse levels."""
+    variables change boundedly per step — the standard guard against
+    violent startup corrections from coarse levels.
+
+    Which columns get limited comes from the solver's variable layout,
+    not hard-coded slots, so extended state vectors (multi-equation
+    turbulence models) limit the right rows.
+    """
+    layout = variable_layout(q.shape[1])
     s = np.ones(len(q), dtype=np.float64)
-    for var in (0, 4):
+    for var in layout.limited:
         allowed = max_change * np.abs(q[:, var]) + 1e-300
         s = np.minimum(s, allowed / np.maximum(np.abs(dq[:, var]), 1e-300))
-    if q.shape[1] > 5:
+    for var in layout.turbulence:
         # allow bounded growth: a few times the current value, with a
         # floor tied to the largest working-variable level in the field
         # so near-zero points can still seed
-        seed = 0.05 * np.abs(q[:, 5]).max() + 1e-300
-        allowed = 2.0 * max_change * (np.abs(q[:, 5]) + seed)
-        s = np.minimum(s, allowed / np.maximum(np.abs(dq[:, 5]), 1e-300))
+        seed = 0.05 * np.abs(q[:, var]).max() + 1e-300
+        allowed = 2.0 * max_change * (np.abs(q[:, var]) + seed)
+        s = np.minimum(s, allowed / np.maximum(np.abs(dq[:, var]), 1e-300))
     return q + np.minimum(s, 1.0)[:, None] * dq
 
 
@@ -48,7 +56,7 @@ def point_implicit_update(
 ) -> np.ndarray:
     """One block-Jacobi step: q - D^{-1} rhs (all points)."""
     diag = assemble_diagonal(ctx, q, dt)
-    dq = np.linalg.solve(diag, rhs[:, :, None])[:, :, 0]
+    dq = get_engine().block_solve(diag, rhs)
     return q - dq
 
 
@@ -72,15 +80,24 @@ def _edge_lookup(ctx: FlowContext):
 
 
 def line_offdiag_blocks(
-    ctx: FlowContext, q: np.ndarray, batch: np.ndarray
+    ctx: FlowContext,
+    q: np.ndarray,
+    batch: np.ndarray,
+    offdiags: tuple[np.ndarray, np.ndarray] | None = None,
+    lookup: tuple[np.ndarray, np.ndarray, int] | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Sub/super-diagonal blocks along each line of a batch.
 
     Returns (lower, upper) of shape (L, m-1, nvar, nvar): ``upper[l, i]``
     couples line vertex i to i+1 (= dR_i/dq_{i+1}), ``lower[l, i]``
     couples vertex i+1 to i.
+
+    ``offdiags`` and ``lookup`` allow hoisting the per-edge Jacobians
+    (``edge_offdiagonals``) and the edge-index sort out of a loop over
+    batches — both depend only on ``(ctx, q)``, not the batch, and the
+    gather below is a pure indexing operation on them.
     """
-    sorted_keys, order, n = _edge_lookup(ctx)
+    sorted_keys, order, n = lookup if lookup is not None else _edge_lookup(ctx)
     va = batch[:, :-1]
     vb = batch[:, 1:]
     lo = np.minimum(va, vb)
@@ -91,7 +108,9 @@ def line_offdiag_blocks(
         raise ValueError("line contains a non-edge vertex pair")
     eid = order[pos].reshape(keys.shape)
 
-    off_ab, off_ba = edge_offdiagonals(ctx, q)
+    off_ab, off_ba = (
+        offdiags if offdiags is not None else edge_offdiagonals(ctx, q)
+    )
     # off_ab couples edges[:,0] -> edges[:,1]; orient along the line
     forward = (ctx.edges[eid, 0] == va)
     upper = np.where(forward[..., None, None], off_ab[eid], off_ba[eid])
@@ -102,36 +121,15 @@ def line_offdiag_blocks(
 def block_thomas(
     lower: np.ndarray, diag: np.ndarray, upper: np.ndarray, rhs: np.ndarray
 ) -> np.ndarray:
-    """Batched block-tridiagonal LU solve.
+    """Batched block-tridiagonal LU solve for one line group.
 
     Shapes: diag (L, m, k, k); lower/upper (L, m-1, k, k); rhs (L, m, k).
     Vectorized across the L lines of the batch (the paper's groups-of-64
-    strategy); the recursion runs over the m stations.
+    strategy); the recursion runs over the m stations.  The recursion
+    itself lives in :mod:`repro.kernels`; this wrapper dispatches one
+    group through the active engine.
     """
-    L, m, k, _ = diag.shape
-    cprime = np.empty((L, max(m - 1, 0), k, k), dtype=np.float64)
-    dprime = np.empty((L, m, k), dtype=np.float64)
-    dmat = diag[:, 0]
-    if m > 1:
-        cprime[:, 0] = np.linalg.solve(dmat, upper[:, 0])
-    dprime[:, 0] = np.linalg.solve(dmat, rhs[:, 0][..., None])[..., 0]
-    for i in range(1, m):
-        dmat = diag[:, i] - np.einsum(
-            "lab,lbc->lac", lower[:, i - 1], cprime[:, i - 1]
-        )
-        if i < m - 1:
-            cprime[:, i] = np.linalg.solve(dmat, upper[:, i])
-        rhs_i = rhs[:, i] - np.einsum(
-            "lab,lb->la", lower[:, i - 1], dprime[:, i - 1]
-        )
-        dprime[:, i] = np.linalg.solve(dmat, rhs_i[..., None])[..., 0]
-    out = np.empty((L, m, k), dtype=np.float64)
-    out[:, m - 1] = dprime[:, m - 1]
-    for i in range(m - 2, -1, -1):
-        out[:, i] = dprime[:, i] - np.einsum(
-            "lab,lb->la", cprime[:, i], out[:, i + 1]
-        )
-    return out
+    return get_engine().thomas([(lower, diag, upper, rhs)])[0]
 
 
 def line_implicit_update(
@@ -142,22 +140,29 @@ def line_implicit_update(
 ) -> np.ndarray:
     """Line-implicit smoothing: block-tridiagonal solves along the
     implicit lines, point-implicit everywhere else."""
+    engine = get_engine()
     diag = assemble_diagonal(ctx, q, dt)
     dq = np.zeros_like(q)
 
+    batches = batch_lines_by_length(ctx.lines)
+    offdiags = edge_offdiagonals(ctx, q)
+    lookup = _edge_lookup(ctx)
     on_line = np.zeros(ctx.npoints, dtype=bool)
-    for length, batch in batch_lines_by_length(ctx.lines).items():
+    systems = []
+    for batch in batches.values():
         on_line[batch.ravel()] = True
-        lower, upper = line_offdiag_blocks(ctx, q, batch)
-        d = diag[batch]  # (L, m, k, k)
-        r = rhs[batch]  # (L, m, k)
-        dq[batch.reshape(-1)] = block_thomas(lower, d, upper, r).reshape(
-            -1, q.shape[1]
+        lower, upper = line_offdiag_blocks(
+            ctx, q, batch, offdiags=offdiags, lookup=lookup
         )
+        systems.append((lower, diag[batch], upper, rhs[batch]))
+    # one engine call over every line-length group, so fused-slab
+    # engines see all groups at once
+    for batch, sol in zip(batches.values(), engine.thomas(systems)):
+        dq[batch.reshape(-1)] = sol.reshape(-1, q.shape[1])
 
     rest = ~on_line
     if rest.any():
-        dq[rest] = np.linalg.solve(diag[rest], rhs[rest][:, :, None])[:, :, 0]
+        dq[rest] = engine.block_solve(diag[rest], rhs[rest])
     return q - dq
 
 
@@ -220,33 +225,52 @@ def smooth(
 
 def _build_operator(ctx: FlowContext, q: np.ndarray, dt: np.ndarray,
                     use_lines: bool):
-    """Freeze the implicit operator; return ``solve(rhs) -> dq``."""
+    """Freeze the implicit operator; return ``solve(rhs) -> dq``.
+
+    The frozen blocks are prepared once through the active engine: the
+    point-implicit diagonal is factored (engines may prefactor it, since
+    the multistage recursion reapplies the same operator), the per-edge
+    Jacobians and the edge lookup are hoisted out of the per-batch loop,
+    and each stage's line solves go to the engine as one multi-group
+    Thomas call so fused-slab engines batch across length groups.
+    """
+    engine = get_engine()
     diag = assemble_diagonal(ctx, q, dt)
     if not (use_lines and ctx.lines):
+        factor = engine.block_factor(diag)
+
         def solve_point(rhs):
-            return np.linalg.solve(diag, rhs[:, :, None])[:, :, 0]
+            return factor.solve(rhs)
 
         return solve_point
 
     batches = batch_lines_by_length(ctx.lines)
+    offdiags = edge_offdiagonals(ctx, q)
+    lookup = _edge_lookup(ctx)
     blocks = {
-        length: line_offdiag_blocks(ctx, q, batch)
+        length: line_offdiag_blocks(
+            ctx, q, batch, offdiags=offdiags, lookup=lookup
+        )
         for length, batch in batches.items()
     }
+    line_diags = {length: diag[batch] for length, batch in batches.items()}
     on_line = np.zeros(ctx.npoints, dtype=bool)
     for batch in batches.values():
         on_line[batch.ravel()] = True
     rest = ~on_line
+    rest_factor = engine.block_factor(diag[rest]) if rest.any() else None
 
     def solve_lines(rhs):
         dq = np.zeros_like(rhs)
-        for length, batch in batches.items():
-            lower, upper = blocks[length]
-            dq[batch.reshape(-1)] = block_thomas(
-                lower, diag[batch], upper, rhs[batch]
-            ).reshape(-1, rhs.shape[1])
-        if rest.any():
-            dq[rest] = np.linalg.solve(diag[rest], rhs[rest][:, :, None])[:, :, 0]
+        systems = [
+            (blocks[length][0], line_diags[length], blocks[length][1],
+             rhs[batch])
+            for length, batch in batches.items()
+        ]
+        for batch, sol in zip(batches.values(), engine.thomas(systems)):
+            dq[batch.reshape(-1)] = sol.reshape(-1, rhs.shape[1])
+        if rest_factor is not None:
+            dq[rest] = rest_factor.solve(rhs[rest])
         return dq
 
     return solve_lines

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ...kernels import get_engine
 from ...runtime.multigrid import fas_cycle as _generic_fas_cycle
 from ..gas import apply_positivity_floors
 from .linesolve import limit_correction, smooth
@@ -30,13 +31,13 @@ COARSE_CFL_FRACTION = 1.0
 
 def restrict_solution(q, cluster, vol_f, vol_c):
     out = np.zeros((len(vol_c), q.shape[1]), dtype=np.float64)
-    np.add.at(out, cluster, q * vol_f[:, None])
+    get_engine().scatter_add(out, cluster, q * vol_f[:, None])
     return out / vol_c[:, None]
 
 
 def restrict_residual(r, cluster, ncoarse):
     out = np.zeros((ncoarse, r.shape[1]), dtype=np.float64)
-    np.add.at(out, cluster, r)
+    get_engine().scatter_add(out, cluster, r)
     return out
 
 

@@ -31,6 +31,7 @@ from __future__ import annotations
 import numpy as np
 
 from ...errors import ConfigurationError
+from ...kernels import KernelConfig, make_engine, use_engine
 from ...runtime import (
     DistributedDomain,
     DistributedSolveDriver,
@@ -39,19 +40,21 @@ from ...runtime import (
     RuntimeConfig,
     build_domain_hierarchy,
     make_exchanger,
+    merge_kernel_config,
     resolve_config,
 )
 from ..gas import apply_positivity_floors
 from .context import FlowContext
 from .jacobians import (
     assemble_diagonal,
+    edge_offdiagonals,
     edge_spectral_radius,
     viscous_edge_coefficient,
 )
 from .linesolve import (
     STAGE_COEFFS,
+    _edge_lookup,
     batch_lines_by_length,
-    block_thomas,
     limit_correction,
     line_offdiag_blocks,
 )
@@ -144,9 +147,16 @@ class NSU3DKernels:
     #: cfl`` behavior) — see the policy in :mod:`repro.runtime.multigrid`
     coarse_cfl_fraction = 1.0
 
-    def __init__(self, qinf: np.ndarray, viscous: bool = True):
+    def __init__(self, qinf: np.ndarray, viscous: bool = True,
+                 kernel_config: KernelConfig | None = None):
         self.qinf = np.asarray(qinf, dtype=np.float64)
         self.viscous = viscous
+        self.kernel_config = (
+            kernel_config if kernel_config is not None else KernelConfig()
+        )
+        # engines hold no compiled state, so the kernels object (and with
+        # it the engine choice) stays picklable for WorkerSpec transport
+        self.engine = make_engine(self.kernel_config)
 
     # -- driver hooks --------------------------------------------------------
 
@@ -166,11 +176,12 @@ class NSU3DKernels:
         return mask_wall_rows(dom.ctx, f)
 
     def defect(self, X, doms, qs, forcing=None) -> dict:
-        return self._completed_residual(X, doms, qs, forcing, None)
+        with use_engine(self.engine):
+            return self._completed_residual(X, doms, qs, forcing, None)
 
     def residual_norm(self, comm, X, doms, qs) -> float:
         """Global volume-scaled L2 continuity-residual norm (allreduce)."""
-        rs = self.defect(X, doms, qs, None)
+        rs = self.defect(X, doms, qs)
         local_sq = 0.0
         local_n = 0.0
         for p, dom in doms.items():
@@ -202,45 +213,65 @@ class NSU3DKernels:
         the next stage's interior residual when ``overlap`` is set.
         """
         del in_cycle  # NSU3D's guards are identical in and out of a cycle
-        qs = {p: apply_wall_bc(doms[p].ctx, qs[p]) for p in sorted(doms)}
-        X.copy(qs, tag=13)
-        pending = None
-        for _ in range(nsteps):
+        engine = self.engine
+        with use_engine(engine):
+            qs = {p: apply_wall_bc(doms[p].ctx, qs[p]) for p in sorted(doms)}
+            X.copy(qs, tag=13)
+            pending = None
+            for _ in range(nsteps):
+                if pending is not None:
+                    pending.finish()
+                    pending = None
+                dt = self._time_step(X, doms, qs, cfl)
+                diag = self._diagonal(X, doms, qs, dt)
+                lineops = {p: self._line_structures(doms[p], qs[p])
+                           for p in doms}
+                # freeze the per-step operator through the engine: gather
+                # each group's line diagonals once and factor the
+                # off-line blocks once — the three stages reuse them
+                line_diags = {
+                    p: {length: diag[p][batch]
+                        for length, batch in lineops[p][0].items()}
+                    for p in doms
+                }
+                rest_factors = {
+                    p: engine.block_factor(diag[p][~lineops[p][2]])
+                    if (~lineops[p][2]).any() else None
+                    for p in doms
+                }
+                q0 = {p: qs[p].copy() for p in doms}
+                for alpha in STAGE_COEFFS:
+                    rs = self._completed_residual(
+                        X, doms, qs, forcing, pending
+                    )
+                    pending = None
+                    for p, dom in doms.items():
+                        batches, blocks, on_line = lineops[p]
+                        r = rs[p]
+                        dq = np.zeros_like(r)
+                        systems = [
+                            (blocks[length][0], line_diags[p][length],
+                             blocks[length][1], r[batch])
+                            for length, batch in batches.items()
+                        ]
+                        sols = engine.thomas(systems)
+                        for batch, sol in zip(batches.values(), sols):
+                            dq[batch.reshape(-1)] = sol.reshape(
+                                -1, r.shape[1]
+                            )
+                        rest = ~on_line
+                        if rest.any():
+                            dq[rest] = rest_factors[p].solve(r[rest])
+                        cand = apply_wall_bc(
+                            dom.ctx, limit_correction(q0[p], -alpha * dq)
+                        )
+                        qs[p] = apply_positivity_floors(cand)
+                    if overlap:
+                        pending = X.start_copy(qs, tag=14)
+                    else:
+                        X.copy(qs, tag=14)
             if pending is not None:
                 pending.finish()
-                pending = None
-            dt = self._time_step(X, doms, qs, cfl)
-            diag = self._diagonal(X, doms, qs, dt)
-            lineops = {p: self._line_structures(doms[p], qs[p])
-                       for p in doms}
-            q0 = {p: qs[p].copy() for p in doms}
-            for alpha in STAGE_COEFFS:
-                rs = self._completed_residual(X, doms, qs, forcing, pending)
-                pending = None
-                for p, dom in doms.items():
-                    batches, blocks, on_line = lineops[p]
-                    r = rs[p]
-                    dq = np.zeros_like(r)
-                    for length, batch in batches.items():
-                        lower, upper = blocks[length]
-                        dq[batch.reshape(-1)] = block_thomas(
-                            lower, diag[p][batch], upper, r[batch]
-                        ).reshape(-1, r.shape[1])
-                    rest = ~on_line
-                    if rest.any():
-                        dq[rest] = np.linalg.solve(
-                            diag[p][rest], r[rest][:, :, None]
-                        )[:, :, 0]
-                    cand = apply_wall_bc(
-                        dom.ctx, limit_correction(q0[p], -alpha * dq)
-                    )
-                    qs[p] = apply_positivity_floors(cand)
-                if overlap:
-                    pending = X.start_copy(qs, tag=14)
-                else:
-                    X.copy(qs, tag=14)
-        if pending is not None:
-            pending.finish()
         return qs
 
     # -- internals -----------------------------------------------------------
@@ -286,6 +317,7 @@ class NSU3DKernels:
 
     def _time_step(self, X, doms, qs, cfl) -> dict:
         """Local spectral-radius accumulation completed across ranks."""
+        engine = self.engine
         accs = {}
         for p, dom in doms.items():
             ctx = dom.ctx
@@ -293,8 +325,8 @@ class NSU3DKernels:
             lam = edge_spectral_radius(q, ctx.edges, ctx.face_vectors)
             kv = viscous_edge_coefficient(ctx, q)
             acc = np.zeros((ctx.npoints, 1), dtype=np.float64)
-            np.add.at(acc[:, 0], ctx.edges[:, 0], lam + 2 * kv)
-            np.add.at(acc[:, 0], ctx.edges[:, 1], lam + 2 * kv)
+            engine.scatter_add(acc[:, 0], ctx.edges[:, 0], lam + 2 * kv)
+            engine.scatter_add(acc[:, 0], ctx.edges[:, 1], lam + 2 * kv)
             for verts, normals in (
                 (ctx.far_vert, ctx.far_normal),
                 (ctx.sym_vert, ctx.sym_normal),
@@ -306,7 +338,7 @@ class NSU3DKernels:
                         np.column_stack([np.arange(len(verts))] * 2),
                         normals,
                     )
-                    np.add.at(acc[:, 0], verts, lam_b)
+                    engine.scatter_add(acc[:, 0], verts, lam_b)
             accs[p] = acc
         X.add(accs, tag=11)
         return {
@@ -348,10 +380,16 @@ class NSU3DKernels:
 
     def _line_structures(self, dom, q) -> tuple:
         """Per-step frozen line-implicit structures (fig. 6b: lines are
-        never split, so these stay rank-local)."""
+        never split, so these stay rank-local).  The per-edge Jacobians
+        and the edge lookup are computed once and shared by every batch.
+        """
         batches = batch_lines_by_length(dom.ctx.lines)
+        offdiags = edge_offdiagonals(dom.ctx, q) if batches else None
+        lookup = _edge_lookup(dom.ctx) if batches else None
         blocks = {
-            length: line_offdiag_blocks(dom.ctx, q, batch)
+            length: line_offdiag_blocks(
+                dom.ctx, q, batch, offdiags=offdiags, lookup=lookup
+            )
             for length, batch in batches.items()
         }
         on_line = np.zeros(dom.nlocal, dtype=bool)
@@ -454,6 +492,7 @@ class ParallelNSU3D:
                  contexts: list | None = None, maps: list | None = None,
                  config: RuntimeConfig | None = None,
                  backend: str | None = None,
+                 kernel_config: KernelConfig | None = None,
                  overlap: bool | None = None,
                  charge_compute: bool | None = None,
                  sanitize: bool | None = None):
@@ -461,6 +500,7 @@ class ParallelNSU3D:
             config, backend, where="ParallelNSU3D", overlap=overlap,
             charge_compute=charge_compute, sanitize=sanitize,
         )
+        config = merge_kernel_config(config, kernel_config, "ParallelNSU3D")
         # the historical fine-level-only constructor runs plain
         # smoothing steps; a caller-supplied hierarchy runs full cycles
         # even when it has a single level (matching the serial solvers)
@@ -485,7 +525,9 @@ class ParallelNSU3D:
             for c in contexts
         ]
         self.hierarchy = build_domain_hierarchy(specs, maps, part)
-        self.kernels = NSU3DKernels(qinf, viscous=viscous)
+        self.kernels = NSU3DKernels(
+            qinf, viscous=viscous, kernel_config=config.kernels
+        )
         self.driver = DistributedSolveDriver(
             self.hierarchy, self.kernels, qinf, config=config,
             smoothing_only=smoothing_only,
@@ -502,15 +544,23 @@ class ParallelNSU3D:
     def from_solver(cls, solver, nparts: int, *, seed: int = 0,
                     config: RuntimeConfig | None = None,
                     backend: str | None = None,
+                    kernel_config: KernelConfig | None = None,
                     overlap: bool | None = None,
                     charge_compute: bool | None = None,
                     sanitize: bool | None = None) -> "ParallelNSU3D":
-        """Decompose a serial :class:`NSU3DSolver`'s hierarchy."""
+        """Decompose a serial :class:`NSU3DSolver`'s hierarchy.
+
+        With no explicit engine selection the solver's own
+        ``kernel_config`` carries over, so a decomposed solve runs the
+        same kernels as the serial one it came from.
+        """
         config = resolve_config(
             config, backend, where="ParallelNSU3D.from_solver",
             overlap=overlap, charge_compute=charge_compute,
             sanitize=sanitize,
         )
+        if kernel_config is None and config.kernels is None:
+            kernel_config = getattr(solver, "kernel_config", None)
         if solver.turbulence:
             raise ConfigurationError(
                 "distributed NSU3D runs laminar/inviscid (5 variables); "
@@ -519,7 +569,7 @@ class ParallelNSU3D:
         return cls(
             solver.contexts[0], solver.qinf, nparts, seed=seed,
             viscous=True, contexts=solver.contexts, maps=solver.maps,
-            config=config,
+            config=config, kernel_config=kernel_config,
         )
 
     def run(self, world, ncycles: int, cfl: float = 10.0, *,

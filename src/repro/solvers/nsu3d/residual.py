@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ...kernels import get_engine
 from ...telemetry.spans import traced
 from ..fluxes import roe_flux, rusanov_flux, wall_flux
 from ..gas import GAMMA, GM1, conservative_to_primitive
@@ -72,6 +73,7 @@ def residual(
 ) -> np.ndarray:
     """Net-outflow residual (N, nvar)."""
     nvar = q.shape[1]
+    engine = get_engine()
     a_idx = ctx.edges[:, 0]
     b_idx = ctx.edges[:, 1]
     r = np.zeros_like(q)
@@ -102,22 +104,22 @@ def residual(
         qr = np.where(ok[:, None], primitive_to_conservative(pr), qr)
 
     f = roe_flux(ql, qr, ctx.face_vectors)
-    np.add.at(r, a_idx, f)
-    np.add.at(r, b_idx, -f)
+    engine.scatter_add(r, a_idx, f)
+    engine.scatter_add(r, b_idx, -f)
 
     # -- boundary convective fluxes -------------------------------------------
     if len(ctx.far_vert):
         ghost = farfield_ghost(q[ctx.far_vert], qinf, ctx.far_normal)
         ff = rusanov_flux(q[ctx.far_vert], ghost, ctx.far_normal)
-        np.add.at(r, ctx.far_vert, ff)
+        engine.scatter_add(r, ctx.far_vert, ff)
     if len(ctx.sym_vert):
         fs = wall_flux(q[ctx.sym_vert], ctx.sym_normal)
-        np.add.at(r, ctx.sym_vert, fs)
+        engine.scatter_add(r, ctx.sym_vert, fs)
     if len(ctx.wall_vert):
         # u = 0 there: only the pressure flux survives (momentum rows are
         # masked anyway; continuity/energy see zero convective flux)
         fw = wall_flux(q[ctx.wall_vert], ctx.wall_normal)
-        np.add.at(r, ctx.wall_vert, fw)
+        engine.scatter_add(r, ctx.wall_vert, fw)
 
     # -- viscous terms (edge-normal approximation) ------------------------------
     if viscous and ctx.mu_lam > 0.0:
@@ -156,8 +158,8 @@ def residual(
                 * area / dist
             )
             fv[:, 5] = -dcoef * (nu_hat[b_idx] - nu_hat[a_idx])
-        np.add.at(r, a_idx, fv)
-        np.add.at(r, b_idx, -fv)
+        engine.scatter_add(r, a_idx, fv)
+        engine.scatter_add(r, b_idx, -fv)
 
         # -- SA sources --------------------------------------------------------
         if nvar > 5 and turbulence:
@@ -214,12 +216,13 @@ def _edge_vorticity_estimate(ctx: FlowContext, vel: np.ndarray) -> np.ndarray:
     a = ctx.edges[:, 0]
     b = ctx.edges[:, 1]
     rate = np.linalg.norm(vel[b] - vel[a], axis=1) / ctx.edge_distances()
+    engine = get_engine()
     acc = np.zeros(ctx.npoints, dtype=np.float64)
     cnt = np.zeros(ctx.npoints, dtype=np.float64)
-    np.add.at(acc, a, rate)
-    np.add.at(acc, b, rate)
-    np.add.at(cnt, a, 1.0)
-    np.add.at(cnt, b, 1.0)
+    engine.scatter_add(acc, a, rate)
+    engine.scatter_add(acc, b, rate)
+    engine.scatter_add(cnt, a, 1.0)
+    engine.scatter_add(cnt, b, 1.0)
     return acc / np.maximum(cnt, 1.0)
 
 

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ...kernels import KernelConfig, make_engine, use_engine
 from ...machine.counters import PerfCounters
 from ...mesh.unstructured import (
     HybridMesh,
@@ -81,6 +82,7 @@ class NSU3DSolver:
         nu2: int = 1,
         use_lines: bool = True,
         counters: PerfCounters | None = None,
+        kernel_config: KernelConfig | None = None,
     ):
         if dual is None:
             if mesh is None:
@@ -103,6 +105,10 @@ class NSU3DSolver:
         self.cfl_ramp = cfl_ramp
         self.nu1, self.nu2 = nu1, nu2
         self.counters = counters if counters is not None else PerfCounters()
+        self.kernel_config = (
+            kernel_config if kernel_config is not None else KernelConfig()
+        )
+        self.engine = make_engine(self.kernel_config)
         self.q = apply_wall_bc(
             fine, np.tile(self.qinf, (fine.npoints, 1))
         )
@@ -129,7 +135,7 @@ class NSU3DSolver:
         return self.size * self.nvar
 
     def run_cycle(self, cycle: str = "W") -> float:
-        with self.counters.region("mg_cycle"):
+        with self.counters.region("mg_cycle"), use_engine(self.engine):
             if self.mg_levels > 1:
                 self.q = fas_cycle(
                     self.contexts, self.maps, self.q, self.qinf,
@@ -150,10 +156,7 @@ class NSU3DSolver:
             )
             self.counters.add_flops(work)
         self.cfl = min(self.cfl * self.cfl_ramp, self.cfl_max)
-        r = residual_norm(
-            self.contexts[0], self.q, self.qinf, order2=self.order2,
-            turbulence=self.turbulence,
-        )
+        r = self.residual_norm()
         self.history.residuals.append(r)
         self.history.forces.append(self.forces())
         return r
@@ -203,7 +206,8 @@ class NSU3DSolver:
         }
 
     def residual_norm(self) -> float:
-        return residual_norm(
-            self.contexts[0], self.q, self.qinf, order2=self.order2,
-            turbulence=self.turbulence,
-        )
+        with use_engine(self.engine):
+            return residual_norm(
+                self.contexts[0], self.q, self.qinf, order2=self.order2,
+                turbulence=self.turbulence,
+            )

@@ -49,7 +49,7 @@ class TestFacade:
             repro.no_such_submodule
 
     def test_api_version_is_declared(self):
-        assert api.__api_version__ == "7.0"
+        assert api.__api_version__ == "8.0"
 
     def test_service_surface_exported(self):
         for name in (
@@ -73,6 +73,18 @@ class TestFacade:
             assert name in api.__all__
             assert getattr(api, name) is not None
         assert api.BACKENDS == ("sim", "hybrid", "process")
+
+    def test_kernel_engine_surface_exported(self):
+        for name in (
+            "KernelConfig", "ENGINES", "make_engine",
+            "resolve_kernel_config",
+        ):
+            assert name in api.__all__
+            assert getattr(api, name) is not None
+        from repro import kernels
+
+        assert api.KernelConfig is kernels.KernelConfig
+        assert api.ENGINES == ("numpy", "batched", "numba")
 
     def test_all_is_complete(self):
         """Self-test of the facade contract: every public attribute is
