@@ -87,6 +87,15 @@ These rules encode exactly those house invariants:
   overhead the engine exists to remove.  The ``numpy_engine`` module is
   exempt — it *is* the extracted reference code — and so are functions
   compiled by a ``@njit``/``@jit`` decorator, whose loops run natively.
+* **R014 hardcoded-state-width** — the literal ``5`` used as a state
+  width in ``solvers``/``runtime``: comparisons of ``len(...)``/
+  ``x.shape[...]``/``*nvar*`` expressions against ``5``, and ``[:5]``/
+  ``[5:]`` slices.  The distributed stack is layout-generic; widths come
+  from :func:`repro.solvers.gas.variable_layout` (``layout.nvar``,
+  ``layout.momentum``, ``layout.turbulence``) or the ``NVAR_EULER``
+  constant, never a bare literal that silently re-pins the five-variable
+  assumption.  ``gas.py`` is exempt — it *defines* the layout and the
+  named constants.
 
 A finding on a line containing ``noqa`` is suppressed (same idiom as
 ruff); :data:`RULES` documents each rule and the path segments it
@@ -262,6 +271,17 @@ RULES = {
         ),
         segments=("kernels",),
     ),
+    "R014": Rule(
+        id="R014",
+        name="hardcoded-state-width",
+        description=(
+            "literal 5 used as a state-vector width in a solver/runtime "
+            "module; derive widths from variable_layout (layout.nvar, "
+            "layout.momentum, layout.turbulence) or NVAR_EULER so "
+            "extended state vectors keep working"
+        ),
+        segments=("solvers", "runtime"),
+    ),
 }
 
 #: Decorator names R013 treats as compiling their function natively.
@@ -323,6 +343,10 @@ def active_rules(path: Path, select=None) -> list[Rule]:
         # the reference engine is the extracted historical code, loops
         # and all; R013 polices the fast engines only
         rules = [r for r in rules if r.id != "R013"]
+    if path.name == "gas.py":
+        # gas.py defines variable_layout and the NVAR_* constants — the
+        # one place the width literal legitimately lives
+        rules = [r for r in rules if r.id != "R014"]
     if select is not None:
         rules = [r for r in rules if r.id in select or r.name in select]
     return rules
@@ -703,6 +727,79 @@ class _LintVisitor(ast.NodeVisitor):
             isinstance(n, ast.Name) and n.id in ("Exception", "BaseException")
             for n in names
         )
+
+    # -- R014: hard-coded state-vector widths ----------------------------------
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        if "R014" in self.rules:
+            operands = [node.left, *node.comparators]
+            for a, b in zip(operands, operands[1:]):
+                if self._is_width_literal(a) and self._width_like(b):
+                    other = b
+                elif self._is_width_literal(b) and self._width_like(a):
+                    other = a
+                else:
+                    continue
+                self._report(
+                    "R014",
+                    node,
+                    f"state width compared against the literal 5 "
+                    f"({ast.unparse(other)}); derive it from "
+                    "variable_layout(...).nvar or NVAR_EULER so extended "
+                    "state vectors keep working",
+                )
+                break
+        self.generic_visit(node)
+
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        if "R014" in self.rules:
+            parts = (
+                node.slice.elts
+                if isinstance(node.slice, ast.Tuple)
+                else [node.slice]
+            )
+            for part in parts:
+                if isinstance(part, ast.Slice) and any(
+                    self._is_width_literal(bound)
+                    for bound in (part.lower, part.upper)
+                ):
+                    self._report(
+                        "R014",
+                        node,
+                        f"slice {ast.unparse(node)} pins the five-variable "
+                        "state width; slice with NVAR_EULER or the "
+                        "layout.turbulence columns instead",
+                    )
+                    break
+        self.generic_visit(node)
+
+    @staticmethod
+    def _is_width_literal(expr) -> bool:
+        return (
+            isinstance(expr, ast.Constant)
+            and isinstance(expr.value, int)
+            and not isinstance(expr.value, bool)
+            and expr.value == 5
+        )
+
+    @staticmethod
+    def _width_like(expr) -> bool:
+        """len(x), x.shape[i], or anything named like an nvar."""
+        if (
+            isinstance(expr, ast.Call)
+            and isinstance(expr.func, ast.Name)
+            and expr.func.id == "len"
+        ):
+            return True
+        if (
+            isinstance(expr, ast.Subscript)
+            and isinstance(expr.value, ast.Attribute)
+            and expr.value.attr == "shape"
+        ):
+            return True
+        if isinstance(expr, ast.Attribute) and "nvar" in expr.attr.lower():
+            return True
+        return isinstance(expr, ast.Name) and "nvar" in expr.id.lower()
 
     # -- R003: mesh-sized Python loops ----------------------------------------
 

@@ -430,9 +430,14 @@ def make_parallel_nsu3d(
     ``config.kernels``; when none of them is given the serial solver's
     own engine carries over.  The bare
     ``overlap``/``charge_compute``/``sanitize`` keywords are deprecated
-    spellings of the config fields.  The solver must be built with
-    ``turbulence=False`` — the SA source terms need distributed nodal
-    gradients and stay serial.
+    spellings of the config fields.  The decomposition is
+    layout-generic: the solver's ``VariableLayout`` (any ``nvar``)
+    carries through every runtime layer, so turbulent (SA, 6-variable)
+    solvers decompose exactly like laminar ones — wall distances and
+    Green-Gauss gradient surfaces are split per rank, the gradients the
+    SA source terms need are completed by halo accumulation, and the
+    correction limiter's turbulence reference is allreduced so results
+    are partition-independent.
     """
     if kernel_config is not None or engine is not None:
         kernel_config = resolve_kernel_config(

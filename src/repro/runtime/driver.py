@@ -37,7 +37,11 @@ class SolverKernels:
     State is always a ``{pid: (nlocal, nvar) array}`` dict; ``X`` an
     Exchanger (:mod:`repro.runtime.backends`); ``doms`` a ``{pid:
     DistributedDomain}`` dict.  Required attributes: ``name``,
-    ``coarse_cfl_fraction``.  Required methods:
+    ``coarse_cfl_fraction``.  Kernels may also expose a ``layout``
+    (:class:`~repro.solvers.gas.VariableLayout`): when present, the
+    runtime derives every state width from it — shared-slab carving,
+    exchange block sizes — instead of assuming a fixed variable count.
+    Required methods:
 
     ``init_state(dom)``, ``volumes(dom)``,
     ``fix_restricted_state(dom, q)``, ``mask_forcing(dom, f)``,
@@ -289,9 +293,10 @@ class DistributedSolveDriver:
         if self._pool is None or self._pool.closed:
             from .process import ProcessPool
 
+            layout = getattr(self.kernels, "layout", None)
             self._pool = ProcessPool(
                 self.hierarchy, self.kernels,
-                nvar=len(self.qinf),
+                nvar=layout.nvar if layout is not None else len(self.qinf),
                 overlap=self.overlap,
                 smoothing_only=self.smoothing_only,
                 sanitize=self.sanitize,

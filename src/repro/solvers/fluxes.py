@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .gas import GAMMA, GM1, conservative_to_primitive, pressure
+from .gas import GAMMA, GM1, NVAR_EULER, conservative_to_primitive, pressure
 
 
 def _split_normal(normal: np.ndarray):
@@ -42,8 +42,8 @@ def euler_flux(cons: np.ndarray, unit_normal: np.ndarray) -> np.ndarray:
         rho[..., None] * vel * vn[..., None] + p[..., None] * unit_normal
     )
     out[..., 4] = (cons[..., 4] + p) * vn
-    if cons.shape[-1] > 5:
-        out[..., 5:] = cons[..., 5:] * vn[..., None]
+    if cons.shape[-1] > NVAR_EULER:
+        out[..., NVAR_EULER:] = cons[..., NVAR_EULER:] * vn[..., None]
     return out
 
 
@@ -74,8 +74,9 @@ def roe_flux(
 ) -> np.ndarray:
     """Roe's approximate Riemann solver (Harten entropy fix).
 
-    Implemented in the standard wave-decomposition form; the SA variable
-    (column 5) is upwinded with the interface mass flux.
+    Implemented in the standard wave-decomposition form; state columns
+    beyond the Euler block (the SA working variable) are upwinded with
+    the interface mass flux.
     """
     ql = np.asarray(ql, dtype=np.float64)
     qr = np.asarray(qr, dtype=np.float64)
@@ -122,7 +123,7 @@ def roe_flux(
                       + eps[small]) * 0.5
 
     nvar = ql.shape[-1]
-    diss = np.zeros(ql.shape[:-1] + (5,), dtype=np.float64)
+    diss = np.zeros(ql.shape[:-1] + (NVAR_EULER,), dtype=np.float64)
 
     def add_wave(strength, lam, r0, r13, r4):
         diss[..., 0] += strength * lam * r0
@@ -136,19 +137,21 @@ def roe_flux(
     diss[..., 4] += rho_roe * lam2 * np.sum(u * dut, axis=-1)
     add_wave(a3, lam3, 1.0, u + a[..., None] * n, h + a * un)
 
-    fl = euler_flux(ql[..., :5], n)
-    fr = euler_flux(qr[..., :5], n)
+    fl = euler_flux(ql[..., :NVAR_EULER], n)
+    fr = euler_flux(qr[..., :NVAR_EULER], n)
     flux5 = 0.5 * (fl + fr) - 0.5 * diss
 
-    if nvar > 5:
+    if nvar > NVAR_EULER:
         flux = np.empty_like(ql)
-        flux[..., :5] = flux5
+        flux[..., :NVAR_EULER] = flux5
         # passive upwinding of extra variables with the mass flux
         mass = flux5[..., 0]
         nu_up = np.where(
-            mass >= 0, ql[..., 5] / rho_l, qr[..., 5] / rho_r
+            mass[..., None] >= 0,
+            ql[..., NVAR_EULER:] / rho_l[..., None],
+            qr[..., NVAR_EULER:] / rho_r[..., None],
         )
-        flux[..., 5] = mass * nu_up
+        flux[..., NVAR_EULER:] = mass[..., None] * nu_up
     else:
         flux = flux5
     return flux * area[..., None]
@@ -192,9 +195,9 @@ def _van_leer_half(q: np.ndarray, n: np.ndarray, sign: float) -> np.ndarray:
             + ((GM1) * vn_s + sign * 2 * a_s) ** 2 / (2 * (GAMMA**2 - 1.0))
         )
         out_sub[..., 4] = fmass * h_split
-        if q.shape[-1] > 5:
-            out_sub[..., 5:] = fmass[..., None] * (
-                q[sub][..., 5:] / rs[..., None]
+        if q.shape[-1] > NVAR_EULER:
+            out_sub[..., NVAR_EULER:] = fmass[..., None] * (
+                q[sub][..., NVAR_EULER:] / rs[..., None]
             )
         out[sub] = out_sub
     return out

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ...mesh.unstructured.dual import DualMesh
+from .gradients import GradientSurface
 
 
 @dataclass
@@ -40,7 +41,9 @@ class FlowContext:
     sym_vert: np.ndarray = field(default_factory=lambda: np.empty(0, np.int64))
     sym_normal: np.ndarray = field(default_factory=lambda: np.empty((0, 3), dtype=np.float64))
     lines: list = field(default_factory=list)
-    dual: DualMesh | None = None  # fine level keeps its dual for gradients
+    # fine level keeps its dual (or a rank-local GradientSurface closure)
+    # for Green-Gauss gradients
+    dual: DualMesh | GradientSurface | None = None
 
     @property
     def npoints(self) -> int:

@@ -6,9 +6,20 @@ magnitude in the turbulence model's production term, and the viscous
 work terms.  The Green-Gauss formula over the dual CV is exact for
 linear fields on a closed dual (which :mod:`repro.mesh.unstructured.dual`
 guarantees to machine precision).
+
+The surface integral and the volume division are exposed separately
+(:func:`green_gauss_sums` / :func:`green_gauss`): the distributed path
+accumulates each rank's partial surface sums, completes them across
+ranks with an exchange-add (every dual face lives on exactly one rank),
+and only then divides by the control volumes — the same
+partial-sum/complete/finalize pattern as the residual.  A rank-local
+closure carries just the geometry the surface integral needs, as a
+:class:`GradientSurface`.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -16,16 +27,39 @@ from ...kernels import get_engine
 from ...mesh.unstructured.dual import DualMesh
 
 
-def green_gauss(dual: DualMesh, fields: np.ndarray) -> np.ndarray:
-    """Gradients of ``fields`` (N, k) -> (N, 3, k).
+@dataclass
+class GradientSurface:
+    """The minimal closed-surface geometry Green-Gauss integrates over.
 
-    Interior dual faces use the edge-midpoint average; boundary faces use
-    the boundary vertex value itself (first-order closure).
+    A duck-typed subset of :class:`~repro.mesh.unstructured.dual.
+    DualMesh`: interior dual faces as edges with oriented face vectors,
+    boundary faces as per-vertex outward normals, and the control
+    volumes.  The distributed NSU3D path builds one per rank (local
+    edge set, owned-only boundary closure) so the serial gradient
+    kernels run unchanged on rank-local geometry.
+    """
+
+    edges: np.ndarray  # (E, 2)
+    face_vectors: np.ndarray  # (E, 3), oriented edges[:,0] -> edges[:,1]
+    volumes: np.ndarray  # (N,)
+    bvert: np.ndarray  # (B,) boundary-face vertex
+    bnormal: np.ndarray  # (B, 3) outward boundary-face normal
+
+
+def green_gauss_sums(
+    dual: DualMesh | GradientSurface, fields: np.ndarray
+) -> np.ndarray:
+    """Undivided Green-Gauss surface sums of ``fields`` (N, k) -> (N, 3, k).
+
+    The closed-surface integral only — divide by ``dual.volumes`` to get
+    gradients.  Interior dual faces use the edge-midpoint average;
+    boundary faces use the boundary vertex value itself (first-order
+    closure).
     """
     fields = np.asarray(fields, dtype=np.float64)
     if fields.ndim == 1:
         fields = fields[:, None]
-    n, k = fields.shape
+    n, k = len(dual.volumes), fields.shape[1]
     grad = np.zeros((n, 3, k), dtype=np.float64)
     a = dual.edges[:, 0]
     b = dual.edges[:, 1]
@@ -36,6 +70,14 @@ def green_gauss(dual: DualMesh, fields: np.ndarray) -> np.ndarray:
     engine.scatter_add(grad, b, -contrib)
     bcontrib = dual.bnormal[:, :, None] * fields[dual.bvert][:, None, :]
     engine.scatter_add(grad, dual.bvert, bcontrib)
+    return grad
+
+
+def green_gauss(
+    dual: DualMesh | GradientSurface, fields: np.ndarray
+) -> np.ndarray:
+    """Gradients of ``fields`` (N, k) -> (N, 3, k)."""
+    grad = green_gauss_sums(dual, fields)
     grad /= dual.volumes[:, None, None]
     return grad
 

@@ -25,7 +25,7 @@ from __future__ import annotations
 import numpy as np
 
 from ...kernels import get_engine
-from ..gas import GAMMA, conservative_to_primitive
+from ..gas import GAMMA, conservative_to_primitive, variable_layout
 from .context import FlowContext
 from .turbulence import CW1, eddy_viscosity
 
@@ -59,10 +59,11 @@ def viscous_edge_coefficient(ctx: FlowContext, q: np.ndarray) -> np.ndarray:
     """Scalar viscous stiffness per edge, mu_eff |S| / d."""
     if ctx.mu_lam <= 0.0:
         return np.zeros(ctx.nedges, dtype=np.float64)
+    layout = variable_layout(q.shape[1])
     prim = conservative_to_primitive(q)
     mu_t = (
-        eddy_viscosity(prim[:, 0], prim[:, 5], ctx.mu_lam)
-        if q.shape[1] > 5
+        eddy_viscosity(prim[:, 0], prim[:, layout.turbulence[0]], ctx.mu_lam)
+        if layout.turbulence
         else np.zeros(ctx.npoints, dtype=np.float64)
     )
     a = ctx.edges[:, 0]
@@ -72,14 +73,41 @@ def viscous_edge_coefficient(ctx: FlowContext, q: np.ndarray) -> np.ndarray:
     return mu_f * area / ctx.edge_distances()
 
 
+def sa_destruction_diagonal(ctx: FlowContext, q: np.ndarray) -> np.ndarray:
+    """Pointwise SA destruction linearization per turbulence column.
+
+    Returns ``(N, nturb)`` diagonal increments (``V * 2 cw1 nu / d^2``
+    for each working variable).  Kept separate from
+    :func:`assemble_diagonal`'s edge terms so the distributed path can
+    exclude it from the cross-rank exchange-add (it is pointwise, not
+    edge-split — summing ghost copies would double-count it at owners)
+    and re-add it locally afterwards.
+    """
+    layout = variable_layout(q.shape[1])
+    prim = conservative_to_primitive(q)
+    out = np.empty((ctx.npoints, len(layout.turbulence)), dtype=np.float64)
+    for j, var in enumerate(layout.turbulence):
+        nu = np.maximum(prim[:, var], 0.0)
+        out[:, j] = ctx.volumes * 2.0 * CW1 * nu / ctx.dist**2
+    return out
+
+
 def assemble_diagonal(
     ctx: FlowContext,
     q: np.ndarray,
     dt: np.ndarray,
     include_convective_jacobian: bool = True,
+    sa_destruction: bool = True,
 ) -> np.ndarray:
-    """(N, nvar, nvar) diagonal blocks of the implicit system."""
+    """(N, nvar, nvar) diagonal blocks of the implicit system.
+
+    ``sa_destruction=False`` leaves out the pointwise SA destruction
+    diagonal (:func:`sa_destruction_diagonal`); the distributed smoother
+    exchanges only the edge-split part and re-adds the pointwise term
+    after the cross-rank sum.
+    """
     nvar = q.shape[1]
+    layout = variable_layout(nvar)
     n = ctx.npoints
     eye = np.eye(nvar)
     diag = (ctx.volumes / dt)[:, None, None] * eye[None, :, :]
@@ -116,15 +144,15 @@ def assemble_diagonal(
             engine.scatter_add(diag, verts, contrib)
 
     # SA destruction linearization (adds to the diagonal only)
-    if nvar > 5:
-        prim = conservative_to_primitive(q)
-        nu = np.maximum(prim[:, 5], 0.0)
-        diag[:, 5, 5] += ctx.volumes * 2.0 * CW1 * nu / ctx.dist**2
+    if layout.turbulence and sa_destruction:
+        dest = sa_destruction_diagonal(ctx, q)
+        for j, var in enumerate(layout.turbulence):
+            diag[:, var, var] += dest[:, j]
 
     # strong wall rows -> identity
     w = ctx.wall_vert
     if len(w):
-        for row in [1, 2, 3] + ([5] if nvar > 5 else []):
+        for row in layout.momentum + layout.turbulence:
             diag[w, row, :] = 0.0
             diag[w, row, row] = 1.0
     return diag

@@ -24,7 +24,7 @@ from .jacobians import assemble_diagonal, edge_offdiagonals, local_time_step
 from .residual import apply_wall_bc, residual
 
 
-def limit_correction(q, dq, max_change: float = 0.2):
+def limit_correction(q, dq, max_change: float = 0.2, turb_ref=None):
     """Per-point scaling so density, total energy and the turbulence
     variables change boundedly per step — the standard guard against
     violent startup corrections from coarse levels.
@@ -32,17 +32,28 @@ def limit_correction(q, dq, max_change: float = 0.2):
     Which columns get limited comes from the solver's variable layout,
     not hard-coded slots, so extended state vectors (multi-equation
     turbulence models) limit the right rows.
+
+    ``turb_ref`` supplies the field-maximum of each turbulence working
+    variable (one entry per ``layout.turbulence`` column).  The serial
+    path takes the max over the rows it was given; a distributed caller
+    must pass the *global* maxima (an allreduce over owned rows) so every
+    rank limits against the same reference and partitioning does not
+    change the answer.
     """
     layout = variable_layout(q.shape[1])
     s = np.ones(len(q), dtype=np.float64)
     for var in layout.limited:
         allowed = max_change * np.abs(q[:, var]) + 1e-300
         s = np.minimum(s, allowed / np.maximum(np.abs(dq[:, var]), 1e-300))
-    for var in layout.turbulence:
+    for j, var in enumerate(layout.turbulence):
         # allow bounded growth: a few times the current value, with a
         # floor tied to the largest working-variable level in the field
         # so near-zero points can still seed
-        seed = 0.05 * np.abs(q[:, var]).max() + 1e-300
+        ref = (
+            turb_ref[j] if turb_ref is not None
+            else np.abs(q[:, var]).max()
+        )
+        seed = 0.05 * ref + 1e-300
         allowed = 2.0 * max_change * (np.abs(q[:, var]) + seed)
         s = np.minimum(s, allowed / np.maximum(np.abs(dq[:, var]), 1e-300))
     return q + np.minimum(s, 1.0)[:, None] * dq
@@ -217,8 +228,8 @@ def smooth(
             if not np.isfinite(dq).all():
                 raise FloatingPointError("implicit stage produced non-finite dq")
             cand = apply_wall_bc(ctx, limit_correction(q0, dq))
-            if cand.shape[1] > 5:
-                cand[:, 5] = np.maximum(cand[:, 5], 0.0)
+            for var in variable_layout(cand.shape[1]).turbulence:
+                cand[:, var] = np.maximum(cand[:, var], 0.0)
             q = apply_positivity_floors(cand)
     return q
 

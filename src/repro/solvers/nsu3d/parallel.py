@@ -16,10 +16,15 @@ it that way).  This module contributes only what is NSU3D-specific:
 * the :class:`ParallelNSU3D` config facade.
 
 Because implicit lines are never split by the partitioner (fig. 6b),
-the block-tridiagonal solves remain rank-local.  The driver supports
-the 5-variable laminar/inviscid system; the SA source terms need
-distributed nodal gradients and are evaluated only by the serial solver
-(recorded in DESIGN.md).
+the block-tridiagonal solves remain rank-local.  State width is carried
+as data: the :class:`~repro.solvers.gas.VariableLayout` derived from
+``qinf`` threads through the kernels into the runtime, so the same
+driver runs the 5-variable laminar/inviscid system and the 6-variable
+SA-RANS one.  The SA source terms are evaluated at owned rows from
+halo-completed Green-Gauss gradients — each rank's partial surface sums
+are exchange-added to their owners (every dual face lives on exactly
+one rank) before dividing by the control volumes, the residual's own
+partial-sum/complete/finalize pattern.
 
 Correctness contract (tested): per-rank results equal the serial solver
 on the same mesh to floating-point-reassociation tolerance — smoothing
@@ -28,9 +33,10 @@ and full FAS cycles, overlap on or off.
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
 
-from ...errors import ConfigurationError
 from ...kernels import KernelConfig, make_engine, use_engine
 from ...runtime import (
     DistributedDomain,
@@ -43,12 +49,18 @@ from ...runtime import (
     merge_kernel_config,
     resolve_config,
 )
-from ..gas import apply_positivity_floors
+from ..gas import (
+    apply_positivity_floors,
+    conservative_to_primitive,
+    variable_layout,
+)
 from .context import FlowContext
+from .gradients import GradientSurface, green_gauss_sums, vorticity_magnitude
 from .jacobians import (
     assemble_diagonal,
     edge_offdiagonals,
     edge_spectral_radius,
+    sa_destruction_diagonal,
     viscous_edge_coefficient,
 )
 from .linesolve import (
@@ -58,7 +70,12 @@ from .linesolve import (
     limit_correction,
     line_offdiag_blocks,
 )
-from .residual import apply_wall_bc, mask_wall_rows, residual
+from .residual import (
+    apply_wall_bc,
+    mask_wall_rows,
+    residual,
+    sa_source_residual,
+)
 from .solver import FLOPS_PER_POINT_RESIDUAL
 
 
@@ -73,16 +90,26 @@ class LocalDomain(DistributedDomain):
         super().__init__(halo, ctx)
 
 
-def _local_flow_context(ctx: FlowContext, h, part) -> FlowContext:
+def _local_flow_context(ctx: FlowContext, h: Any, part: np.ndarray) -> FlowContext:
     """Rank-local :class:`FlowContext` payload for one halo: geometry in
-    local numbering, boundary lists owned-only, lines rank-local."""
+    local numbering, boundary lists owned-only, lines rank-local.
+
+    On the fine level the context carries a rank-local
+    :class:`~repro.solvers.nsu3d.gradients.GradientSurface` — this
+    rank's dual faces plus the owned boundary closure — so the serial
+    Green-Gauss kernels produce partial surface sums whose exchange-add
+    completes them exactly (each dual face lives on one rank, each
+    boundary face on its vertex's owner).
+    """
     l2g = h.local_to_global()
     g2l = np.full(ctx.npoints, -1, dtype=np.int64)
     g2l[l2g] = np.arange(len(l2g))
     owned_mask = np.zeros(ctx.npoints, dtype=bool)
     owned_mask[h.owned_global] = True
 
-    def filter_boundary(verts, normals):
+    def filter_boundary(
+        verts: np.ndarray, normals: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
         sel = owned_mask[verts]
         return g2l[verts[sel]], normals[sel]
 
@@ -92,6 +119,16 @@ def _local_flow_context(ctx: FlowContext, h, part) -> FlowContext:
     local_lines = [
         g2l[line] for line in ctx.lines if part[line[0]] == h.rank
     ]
+    dual: GradientSurface | None = None
+    if ctx.dual is not None:
+        bsel = owned_mask[ctx.dual.bvert]
+        dual = GradientSurface(
+            edges=h.edges,
+            face_vectors=ctx.face_vectors[h.edge_gids],
+            volumes=ctx.volumes[l2g],
+            bvert=g2l[ctx.dual.bvert[bsel]],
+            bnormal=ctx.dual.bnormal[bsel],
+        )
     return FlowContext(
         points=ctx.points[l2g],
         edges=h.edges,
@@ -106,17 +143,18 @@ def _local_flow_context(ctx: FlowContext, h, part) -> FlowContext:
         sym_vert=sym_v,
         sym_normal=sym_n,
         lines=local_lines,
-        dual=None,
+        dual=dual,
     )
 
 
-def _split_residual_contexts(dom) -> tuple:
+def _split_residual_contexts(dom: DistributedDomain) -> tuple:
     """(interior, ghost) context split for overlapped exchange: interior
     edges touch only owned vertices (computable while ghost updates are
     in transit); ghost edges carry everything else.  Boundary lists are
-    owned-only and go with the interior part.  Valid because the
-    parallel path runs first-order without SA sources, so the residual
-    is purely edge- and boundary-based."""
+    owned-only and go with the interior part.  Valid because the split
+    residual runs with ``sa_sources=False`` — purely edge- and
+    boundary-based terms; the pointwise SA sources are added once from
+    halo-completed gradients after the exchange finishes."""
     cached = dom.cache.get("nsu3d_split")
     if cached is None:
         ctx = dom.ctx
@@ -148,9 +186,18 @@ class NSU3DKernels:
     coarse_cfl_fraction = 1.0
 
     def __init__(self, qinf: np.ndarray, viscous: bool = True,
-                 kernel_config: KernelConfig | None = None):
+                 kernel_config: KernelConfig | None = None,
+                 turbulence: bool | None = None):
         self.qinf = np.asarray(qinf, dtype=np.float64)
         self.viscous = viscous
+        #: the state width travels as data, not as hard-coded slots —
+        #: every runtime layer (domain state, slab carving, exchange
+        #: blocks) derives its width from this layout
+        self.layout = variable_layout(len(self.qinf))
+        self.turbulence = (
+            turbulence if turbulence is not None
+            else bool(self.layout.turbulence)
+        )
         self.kernel_config = (
             kernel_config if kernel_config is not None else KernelConfig()
         )
@@ -193,14 +240,37 @@ class NSU3DKernels:
         total = comm.allreduce(np.array([local_sq, local_n]))
         return float(np.sqrt(total[0] / total[1]))
 
-    def apply_correction(self, comm, X, doms, qs, dqs) -> dict:
+    def apply_correction(self, comm: Any, X: Any, doms: dict, qs: dict,
+                         dqs: dict) -> dict:
+        turb_ref = self._turbulence_reference(comm, doms, qs)
         out = {}
         for p, dom in doms.items():
             cand = apply_wall_bc(
-                dom.ctx, limit_correction(qs[p], dqs[p])
+                dom.ctx, limit_correction(qs[p], dqs[p], turb_ref=turb_ref)
             )
             out[p] = apply_positivity_floors(cand)
         return out
+
+    def _turbulence_reference(
+        self, comm: Any, doms: dict, qs: dict
+    ) -> np.ndarray | None:
+        """Global field maxima of the turbulence working variables.
+
+        The correction limiter's growth floor is tied to the largest
+        working-variable level *in the field*; an allreduce-max over
+        owned rows (exact — max is order-independent) hands every rank
+        the serial reference, so partitioning does not change the
+        limiter."""
+        layout = self.layout
+        if not layout.turbulence:
+            return None
+        local = np.zeros(len(layout.turbulence), dtype=np.float64)
+        for p, dom in doms.items():
+            own = qs[p][: dom.nowned]
+            for j, var in enumerate(layout.turbulence):
+                local[j] = max(local[j], float(np.abs(own[:, var]).max()))
+        result: np.ndarray = comm.allreduce(local, op="max")
+        return result
 
     def smooth(self, X, doms, qs, *, forcing=None, cfl: float = 10.0,
                nsteps: int = 1, overlap: bool = False,
@@ -240,6 +310,9 @@ class NSU3DKernels:
                     for p in doms
                 }
                 q0 = {p: qs[p].copy() for p in doms}
+                # the limiter's growth floor references the step-initial
+                # state, identically on every rank (allreduce-max)
+                turb_ref = self._turbulence_reference(X.comm, doms, q0)
                 for alpha in STAGE_COEFFS:
                     rs = self._completed_residual(
                         X, doms, qs, forcing, pending
@@ -263,8 +336,12 @@ class NSU3DKernels:
                         if rest.any():
                             dq[rest] = rest_factors[p].solve(r[rest])
                         cand = apply_wall_bc(
-                            dom.ctx, limit_correction(q0[p], -alpha * dq)
+                            dom.ctx,
+                            limit_correction(q0[p], -alpha * dq,
+                                             turb_ref=turb_ref),
                         )
+                        for var in self.layout.turbulence:
+                            cand[:, var] = np.maximum(cand[:, var], 0.0)
                         qs[p] = apply_positivity_floors(cand)
                     if overlap:
                         pending = X.start_copy(qs, tag=14)
@@ -276,16 +353,19 @@ class NSU3DKernels:
 
     # -- internals -----------------------------------------------------------
 
-    def _completed_residual(self, X, doms, qs, forcing, pending) -> dict:
+    def _completed_residual(self, X: Any, doms: dict, qs: dict,
+                            forcing: dict | None, pending: Any) -> dict:
         """Residual completed across ranks: local evaluation (split into
         interior/ghost parts when finishing an overlapped exchange),
-        exchange-add to owners, ghost rows zeroed, strong wall rows
+        exchange-add to owners, ghost rows zeroed, SA sources added at
+        owned rows from halo-completed gradients, strong wall rows
         re-imposed, forcing subtracted."""
         rs = {}
         if pending is None:
             for p, dom in doms.items():
                 rs[p] = residual(dom.ctx, qs[p], self.qinf,
-                                 turbulence=False, viscous=self.viscous)
+                                 turbulence=self.turbulence,
+                                 viscous=self.viscous, sa_sources=False)
             X.charge(self._flops(doms))
         else:
             # paper fig. 7: compute the interior while ghost values are
@@ -294,25 +374,102 @@ class NSU3DKernels:
             for p, dom in doms.items():
                 interior, _ghost = _split_residual_contexts(dom)
                 rs[p] = residual(interior, qs[p], self.qinf,
-                                 turbulence=False, viscous=self.viscous)
+                                 turbulence=self.turbulence,
+                                 viscous=self.viscous, sa_sources=False)
             X.charge(self._flops(doms))
             pending.finish()
             for p, dom in doms.items():
                 _interior, ghost = _split_residual_contexts(dom)
                 rs[p] = rs[p] + residual(ghost, qs[p], self.qinf,
-                                         turbulence=False,
-                                         viscous=self.viscous)
+                                         turbulence=self.turbulence,
+                                         viscous=self.viscous,
+                                         sa_sources=False)
+        # the gradient pass reads ghost state, so it runs only after the
+        # exchange above has finished (sanitizer-safe)
+        sa = self._sa_fields(X, doms, qs)
         X.add(rs, tag=1)
         out = {}
+        sa_var = self.layout.turbulence[0] if self.layout.turbulence else None
         for p, dom in doms.items():
             r = rs[p]
             r[dom.nowned:] = 0.0
+            if sa is not None:
+                # pointwise SA sources at owned rows (each vertex is
+                # owned by exactly one rank — no double counting)
+                vort, grad_nu = sa[p]
+                ctx = dom.ctx
+                own = slice(0, dom.nowned)
+                prim = conservative_to_primitive(qs[p][own])
+                r[own, sa_var] += sa_source_residual(
+                    prim[:, 0], prim[:, sa_var], vort[own], grad_nu[own],
+                    ctx.dist[own], ctx.mu_lam, ctx.volumes[own],
+                )
             # remote edge contributions landed after residual()'s own
             # masking; re-impose the strong wall rows
             r = mask_wall_rows(dom.ctx, r)
             if forcing is not None:
                 r = r - forcing[p]
             out[p] = r
+        return out
+
+    def _sa_fields(self, X: Any, doms: dict, qs: dict) -> dict | None:
+        """Halo-completed vorticity magnitude and SA-gradient fields,
+        ``{pid: (vort, grad_nu)}`` (or ``None`` when SA sources are off).
+
+        Fine levels accumulate each rank's partial Green-Gauss surface
+        sums over its :class:`GradientSurface` and complete them with an
+        exchange-add before dividing by the control volumes; coarse
+        (agglomerated) levels complete the edge-difference vorticity
+        estimate the same way.  Ghost rows of the completed sums are
+        zeroed by the exchange — the sources are only evaluated at owned
+        rows."""
+        layout = self.layout
+        any_dom = next(iter(doms.values()))
+        if not (self.turbulence and layout.turbulence and self.viscous
+                and any_dom.ctx.mu_lam > 0.0):
+            return None
+        engine = self.engine
+        sa_var = layout.turbulence[0]
+        out: dict = {}
+        if any_dom.ctx.dual is not None:
+            sums = {}
+            for p, dom in doms.items():
+                prim = conservative_to_primitive(qs[p])
+                fields = np.column_stack([prim[:, 1:4], prim[:, sa_var]])
+                sums[p] = green_gauss_sums(dom.ctx.dual, fields).reshape(
+                    dom.nlocal, 3 * fields.shape[1]
+                )
+            X.add(sums, tag=15)
+            for p, dom in doms.items():
+                grads = sums[p].reshape(dom.nlocal, 3, -1)
+                grads = grads / dom.ctx.volumes[:, None, None]
+                out[p] = (
+                    vorticity_magnitude(grads[:, :, :3]), grads[:, :, 3]
+                )
+            return out
+        accs = {}
+        for p, dom in doms.items():
+            ctx = dom.ctx
+            prim = conservative_to_primitive(qs[p])
+            vel = prim[:, 1:4]
+            a = ctx.edges[:, 0]
+            b = ctx.edges[:, 1]
+            rate = (
+                np.linalg.norm(vel[b] - vel[a], axis=1)
+                / ctx.edge_distances()
+            )
+            acc = np.zeros((ctx.npoints, 2), dtype=np.float64)
+            engine.scatter_add(acc[:, 0], a, rate)
+            engine.scatter_add(acc[:, 0], b, rate)
+            engine.scatter_add(acc[:, 1], a, 1.0)
+            engine.scatter_add(acc[:, 1], b, 1.0)
+            accs[p] = acc
+        X.add(accs, tag=16)
+        for p, dom in doms.items():
+            vort = accs[p][:, 0] / np.maximum(accs[p][:, 1], 1.0)
+            out[p] = (
+                vort, np.zeros((dom.nlocal, 3), dtype=np.float64)
+            )
         return out
 
     def _time_step(self, X, doms, qs, cfl) -> dict:
@@ -346,9 +503,15 @@ class NSU3DKernels:
             for p, dom in doms.items()
         }
 
-    def _diagonal(self, X, doms, qs, dt) -> dict:
+    def _diagonal(self, X: Any, doms: dict, qs: dict, dt: dict) -> dict:
         """Implicit diagonal blocks with edge contributions summed
-        across ranks (each cross edge lives on exactly one rank)."""
+        across ranks (each cross edge lives on exactly one rank).
+
+        Pointwise terms — the V/dt identity and the SA destruction
+        linearization — are kept out of the exchanged part (summing
+        their ghost copies would double-count them at owners) and
+        re-added locally after the cross-rank sum."""
+        layout = self.layout
         flats = {}
         vdts = {}
         for p, dom in doms.items():
@@ -357,7 +520,7 @@ class NSU3DKernels:
             nvar = q.shape[1]
             # edge-only contributions: subtract the V/dt identity that
             # assemble_diagonal always adds before exchanging
-            diag = assemble_diagonal(ctx, q, dt[p])
+            diag = assemble_diagonal(ctx, q, dt[p], sa_destruction=False)
             eye = np.eye(nvar)
             vdt = (ctx.volumes / dt[p])[:, None, None] * eye[None, :, :]
             edge_part = diag - vdt
@@ -369,10 +532,14 @@ class NSU3DKernels:
             ctx = dom.ctx
             nvar = qs[p].shape[1]
             total = flats[p].reshape(ctx.npoints, nvar, nvar) + vdts[p]
+            if layout.turbulence:
+                dest = sa_destruction_diagonal(ctx, qs[p])
+                for j, var in enumerate(layout.turbulence):
+                    total[:, var, var] += dest[:, j]
             # strong wall rows were summed over; rebuild them as identity
             w = ctx.wall_vert
             if len(w):
-                for row in [1, 2, 3] + ([5] if nvar > 5 else []):
+                for row in layout.momentum + layout.turbulence:
                     total[w, row, :] = 0.0
                     total[w, row, row] = 1.0
             out[p] = total
@@ -489,6 +656,7 @@ class ParallelNSU3D:
 
     def __init__(self, ctx: FlowContext, qinf: np.ndarray, nparts: int,
                  seed: int = 0, viscous: bool = True, *,
+                 turbulence: bool | None = None,
                  contexts: list | None = None, maps: list | None = None,
                  config: RuntimeConfig | None = None,
                  backend: str | None = None,
@@ -507,12 +675,6 @@ class ParallelNSU3D:
         smoothing_only = contexts is None
         contexts = list(contexts) if contexts is not None else [ctx]
         maps = list(maps) if maps is not None else []
-        if len(qinf) != 5:
-            raise ConfigurationError(
-                "the distributed NSU3D path runs the 5-variable system; "
-                "SA turbulence needs distributed nodal gradients "
-                "(serial solver only — see DESIGN.md)"
-            )
         part = MetisLinePartitioner(
             contexts[0].npoints, contexts[0].edges,
             lines=contexts[0].lines, seed=seed,
@@ -526,7 +688,8 @@ class ParallelNSU3D:
         ]
         self.hierarchy = build_domain_hierarchy(specs, maps, part)
         self.kernels = NSU3DKernels(
-            qinf, viscous=viscous, kernel_config=config.kernels
+            qinf, viscous=viscous, kernel_config=config.kernels,
+            turbulence=turbulence,
         )
         self.driver = DistributedSolveDriver(
             self.hierarchy, self.kernels, qinf, config=config,
@@ -539,6 +702,7 @@ class ParallelNSU3D:
         self.qinf = qinf
         self.nparts = nparts
         self.viscous = viscous
+        self.turbulence = self.kernels.turbulence
 
     @classmethod
     def from_solver(cls, solver, nparts: int, *, seed: int = 0,
@@ -550,9 +714,11 @@ class ParallelNSU3D:
                     sanitize: bool | None = None) -> "ParallelNSU3D":
         """Decompose a serial :class:`NSU3DSolver`'s hierarchy.
 
-        With no explicit engine selection the solver's own
-        ``kernel_config`` carries over, so a decomposed solve runs the
-        same kernels as the serial one it came from.
+        The solver's variable layout and physics flags carry over —
+        turbulent (SA) solvers decompose exactly like laminar ones —
+        and with no explicit engine selection the solver's own
+        ``kernel_config`` does too, so a decomposed solve runs the same
+        kernels on the same system as the serial one it came from.
         """
         config = resolve_config(
             config, backend, where="ParallelNSU3D.from_solver",
@@ -561,14 +727,10 @@ class ParallelNSU3D:
         )
         if kernel_config is None and config.kernels is None:
             kernel_config = getattr(solver, "kernel_config", None)
-        if solver.turbulence:
-            raise ConfigurationError(
-                "distributed NSU3D runs laminar/inviscid (5 variables); "
-                "construct the solver with turbulence=False"
-            )
         return cls(
             solver.contexts[0], solver.qinf, nparts, seed=seed,
-            viscous=True, contexts=solver.contexts, maps=solver.maps,
+            viscous=True, turbulence=solver.turbulence,
+            contexts=solver.contexts, maps=solver.maps,
             config=config, kernel_config=kernel_config,
         )
 

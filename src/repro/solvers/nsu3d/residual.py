@@ -24,7 +24,7 @@ import numpy as np
 from ...kernels import get_engine
 from ...telemetry.spans import traced
 from ..fluxes import roe_flux, rusanov_flux, wall_flux
-from ..gas import GAMMA, GM1, conservative_to_primitive
+from ..gas import GAMMA, GM1, conservative_to_primitive, variable_layout
 from .context import FlowContext
 from .gradients import green_gauss, vorticity_magnitude
 from .turbulence import (
@@ -40,25 +40,29 @@ PRANDTL_T = 0.9
 
 def apply_wall_bc(ctx: FlowContext, q: np.ndarray) -> np.ndarray:
     """Enforce no-slip adiabatic wall strongly: zero momentum and zero
-    turbulence working variable at wall vertices."""
+    turbulence working variables at wall vertices."""
+    layout = variable_layout(q.shape[1])
     q = q.copy()
     w = ctx.wall_vert
     if len(w):
-        ke = 0.5 * np.sum(q[w, 1:4] ** 2, axis=1) / q[w, 0]
-        q[w, 4] -= ke  # remove kinetic energy so pressure is unchanged
-        q[w, 1:4] = 0.0
-        if q.shape[1] > 5:
-            q[w, 5] = 0.0
+        mom = list(layout.momentum)
+        ke = 0.5 * np.sum(q[w][:, mom] ** 2, axis=1) / q[w, layout.density]
+        # remove kinetic energy so pressure is unchanged
+        q[w, layout.energy] -= ke
+        for var in layout.momentum:
+            q[w, var] = 0.0
+        for var in layout.turbulence:
+            q[w, var] = 0.0
     return q
 
 
 def mask_wall_rows(ctx: FlowContext, r: np.ndarray) -> np.ndarray:
     """Zero the strongly-imposed rows (momentum + SA) at wall vertices."""
+    layout = variable_layout(r.shape[1])
     w = ctx.wall_vert
     if len(w):
-        r[w, 1:4] = 0.0
-        if r.shape[1] > 5:
-            r[w, 5] = 0.0
+        for var in layout.momentum + layout.turbulence:
+            r[w, var] = 0.0
     return r
 
 
@@ -70,9 +74,19 @@ def residual(
     order2: bool = False,
     turbulence: bool = True,
     viscous: bool = True,
+    sa_sources: bool = True,
 ) -> np.ndarray:
-    """Net-outflow residual (N, nvar)."""
+    """Net-outflow residual (N, nvar).
+
+    ``sa_sources=False`` skips the pointwise SA production/destruction
+    block (edge and boundary terms only): the distributed path evaluates
+    the sources separately at owned rows from halo-completed gradients
+    (:func:`sa_source_residual`), after the edge sums have been
+    exchange-added to their owners.
+    """
     nvar = q.shape[1]
+    layout = variable_layout(nvar)
+    turbulence = turbulence and bool(layout.turbulence)
     engine = get_engine()
     a_idx = ctx.edges[:, 0]
     b_idx = ctx.edges[:, 1]
@@ -125,10 +139,11 @@ def residual(
     if viscous and ctx.mu_lam > 0.0:
         rho = prim[:, 0]
         vel = prim[:, 1:4]
-        nu_hat = prim[:, 5] if nvar > 5 else None
+        sa_var = layout.turbulence[0] if layout.turbulence else None
+        nu_hat = prim[:, sa_var] if sa_var is not None else None
         mu_t = (
             eddy_viscosity(rho, nu_hat, ctx.mu_lam)
-            if (turbulence and nvar > 5)
+            if turbulence
             else np.zeros_like(rho)
         )
         area = np.linalg.norm(ctx.face_vectors, axis=1)
@@ -149,7 +164,7 @@ def residual(
         fv[:, 4] = -coef * np.einsum("ed,ed->e", vbar, dvel) - kappa_f * area / dist * (
             t[b_idx] - t[a_idx]
         )
-        if nvar > 5 and turbulence:
+        if turbulence:
             dcoef = (
                 diffusion_coefficient(
                     rho[a_idx], rho[b_idx], nu_hat[a_idx], nu_hat[b_idx],
@@ -157,12 +172,12 @@ def residual(
                 )
                 * area / dist
             )
-            fv[:, 5] = -dcoef * (nu_hat[b_idx] - nu_hat[a_idx])
+            fv[:, sa_var] = -dcoef * (nu_hat[b_idx] - nu_hat[a_idx])
         engine.scatter_add(r, a_idx, fv)
         engine.scatter_add(r, b_idx, -fv)
 
         # -- SA sources --------------------------------------------------------
-        if nvar > 5 and turbulence:
+        if turbulence and sa_sources:
             if ctx.dual is not None:
                 grads = green_gauss(ctx.dual, np.column_stack([vel, nu_hat]))
                 vort = vorticity_magnitude(grads[:, :, :3])
@@ -171,11 +186,31 @@ def residual(
                 # coarse levels: estimate vorticity from edge differences
                 vort = _edge_vorticity_estimate(ctx, vel)
                 grad_nu = np.zeros((ctx.npoints, 3), dtype=np.float64)
-            prod, dest = source_terms(rho, nu_hat, vort, ctx.dist, ctx.mu_lam)
-            prod = prod + cb2_term(grad_nu, rho)
-            r[:, 5] += (dest - prod) * ctx.volumes
+            r[:, sa_var] += sa_source_residual(
+                rho, nu_hat, vort, grad_nu, ctx.dist, ctx.mu_lam,
+                ctx.volumes,
+            )
 
     return mask_wall_rows(ctx, r)
+
+
+def sa_source_residual(
+    rho: np.ndarray,
+    nu_hat: np.ndarray,
+    vort: np.ndarray,
+    grad_nu: np.ndarray,
+    dist: np.ndarray,
+    mu_lam: float,
+    volumes: np.ndarray,
+) -> np.ndarray:
+    """Pointwise SA source contribution to the working-variable row:
+    ``(destruction - production) * V`` with the cb2 gradient-squared
+    term folded into production.  Shared by the serial residual and the
+    distributed path (which feeds halo-completed ``vort``/``grad_nu``
+    and adds the result at owned rows only)."""
+    prod, dest = source_terms(rho, nu_hat, vort, dist, mu_lam)
+    prod = prod + cb2_term(grad_nu, rho)
+    return (dest - prod) * volumes
 
 
 def farfield_ghost(

@@ -574,6 +574,89 @@ class TestFastEngineLoopRule:
         assert diags == []
 
 
+class TestHardcodedStateWidthRule:
+    def test_len_comparison_flagged(self):
+        src = (
+            "def check(qinf):\n"
+            "    if len(qinf) != 5:\n"
+            "        raise ValueError\n"
+        )
+        diags = diags_for(src, "src/repro/solvers/nsu3d/parallel.py",
+                          select={"R014"})
+        assert [d.rule for d in diags] == ["R014"]
+        assert "variable_layout" in diags[0].message
+
+    def test_shape_comparison_flagged(self):
+        src = "def f(q):\n    return q.shape[1] == 5\n"
+        diags = diags_for(src, "src/repro/runtime/driver.py",
+                          select={"R014"})
+        assert [d.rule for d in diags] == ["R014"]
+
+    def test_nvar_attribute_comparison_flagged(self):
+        src = "def f(solver):\n    return solver.nvar > 5\n"
+        diags = diags_for(src, "src/repro/solvers/nsu3d/solver.py",
+                          select={"R014"})
+        assert [d.rule for d in diags] == ["R014"]
+
+    def test_state_slice_flagged(self):
+        src = "def f(q):\n    return q[:, :5]\n"
+        diags = diags_for(src, "src/repro/solvers/fluxes.py",
+                          select={"R014"})
+        assert [d.rule for d in diags] == ["R014"]
+        assert "NVAR_EULER" in diags[0].message
+
+    def test_turbulence_tail_slice_flagged(self):
+        src = "def f(q):\n    return q[..., 5:]\n"
+        diags = diags_for(src, "src/repro/solvers/fluxes.py",
+                          select={"R014"})
+        assert [d.rule for d in diags] == ["R014"]
+
+    def test_named_constant_passes(self):
+        src = (
+            "from repro.solvers.gas import NVAR_EULER\n"
+            "def f(q):\n"
+            "    if q.shape[1] > NVAR_EULER:\n"
+            "        return q[..., NVAR_EULER:]\n"
+            "    return q\n"
+        )
+        assert diags_for(src, "src/repro/solvers/fluxes.py",
+                         select={"R014"}) == []
+
+    def test_unrelated_literal_five_passes(self):
+        # a 5 that is not compared against a width-like expression and
+        # not a state slice bound is none of R014's business
+        src = "def f(retries):\n    return retries == 5 or 5 in [1, 5]\n"
+        assert diags_for(src, "src/repro/solvers/nsu3d/solver.py",
+                         select={"R014"}) == []
+
+    def test_gas_module_is_exempt(self):
+        src = "NVAR_EULER = 5\ndef ok(q):\n    return q.shape[-1] == 5\n"
+        assert diags_for(src, "src/repro/solvers/gas.py",
+                         select={"R014"}) == []
+
+    def test_not_flagged_outside_solvers_and_runtime(self):
+        src = "def f(q):\n    return q[:, :5]\n"
+        assert diags_for(src, "src/repro/mesh/unstructured/dual.py",
+                         select={"R014"}) == []
+
+    def test_noqa_suppresses(self):
+        src = (
+            "def f(qinf):\n"
+            "    return len(qinf) == 5  # noqa: legacy-format probe\n"
+        )
+        assert diags_for(src, "src/repro/solvers/nsu3d/parallel.py",
+                         select={"R014"}) == []
+
+    def test_shipped_solver_and_runtime_trees_are_clean(self):
+        repo = Path(__file__).parent.parent
+        diags = lint_paths(
+            [repo / "src" / "repro" / "solvers",
+             repo / "src" / "repro" / "runtime"],
+            select={"R014"},
+        )
+        assert diags == []
+
+
 class TestRunner:
     def test_select_filters_rules(self):
         src = (
